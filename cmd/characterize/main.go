@@ -1,0 +1,90 @@
+// Command characterize regenerates the paper's §2 characterization
+// (Tables 1-2, Figs 1-12) and, with -tuning, the §6 µSKU evaluation
+// figures (Figs 14-19) and the ablation studies, printing each as an
+// aligned text table with the paper's reference values alongside.
+//
+// Usage:
+//
+//	characterize                 # Tables 1-2, Figs 1-12
+//	characterize -only fig9      # one table/figure
+//	characterize -tuning         # add Figs 14-19 (slow: full µSKU runs)
+//	characterize -ablations      # add the ablation studies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"softsku/internal/figures"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		only      = flag.String("only", "", "render a single item, e.g. table2, fig9, fig19, ablationA")
+		tuning    = flag.Bool("tuning", false, "include the µSKU evaluation figures (Figs 14-19)")
+		ablations = flag.Bool("ablations", false, "include the ablation studies")
+	)
+	flag.Parse()
+
+	ctx := figures.NewContext(*seed)
+	type item struct {
+		key  string
+		slow bool
+		gen  func() figures.Table
+	}
+	items := []item{
+		{"table1", false, figures.Table1SKUs},
+		{"table2", false, func() figures.Table { return figures.Table2Throughput(ctx) }},
+		{"fig1", false, func() figures.Table { return figures.Fig1Diversity(ctx) }},
+		{"fig2", false, func() figures.Table { return figures.Fig2Breakdown(ctx) }},
+		{"fig3", false, func() figures.Table { return figures.Fig3CPUUtil(ctx) }},
+		{"fig4", false, func() figures.Table { return figures.Fig4CtxSwitch(ctx) }},
+		{"fig5", false, figures.Fig5Mix},
+		{"fig6", false, func() figures.Table { return figures.Fig6IPC(ctx) }},
+		{"fig7", false, func() figures.Table { return figures.Fig7TopDown(ctx) }},
+		{"fig8", false, func() figures.Table { return figures.Fig8L1L2(ctx) }},
+		{"fig9", false, func() figures.Table { return figures.Fig9LLC(ctx) }},
+		{"fig10", false, func() figures.Table { return figures.Fig10Ways(*seed) }},
+		{"fig11", false, func() figures.Table { return figures.Fig11TLB(ctx) }},
+		{"fig12", false, func() figures.Table { return figures.Fig12Bandwidth(ctx) }},
+		{"fig14", true, func() figures.Table { return figures.Fig14Frequency(*seed) }},
+		{"fig15", true, func() figures.Table { return figures.Fig15CoreCount(*seed) }},
+		{"fig16", true, func() figures.Table { return figures.Fig16CDP(*seed) }},
+		{"fig17", true, func() figures.Table { return figures.Fig17Prefetcher(*seed) }},
+		{"fig18", true, func() figures.Table { return figures.Fig18HugePages(*seed) }},
+		{"fig19", true, func() figures.Table { return figures.Fig19SoftSKU(*seed) }},
+		{"ablationA", true, func() figures.Table { return figures.AblationSearch(*seed) }},
+		{"ablationB", true, func() figures.Table { return figures.AblationSampling(*seed) }},
+		{"ablationC", true, func() figures.Table { return figures.AblationMetric(*seed) }},
+		{"ablationD", true, func() figures.Table { return figures.AblationSHPSearch(*seed) }},
+		{"extensionE", true, func() figures.Table { return figures.ExtensionColocation(*seed) }},
+		{"extensionF", true, func() figures.Table { return figures.ExtensionEnergy(*seed) }},
+		{"extensionG", true, func() figures.Table { return figures.ExtensionSPEC(*seed) }},
+	}
+
+	if *only != "" {
+		want := strings.ToLower(*only)
+		for _, it := range items {
+			if strings.ToLower(it.key) == want {
+				fmt.Println(it.gen().String())
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "characterize: unknown item %q\n", *only)
+		os.Exit(1)
+	}
+
+	for _, it := range items {
+		isAblation := strings.HasPrefix(it.key, "ablation") || strings.HasPrefix(it.key, "extension")
+		if isAblation && !*ablations {
+			continue
+		}
+		if it.slow && !isAblation && !*tuning {
+			continue
+		}
+		fmt.Println(it.gen().String())
+	}
+}

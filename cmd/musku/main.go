@@ -1,0 +1,179 @@
+// Command musku runs the µSKU design tool (§4, Fig 13): it sweeps the
+// soft-SKU design space for a target microservice with A/B tests on
+// the simulated production fleet, composes the most performant knob
+// configuration, and reports its gains over hand-tuned production and
+// stock servers.
+//
+// Usage:
+//
+//	musku -input tune.conf
+//	musku -service Web -platform Skylake18 [-sweep independent] [-metric mips]
+//	musku -service Web -validate 3
+//
+// The input-file format is one "key = value" per line:
+//
+//	microservice = Web
+//	platform     = Skylake18        # defaults to the service's fleet placement
+//	sweep        = independent      # independent | exhaustive | hillclimb
+//	metric       = mips             # mips | qps
+//	knobs        = cdp, thp, shp    # defaults to every applicable knob
+//	seed         = 1
+//	max_samples  = 30000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"softsku"
+	"softsku/internal/knob"
+)
+
+func main() {
+	var (
+		inputPath = flag.String("input", "", "µSKU input file (overrides the other flags)")
+		service   = flag.String("service", "", "target microservice (Web, Feed1, ..., Cache2)")
+		platName  = flag.String("platform", "", "hardware platform (default: the service's fleet placement)")
+		sweep     = flag.String("sweep", "independent", "sweep mode: independent | exhaustive | hillclimb")
+		metric    = flag.String("metric", "mips", "performance metric: mips | qps")
+		knobList  = flag.String("knobs", "", "comma-separated knob subset (default: all applicable)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		validate  = flag.Int("validate", 0, "after tuning, validate across N simulated code pushes")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of tables")
+	)
+	flag.Parse()
+
+	in, err := buildInput(*inputPath, *service, *platName, *sweep, *metric, *knobList, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	tool, err := softsku.NewTool(in)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		tool.SetLogger(os.Stderr)
+	}
+	res, err := tool.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		emitJSON(res)
+		return
+	}
+
+	fmt.Printf("target:        %s on %s (%s sweep, %s metric)\n",
+		res.Service, res.Platform, res.Sweep, res.Metric)
+	fmt.Printf("production:    %s\n", res.Baseline)
+	fmt.Printf("soft SKU:      %s\n", res.SoftSKU)
+	fmt.Printf("vs production: %s\n", res.VsProduction)
+	fmt.Printf("vs stock:      %s\n", res.VsStock)
+	fmt.Printf("reboots:       %d   virtual tuning time: %.1f h\n\n", res.Reboots, res.VirtualHours)
+	if len(res.Map) > 0 {
+		fmt.Println("design-space map:")
+		fmt.Print(softsku.FormatTuneMap(res))
+	}
+
+	if *validate > 0 {
+		fmt.Printf("\nvalidating across %d code pushes (ODS QPS)...\n", *validate)
+		v, err := tool.Validate(res.SoftSKU, *validate, 96)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range v.Pushes {
+			fmt.Printf("  push %d: soft %.0f QPS vs prod %.0f QPS (%+.2f%%)\n",
+				p.Push, p.SoftQPS, p.ProdQPS, p.DeltaPct)
+		}
+		fmt.Printf("  mean advantage %+.2f%%, stable=%v\n", v.MeanDeltaPct, v.StableAdvantage)
+	}
+}
+
+func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64) (softsku.TuneInput, error) {
+	if path != "" {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return softsku.TuneInput{}, err
+		}
+		return softsku.ParseTuneInput(string(text))
+	}
+	if service == "" {
+		return softsku.TuneInput{}, fmt.Errorf("musku: provide -input FILE or -service NAME")
+	}
+	// Reuse the file parser so flag and file semantics stay identical.
+	text := fmt.Sprintf("microservice = %s\nsweep = %s\nmetric = %s\nseed = %d\n",
+		service, sweep, metric, seed)
+	if plat != "" {
+		text += "platform = " + plat + "\n"
+	}
+	if knobList != "" {
+		text += "knobs = " + knobList + "\n"
+	}
+	return softsku.ParseTuneInput(text)
+}
+
+// jsonResult is the stable machine-readable shape of a tuning run.
+type jsonResult struct {
+	Service         string     `json:"service"`
+	Platform        string     `json:"platform"`
+	Sweep           string     `json:"sweep"`
+	Metric          string     `json:"metric"`
+	Production      string     `json:"production"`
+	SoftSKU         string     `json:"soft_sku"`
+	VsProductionPct float64    `json:"vs_production_pct"`
+	VsStockPct      float64    `json:"vs_stock_pct"`
+	Significant     bool       `json:"significant"`
+	Reboots         int        `json:"reboots"`
+	VirtualHours    float64    `json:"virtual_hours"`
+	Knobs           []jsonKnob `json:"knobs"`
+}
+
+type jsonKnob struct {
+	Knob     string   `json:"knob"`
+	Baseline string   `json:"baseline"`
+	Chosen   string   `json:"chosen,omitempty"`
+	DeltaPct *float64 `json:"delta_pct,omitempty"`
+}
+
+func emitJSON(res *softsku.TuneResult) {
+	out := jsonResult{
+		Service:         res.Service,
+		Platform:        res.Platform,
+		Sweep:           res.Sweep.String(),
+		Metric:          res.Metric.String(),
+		Production:      res.Baseline.String(),
+		SoftSKU:         res.SoftSKU.String(),
+		VsProductionPct: res.VsProduction.DeltaPct,
+		VsStockPct:      res.VsStock.DeltaPct,
+		Significant:     res.VsProduction.Significant,
+		Reboots:         res.Reboots,
+		VirtualHours:    res.VirtualHours,
+	}
+	for _, sweep := range res.Map {
+		k := jsonKnob{Knob: sweep.Knob.String(), Baseline: sweep.Baseline.Name}
+		if best := sweep.Best(); best != nil {
+			k.Chosen = best.Setting.Name
+			d := best.Outcome.DeltaPct
+			k.DeltaPct = &d
+		}
+		out.Knobs = append(out.Knobs, k)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "musku:", err)
+	os.Exit(1)
+}
+
+// Interface check: knob IDs parse through the same path the input file
+// uses (keeps -knobs flag and file format in lockstep).
+var _ = knob.ParseID

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"softsku/internal/knob"
+)
+
+func TestBuildInputFromFlags(t *testing.T) {
+	in, err := buildInput("", "Web", "Skylake18", "hillclimb", "qps", "thp,shp", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Microservice != "Web" || in.Platform != "Skylake18" || in.Seed != 9 {
+		t.Fatalf("parsed: %+v", in)
+	}
+	if len(in.Knobs) != 2 || in.Knobs[0] != knob.THP {
+		t.Fatalf("knobs: %v", in.Knobs)
+	}
+}
+
+func TestBuildInputFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.conf")
+	if err := os.WriteFile(path, []byte("microservice = Ads1\nsweep = exhaustive\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := buildInput(path, "", "", "", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Microservice != "Ads1" {
+		t.Fatalf("parsed: %+v", in)
+	}
+}
+
+func TestBuildInputErrors(t *testing.T) {
+	if _, err := buildInput("", "", "", "independent", "mips", "", 1); err == nil {
+		t.Fatal("missing service must error")
+	}
+	if _, err := buildInput("/nonexistent/file", "", "", "", "", "", 1); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := buildInput("", "Web", "", "bogus", "mips", "", 1); err == nil {
+		t.Fatal("bad sweep must error")
+	}
+}

@@ -1,0 +1,65 @@
+// Command stress reproduces the Intel Memory Latency Checker
+// experiment behind Fig 12: it sweeps injected memory bandwidth from
+// idle to saturation on each platform and prints the loaded-latency
+// curve, optionally with every microservice's operating point.
+//
+// Usage:
+//
+//	stress                        # curves for all three platforms
+//	stress -platform Skylake18    # one platform
+//	stress -points 25 -services   # finer curve plus service points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softsku"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "", "platform name (default: all three)")
+		points   = flag.Int("points", 13, "points per stress curve")
+		services = flag.Bool("services", false, "also print each microservice's operating point")
+		seed     = flag.Uint64("seed", 1, "workload seed for -services")
+	)
+	flag.Parse()
+
+	var skus []*softsku.SKU
+	if *platName != "" {
+		sku, err := softsku.PlatformByName(*platName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		skus = append(skus, sku)
+	} else {
+		skus = softsku.Platforms()
+	}
+
+	for _, sku := range skus {
+		fmt.Printf("== %s loaded-latency curve (peak %.0f GB/s, unloaded %.0f ns) ==\n",
+			sku.Name, sku.MemPeakGBs, sku.MemUnloadedNS)
+		fmt.Printf("%12s  %12s\n", "GB/s", "latency ns")
+		for _, p := range softsku.StressCurve(sku, *points) {
+			fmt.Printf("%12.1f  %12.0f\n", p.BandwidthGBs, p.LatencyNS)
+		}
+		fmt.Println()
+	}
+
+	if *services {
+		fmt.Println("== microservice operating points (production config, peak load) ==")
+		fmt.Printf("%-8s %-12s %10s %12s\n", "service", "platform", "GB/s", "latency ns")
+		for _, svc := range softsku.Services() {
+			c, err := softsku.Characterize(svc.Name, softsku.Seed(*seed))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stress:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-8s %-12s %10.1f %12.0f\n",
+				svc.Name, svc.Platform, c.Counters.MemBWGBs, c.Counters.MemLatencyNS)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Characterize-fleet reproduces the heart of the paper's §2 study: it
+// profiles all seven production microservices on their fleet
+// platforms and prints the diversity that motivates soft SKUs —
+// six-orders-of-magnitude spreads in work per query, conflicting
+// cache/TLB bottlenecks, and utilization ceilings imposed by QoS.
+//
+// Run with:
+//
+//	go run ./examples/characterize-fleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softsku"
+)
+
+func main() {
+	fmt.Println("Fleet characterization (production configs, QoS-limited peak load)")
+	fmt.Println()
+
+	var chars []softsku.Characterization
+	for _, svc := range softsku.Services() {
+		c, err := softsku.Characterize(svc.Name, softsku.Seed(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		chars = append(chars, c)
+		fmt.Println(c)
+		fmt.Println()
+	}
+
+	// The Fig 1 takeaway: extreme diversity across the fleet.
+	spread := func(name string, get func(softsku.Characterization) float64) {
+		lo, hi := get(chars[0]), get(chars[0])
+		for _, c := range chars[1:] {
+			v := get(c)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Printf("  %-24s %8.3g .. %-8.3g (%.0fx spread)\n", name, lo, hi, hi/lo)
+	}
+	fmt.Println("Diversity across the fleet (Fig 1):")
+	spread("throughput (QPS)", func(c softsku.Characterization) float64 { return c.QPS })
+	spread("request latency (s)", func(c softsku.Characterization) float64 { return c.MeanLatencySec })
+	spread("context switches (/s)", func(c softsku.Characterization) float64 { return c.CtxSwitchRate })
+	spread("IPC", func(c softsku.Characterization) float64 { return c.Counters.IPC })
+	spread("L1I code MPKI", func(c softsku.Characterization) float64 { return c.Counters.L1CodeMPKI })
+	spread("memory bandwidth (GB/s)", func(c softsku.Characterization) float64 { return c.Counters.MemBWGBs })
+	fmt.Println()
+	fmt.Println("No single hardware configuration serves all seven well — the case for soft SKUs (§3).")
+}

@@ -1,0 +1,64 @@
+// Colocation explores the paper's §7 future-work direction: today the
+// fleet runs every microservice on dedicated bare metal, but if
+// services were to share machines, a µSKU-aware scheduler would need
+// to know which neighbours a service tolerates. This example builds
+// that affinity matrix for a few service pairs.
+//
+// Run with:
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softsku"
+)
+
+func main() {
+	sku := softsku.Skylake18()
+	fmt.Printf("Co-location interference on %s (slowdown vs idle neighbour)\n\n", sku.Name)
+
+	pairs := [][2]string{
+		{"Web", "Web"},
+		{"Web", "Feed1"},
+		{"Web", "Cache2"},
+		{"Feed1", "Feed2"},
+		{"Cache2", "Cache2"},
+	}
+	type scored struct {
+		label string
+		worst float64
+	}
+	var ranking []scored
+	for _, pr := range pairs {
+		a, err := softsku.ServiceByName(pr[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := softsku.ServiceByName(pr[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := softsku.Colocate(sku, a, b, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", r)
+		worst := r.SlowdownA
+		if r.SlowdownB > worst {
+			worst = r.SlowdownB
+		}
+		ranking = append(ranking, scored{fmt.Sprintf("%s+%s", r.A, r.B), worst})
+	}
+
+	best := ranking[0]
+	for _, s := range ranking[1:] {
+		if s.worst < best.worst {
+			best = s
+		}
+	}
+	fmt.Printf("\nfriendliest pairing: %s (worst-side slowdown %.2fx)\n", best.label, best.worst)
+	fmt.Println("a µSKU-aware scheduler would prefer pairings like this when consolidating (§7).")
+}

@@ -1,0 +1,113 @@
+// Custom-service shows the library's extension point: define a
+// microservice that is NOT one of the paper's seven — here a
+// search-style leaf with a large inverted-index working set — then
+// characterize it and let µSKU design its soft SKU. This is the §6.2
+// promise that µSKU "can be applied to microservices that do not have
+// dedicated performance tuning engineers".
+//
+// Run with:
+//
+//	go run ./examples/custom-service
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"softsku"
+	"softsku/internal/knob"
+	"softsku/internal/workload"
+)
+
+// searchLeaf models a retrieval leaf: compute-bound scoring loops over
+// posting lists (streaming, prefetch-friendly), a large shared index
+// (LLC-contended), tight tail-latency QoS, and no huge-page tuning so
+// far — exactly the kind of service µSKU exists for.
+func searchLeaf() *softsku.Service {
+	return &softsku.Service{
+		Name:     "SearchLeaf",
+		Domain:   "search",
+		Platform: "Skylake18",
+
+		PathLength:        40e6,
+		RunningFrac:       0.93,
+		DownstreamCalls:   0,
+		DownstreamLatency: 0,
+		WorkerThreads:     48,
+
+		MaxCPUUtil:    0.60,
+		KernelFrac:    0.06,
+		QoSLatencyP99: 0.08,
+
+		CtxSwitchRate: 500,
+
+		Mix:              workload.InstructionMix{Branch: 14, FP: 8, Arith: 34, Load: 30, Store: 14},
+		BranchMispredict: 0.015,
+
+		CodeFootprint: 48 << 20,
+		CodeHot:       workload.Tier{Frac: 0.72, Bytes: 20 << 10},
+		CodeMid:       workload.Tier{Frac: 0.20, Bytes: 640 << 10},
+		CodeWarm:      workload.Tier{Frac: 0.075, Bytes: 2 << 20},
+		CodeSeqFrac:   0.66,
+		CodePools:     1,
+
+		DataFootprint: 24 << 30, // the inverted index
+		DataHot:       workload.Tier{Frac: 0.86, Bytes: 12 << 10},
+		DataMid:       workload.Tier{Frac: 0.07, Bytes: 640 << 10},
+		DataWarm:      workload.Tier{Frac: 0.05, Bytes: 10 << 20},
+		DataSeqFrac:   0.30, // posting-list traversal
+		SeqStride:     16,
+		SeqSpan:       64 << 20,
+		PrivateFrac:   0.03,
+		PrivateBytes:  512 << 10,
+		StackFrac:     0.08,
+
+		SHPHeap:     128 << 20, // index arena eligible for static huge pages
+		HeapMadvise: false,
+		Burstiness:  0.10,
+
+		DepStallCPI:    0.18,
+		BEOverlap:      0.15,
+		RebootTolerant: true,
+	}
+}
+
+func main() {
+	svc := searchLeaf()
+	if err := svc.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Characterize it like any fleet service.
+	sku := softsku.Skylake18()
+	srv, err := softsku.NewServer(sku, softsku.ProductionConfig(sku, svc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := softsku.NewMachine(srv, svc, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := m.SolvePeak()
+	fmt.Printf("%s at peak: IPC=%.2f MIPS=%.0f bw=%.1f GB/s lat=%.0f ns\n",
+		svc.Name, op.IPC, op.MIPS, op.MemBWGBs, op.MemLatencyNS)
+
+	// Let µSKU design its soft SKU over the huge-page and CDP knobs.
+	in := softsku.DefaultTuneInput(svc.Name, "Skylake18")
+	in.Knobs = []knob.ID{knob.CDP, knob.THP, knob.SHP}
+	in.AB.MinSamples = 200
+	in.AB.MaxSamples = 2000
+	tool, err := softsku.NewToolForService(in, svc, sku)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tool.SetLogger(os.Stderr)
+	res, err := tool.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- µSKU on a service the paper never saw ---")
+	fmt.Print(softsku.FormatTuneMap(res))
+	fmt.Printf("\nsoft SKU: %v\nvs production: %v\n", res.SoftSKU, res.VsProduction)
+}

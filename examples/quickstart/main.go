@@ -1,0 +1,44 @@
+// Quickstart: profile one production microservice the way the paper's
+// §2 characterization does, then let µSKU tune one knob for it.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softsku"
+	"softsku/internal/knob"
+)
+
+func main() {
+	// 1. Characterize Web at its QoS-limited peak on its production
+	// platform (Skylake18): IPC, MPKIs, top-down breakdown, request
+	// latency anatomy — the numbers behind Figs 2-12.
+	char, err := softsku.Characterize("Web", softsku.Seed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- characterization ---")
+	fmt.Println(char)
+	fmt.Println()
+
+	// 2. Ask µSKU to tune the transparent-huge-page policy. The tool
+	// A/B-tests each policy against the hand-tuned production baseline
+	// on simulated live traffic and composes the winner (§4).
+	in := softsku.DefaultTuneInput("Web", "Skylake18")
+	in.Knobs = []knob.ID{knob.THP}
+	in.AB.MinSamples = 200 // quickstart-sized A/B budget
+	in.AB.MaxSamples = 2000
+	res, err := softsku.Tune(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- µSKU THP sweep ---")
+	fmt.Print(softsku.FormatTuneMap(res))
+	fmt.Printf("\nsoft SKU: %v\n", res.SoftSKU)
+	fmt.Printf("vs production: %v\n", res.VsProduction)
+}

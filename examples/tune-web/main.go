@@ -1,0 +1,64 @@
+// Tune-web runs the paper's headline experiment end to end: µSKU
+// sweeps all seven knobs for the Web microservice on Skylake18,
+// composes the soft SKU (the paper finds CDP {6,5}, THP always, and
+// 300 static huge pages), validates it against hand-tuned production
+// and stock servers (Fig 19), and then monitors the deployment across
+// simulated code pushes via the ODS time-series store (§4).
+//
+// Run with:
+//
+//	go run ./examples/tune-web
+//
+// A full run takes a minute or two: the virtual fleet collects several
+// virtual hours of A/B samples, just like the prototype's 5-10 hour
+// tuning runs (§6.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"softsku"
+)
+
+func main() {
+	in := softsku.DefaultTuneInput("Web", "Skylake18")
+	in.AB.MinSamples = 200 // example-sized sampling budget
+	in.AB.MaxSamples = 3000
+
+	tool, err := softsku.NewTool(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tool.SetLogger(os.Stderr) // watch the sweep live
+
+	res, err := tool.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n--- design-space map ---")
+	fmt.Print(softsku.FormatTuneMap(res))
+	fmt.Println("\n--- result ---")
+	fmt.Printf("production:    %v\n", res.Baseline)
+	fmt.Printf("soft SKU:      %v\n", res.SoftSKU)
+	fmt.Printf("vs production: %v   (paper: +4.5%%)\n", res.VsProduction)
+	fmt.Printf("vs stock:      %v   (paper: +6.2%%)\n", res.VsStock)
+	fmt.Printf("reboots: %d   virtual tuning time: %.1f h (paper: 5-10 h)\n",
+		res.Reboots, res.VirtualHours)
+
+	// Deployment validation: compare fleet QPS for the soft SKU vs
+	// production across three code pushes, a diurnal cycle each.
+	fmt.Println("\n--- deployment validation (ODS QPS across code pushes) ---")
+	v, err := tool.Validate(res.SoftSKU, 3, 96)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range v.Pushes {
+		fmt.Printf("push %d: soft %.0f QPS vs prod %.0f QPS (%+.2f%%)\n",
+			p.Push, p.SoftQPS, p.ProdQPS, p.DeltaPct)
+	}
+	fmt.Printf("mean advantage %+.2f%%, stable across pushes: %v\n",
+		v.MeanDeltaPct, v.StableAdvantage)
+}

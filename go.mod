@@ -1,0 +1,3 @@
+module softsku
+
+go 1.22

@@ -1,0 +1,114 @@
+// Package abtest implements µSKU's statistical A/B testing procedure
+// (§4): compare two identical servers — same platform, same fleet,
+// facing the same load — that differ only in one knob configuration.
+// Samples are collected with warm-up discard and independence spacing
+// until 95% confidence resolves the comparison; if ~30,000 samples do
+// not suffice, the test concludes there is no statistically
+// significant difference.
+package abtest
+
+import (
+	"fmt"
+
+	"softsku/internal/stats"
+)
+
+// Config tunes the test procedure. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	Confidence float64 // e.g. 0.95
+	MaxSamples int     // give-up cap per arm (~30,000 in the paper)
+	MinSamples int     // never decide before this many per arm
+	CheckEvery int     // significance re-check interval
+	WarmupSec  float64 // cold-start discard before sampling (§4)
+	SpacingSec float64 // spacing between samples for independence
+}
+
+// DefaultConfig mirrors the paper's prototype: 95% confidence, 30k
+// sample cap, a few minutes of warm-up, spaced samples.
+func DefaultConfig() Config {
+	return Config{
+		Confidence: 0.95,
+		MaxSamples: 30000,
+		MinSamples: 300,
+		CheckEvery: 100,
+		WarmupSec:  180,
+		SpacingSec: 0.5,
+	}
+}
+
+// Sampler produces one measurement of an arm at a virtual time. The
+// two arms of a comparison are sampled at identical times so shared
+// load variation cancels.
+type Sampler func(t float64) float64
+
+// Outcome reports one A/B comparison.
+type Outcome struct {
+	Control   stats.Sample
+	Treatment stats.Sample
+
+	Samples     int     // per arm
+	PValue      float64 // Welch's t-test, two-sided
+	Significant bool    // at the configured confidence
+	DeltaPct    float64 // (treatment - control) / control * 100
+	ElapsedSec  float64 // virtual measurement time consumed
+}
+
+// Better reports whether the treatment is a statistically significant
+// improvement.
+func (o Outcome) Better() bool { return o.Significant && o.DeltaPct > 0 }
+
+// Worse reports whether the treatment is a statistically significant
+// regression.
+func (o Outcome) Worse() bool { return o.Significant && o.DeltaPct < 0 }
+
+// String renders the outcome for design-space maps and logs.
+func (o Outcome) String() string {
+	sig := "not significant"
+	if o.Significant {
+		sig = fmt.Sprintf("p=%.2g", o.PValue)
+	}
+	return fmt.Sprintf("%+.2f%% (%s, n=%d)", o.DeltaPct, sig, o.Samples)
+}
+
+// Run performs one A/B comparison starting at virtual time startSec,
+// returning the outcome and the virtual time at which sampling ended
+// (so successive knob tests experience successive production load).
+func Run(cfg Config, control, treatment Sampler, startSec float64) (Outcome, float64) {
+	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
+		cfg.Confidence = 0.95
+	}
+	if cfg.CheckEvery < 1 {
+		cfg.CheckEvery = 100
+	}
+	alpha := 1 - cfg.Confidence
+	t := startSec + cfg.WarmupSec // discard cold-start observations
+
+	var out Outcome
+	for n := 0; n < cfg.MaxSamples; n++ {
+		out.Control.Add(control(t))
+		out.Treatment.Add(treatment(t))
+		t += cfg.SpacingSec
+		out.Samples = n + 1
+		if out.Samples >= cfg.MinSamples && out.Samples%cfg.CheckEvery == 0 {
+			w := stats.WelchTTest(&out.Treatment, &out.Control)
+			// Early stop only on overwhelming evidence (a stricter
+			// threshold compensates for sequential peeking) with
+			// tightly estimated means; otherwise keep sampling and let
+			// the final test at the cap decide at the nominal level.
+			if w.P < alpha*0.02 &&
+				out.Control.RelCI(cfg.Confidence) < 0.005 &&
+				out.Treatment.RelCI(cfg.Confidence) < 0.005 {
+				break
+			}
+		}
+	}
+	w := stats.WelchTTest(&out.Treatment, &out.Control)
+	out.PValue = w.P
+	out.Significant = w.P < alpha
+	if c := out.Control.Mean(); c != 0 {
+		out.DeltaPct = (out.Treatment.Mean() - c) / c * 100
+	}
+	out.ElapsedSec = t - startSec
+	return out, t
+}

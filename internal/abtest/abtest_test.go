@@ -1,0 +1,142 @@
+package abtest
+
+import (
+	"math"
+	"testing"
+
+	"softsku/internal/rng"
+)
+
+// noisy builds a sampler around mean with relative noise sigma and a
+// shared "load" component both arms see.
+func noisy(src *rng.Source, mean, sigma float64, shared func(t float64) float64) Sampler {
+	return func(t float64) float64 {
+		return mean * shared(t) * (1 + src.Norm(0, sigma))
+	}
+}
+
+func flatLoad(float64) float64 { return 1 }
+
+func TestDetectsRealDifference(t *testing.T) {
+	cfg := DefaultConfig()
+	src := rng.New(1)
+	control := noisy(src.Split("c"), 100, 0.015, flatLoad)
+	treatment := noisy(src.Split("t"), 102, 0.015, flatLoad) // +2%
+	out, _ := Run(cfg, control, treatment, 0)
+	if !out.Significant || !out.Better() {
+		t.Fatalf("failed to detect +2%%: %v", out)
+	}
+	if math.Abs(out.DeltaPct-2) > 0.5 {
+		t.Fatalf("delta estimate %.2f%%, want ~2%%", out.DeltaPct)
+	}
+	if out.Samples >= cfg.MaxSamples {
+		t.Fatalf("a 2%% effect should resolve early, used %d samples", out.Samples)
+	}
+}
+
+func TestDetectsSmallDifference(t *testing.T) {
+	// The paper's point: effects of a few tenths of a percent need
+	// copious samples but are resolvable.
+	src := rng.New(2)
+	out, _ := Run(DefaultConfig(), noisy(src.Split("c"), 100, 0.015, flatLoad),
+		noisy(src.Split("t"), 100.5, 0.015, flatLoad), 0)
+	if !out.Better() {
+		t.Fatalf("failed to detect +0.5%%: %v", out)
+	}
+}
+
+func TestNoFalsePositiveOnEqualArms(t *testing.T) {
+	hits := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		src := rng.New(uint64(100 + i))
+		out, _ := Run(DefaultConfig(), noisy(src.Split("c"), 100, 0.015, flatLoad),
+			noisy(src.Split("t"), 100, 0.015, flatLoad), 0)
+		if out.Significant {
+			hits++
+		}
+	}
+	// Sequential checking inflates alpha somewhat; demand it stays rare.
+	if hits > 5 {
+		t.Fatalf("%d/%d false positives on identical arms", hits, trials)
+	}
+}
+
+func TestEqualArmsExhaustSampleCap(t *testing.T) {
+	src := rng.New(3)
+	cfg := DefaultConfig()
+	out, _ := Run(cfg, noisy(src.Split("c"), 100, 0.015, flatLoad),
+		noisy(src.Split("t"), 100, 0.015, flatLoad), 0)
+	if out.Significant {
+		t.Skip("this seed produced a (rare) sequential false positive")
+	}
+	if out.Samples != cfg.MaxSamples {
+		t.Fatalf("inconclusive test should run to the cap: %d", out.Samples)
+	}
+}
+
+func TestSharedLoadCancels(t *testing.T) {
+	// A ±20% diurnal swing seen by BOTH arms must not prevent
+	// resolving a 1.5% difference (the point of concurrent A/B).
+	shared := func(t float64) float64 { return 1 + 0.2*math.Sin(t/300) }
+	src := rng.New(4)
+	out, _ := Run(DefaultConfig(), noisy(src.Split("c"), 100, 0.015, shared),
+		noisy(src.Split("t"), 101.5, 0.015, shared), 0)
+	if !out.Better() {
+		t.Fatalf("shared load variation should cancel: %v", out)
+	}
+	if math.Abs(out.DeltaPct-1.5) > 0.6 {
+		t.Fatalf("delta %.2f%%, want ~1.5%%", out.DeltaPct)
+	}
+}
+
+func TestDetectsRegression(t *testing.T) {
+	src := rng.New(5)
+	out, _ := Run(DefaultConfig(), noisy(src.Split("c"), 100, 0.015, flatLoad),
+		noisy(src.Split("t"), 97, 0.015, flatLoad), 0)
+	if !out.Worse() || out.Better() {
+		t.Fatalf("failed to flag -3%% regression: %v", out)
+	}
+}
+
+func TestVirtualTimeAdvances(t *testing.T) {
+	src := rng.New(6)
+	cfg := DefaultConfig()
+	out, end := Run(cfg, noisy(src.Split("c"), 100, 0.015, flatLoad),
+		noisy(src.Split("t"), 105, 0.015, flatLoad), 1000)
+	if end <= 1000+cfg.WarmupSec {
+		t.Fatalf("end time %g must include warm-up and sampling", end)
+	}
+	wantEnd := 1000 + cfg.WarmupSec + float64(out.Samples)*cfg.SpacingSec
+	if math.Abs(end-wantEnd) > 1e-6 {
+		t.Fatalf("end %g, want %g", end, wantEnd)
+	}
+}
+
+func TestWarmupDiscard(t *testing.T) {
+	// Samples must only be drawn at t >= start + warmup.
+	cfg := DefaultConfig()
+	cfg.MaxSamples = 10
+	cfg.MinSamples = 10
+	minT := math.Inf(1)
+	probe := func(t float64) float64 {
+		if t < minT {
+			minT = t
+		}
+		return 100
+	}
+	Run(cfg, probe, probe, 500)
+	if minT < 500+cfg.WarmupSec {
+		t.Fatalf("sampled during warm-up at t=%g", minT)
+	}
+}
+
+func TestConfigDefaultsGuard(t *testing.T) {
+	src := rng.New(8)
+	cfg := Config{MaxSamples: 500, MinSamples: 10} // zero confidence/check
+	out, _ := Run(cfg, noisy(src.Split("c"), 100, 0.01, flatLoad),
+		noisy(src.Split("t"), 110, 0.01, flatLoad), 0)
+	if !out.Better() {
+		t.Fatalf("guarded defaults should still work: %v", out)
+	}
+}

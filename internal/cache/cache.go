@@ -1,0 +1,301 @@
+// Package cache implements execution-driven set-associative cache
+// models with true-LRU replacement, Intel CAT-style way limiting, and
+// CDP code/data way partitioning — the structures behind the paper's
+// MPKI characterization (Figs 8–10) and the CDP knob (§5(4), Fig 16).
+//
+// Caches are driven by synthetic address streams from
+// internal/workload; misses are *emergent* from capacity, associativity
+// and partitioning, never asserted.
+package cache
+
+import "fmt"
+
+// Kind distinguishes instruction (code) from data accesses, the axis
+// CDP partitions on and the paper's MPKI breakdowns report.
+type Kind uint8
+
+// Access kinds.
+const (
+	Code Kind = iota
+	Data
+	numKinds
+)
+
+// String names the kind as in the paper's figures.
+func (k Kind) String() string {
+	if k == Code {
+		return "code"
+	}
+	return "data"
+}
+
+// Config describes one cache's geometry and insertion policy.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	// BIP selects the behaviour of a non-inclusive LLC with
+	// thrash-resistant insertion, like Intel's: prefetched lines are
+	// inserted at the LRU position (with an occasional MRU insertion),
+	// so speculative streaming cannot flush the demand working set;
+	// demand fills insert at MRU; and hits do NOT refresh recency —
+	// on a hit the line moves up to the L2, so the LLC copy ages
+	// under insertion churn until it is reinstalled. Partitioning a
+	// class into its own quiet ways therefore extends its lines'
+	// lifetimes — the mechanism CDP exploits (§6.1(4)).
+	BIP bool
+}
+
+// Stats counts demand accesses and misses, split by kind, plus
+// prefetch fills.
+type Stats struct {
+	Accesses      [numKinds]uint64
+	Misses        [numKinds]uint64
+	PrefetchFills uint64
+	PrefetchHits  uint64 // demand hits on prefetched lines
+}
+
+// MissRatio returns misses/accesses for one kind (0 if no accesses).
+func (s Stats) MissRatio(k Kind) float64 {
+	if s.Accesses[k] == 0 {
+		return 0
+	}
+	return float64(s.Misses[k]) / float64(s.Accesses[k])
+}
+
+// TotalMisses sums misses over both kinds.
+func (s Stats) TotalMisses() uint64 { return s.Misses[Code] + s.Misses[Data] }
+
+// TotalAccesses sums accesses over both kinds.
+func (s Stats) TotalAccesses() uint64 { return s.Accesses[Code] + s.Accesses[Data] }
+
+// MPKI returns misses per kilo-instruction for one kind given the
+// retired instruction count.
+func (s Stats) MPKI(k Kind, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses[k]) / float64(instructions) * 1000
+}
+
+type line struct {
+	tag      uint64
+	stamp    uint32
+	valid    bool
+	prefetch bool // installed by a prefetcher, not yet demand-hit
+}
+
+// Cache is a single set-associative cache with true-LRU replacement.
+// It is not safe for concurrent use; the simulator serializes access.
+type Cache struct {
+	cfg      Config
+	sets     int
+	ways     int
+	blockLg2 uint
+	lines    []line // sets × ways, row-major
+	clock    uint32
+
+	// Way partitioning. wayLo/wayHi give the half-open way range each
+	// kind may allocate into. Lookups always search all ways (CAT and
+	// CDP restrict allocation, not hits).
+	wayLo [numKinds]int
+	wayHi [numKinds]int
+
+	stats Stats
+}
+
+// New builds a cache. It panics on a degenerate geometry, which is a
+// programming error in platform description.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.BlockBytes <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry %+v", cfg.Name, cfg))
+	}
+	sets := cfg.SizeBytes / (cfg.BlockBytes * cfg.Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	lg2 := uint(0)
+	for 1<<(lg2+1) <= cfg.BlockBytes {
+		lg2++
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		ways:     cfg.Ways,
+		blockLg2: lg2,
+		lines:    make([]line, sets*cfg.Ways),
+	}
+	c.ClearPartition()
+	return c
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetPartition dedicates dataWays ways to data and codeWays ways to
+// code (Intel CDP). The sum must not exceed the associativity.
+func (c *Cache) SetPartition(dataWays, codeWays int) error {
+	if dataWays < 1 || codeWays < 1 || dataWays+codeWays > c.ways {
+		return fmt.Errorf("cache %s: invalid partition data=%d code=%d of %d ways",
+			c.cfg.Name, dataWays, codeWays, c.ways)
+	}
+	c.wayLo[Data], c.wayHi[Data] = 0, dataWays
+	c.wayLo[Code], c.wayHi[Code] = dataWays, dataWays+codeWays
+	return nil
+}
+
+// SetWayLimit restricts both kinds to the first n ways (Intel CAT),
+// used for the Fig 10 LLC-capacity sweep.
+func (c *Cache) SetWayLimit(n int) error {
+	if n < 1 || n > c.ways {
+		return fmt.Errorf("cache %s: way limit %d outside [1,%d]", c.cfg.Name, n, c.ways)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		c.wayLo[k], c.wayHi[k] = 0, n
+	}
+	return nil
+}
+
+// ClearPartition restores the default shared-ways policy.
+func (c *Cache) ClearPartition() {
+	for k := Kind(0); k < numKinds; k++ {
+		c.wayLo[k], c.wayHi[k] = 0, c.ways
+	}
+}
+
+func (c *Cache) set(addr uint64) int {
+	return int((addr >> c.blockLg2) % uint64(c.sets))
+}
+
+func (c *Cache) tag(addr uint64) uint64 { return addr >> c.blockLg2 }
+
+// Access performs a demand access, returning true on hit. On miss the
+// line is installed in the LRU way of the kind's allowed range.
+func (c *Cache) Access(addr uint64, kind Kind) bool {
+	c.stats.Accesses[kind]++
+	c.clock++
+	set := c.set(addr)
+	tag := c.tag(addr)
+	base := set * c.ways
+	row := c.lines[base : base+c.ways]
+	for i := range row {
+		if row[i].valid && row[i].tag == tag {
+			if !c.cfg.BIP {
+				row[i].stamp = c.clock
+			}
+			if row[i].prefetch {
+				// First demand touch promotes a speculative line.
+				row[i].prefetch = false
+				row[i].stamp = c.clock
+				c.stats.PrefetchHits++
+			}
+			return true
+		}
+	}
+	c.stats.Misses[kind]++
+	c.install(row, tag, kind, false, false)
+	return false
+}
+
+// Probe reports whether addr is resident without updating LRU state or
+// statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.set(addr)
+	tag := c.tag(addr)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.lines[base+i].valid && c.lines[base+i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefetch installs addr without counting a demand access. It returns
+// false if the line was already resident (a useless prefetch).
+func (c *Cache) Prefetch(addr uint64, kind Kind) bool {
+	if c.Probe(addr) {
+		return false
+	}
+	c.clock++
+	set := c.set(addr)
+	base := set * c.ways
+	c.install(c.lines[base:base+c.ways], c.tag(addr), kind, true, false)
+	c.stats.PrefetchFills++
+	return true
+}
+
+// InstallWarm installs addr at the MRU position regardless of policy,
+// bypassing statistics. The simulator's functional warm-up uses it to
+// seed steady-state resident sets.
+func (c *Cache) InstallWarm(addr uint64, kind Kind) {
+	if c.Probe(addr) {
+		return
+	}
+	c.clock++
+	set := c.set(addr)
+	base := set * c.ways
+	c.install(c.lines[base:base+c.ways], c.tag(addr), kind, false, true)
+}
+
+func (c *Cache) install(row []line, tag uint64, kind Kind, viaPrefetch, forceMRU bool) {
+	lo, hi := c.wayLo[kind], c.wayHi[kind]
+	victim := lo
+	for i := lo; i < hi; i++ {
+		if !row[i].valid {
+			victim = i
+			break
+		}
+		if row[i].stamp < row[victim].stamp {
+			victim = i
+		}
+	}
+	stamp := c.clock
+	if c.cfg.BIP && viaPrefetch && !forceMRU && c.clock%32 != 0 {
+		// LRU-position insertion: the speculative line is the set's
+		// next victim unless a demand hit promotes it first.
+		stamp = 1
+	}
+	row[victim] = line{tag: tag, stamp: stamp, valid: true, prefetch: viaPrefetch}
+}
+
+// ScrambleAges assigns every valid line a uniformly random age and
+// advances the clock past them. Functional warm-up installs lines all
+// at once; scrambling reproduces the steady-state age distribution so
+// short measurement windows observe the true eviction flux (the
+// oldest tail being replaced at the insertion rate) instead of a
+// freshly-installed population that never ages out.
+func (c *Cache) ScrambleAges(rnd func(n int) int) {
+	span := uint32(len(c.lines)) * 4
+	if span < 1024 {
+		span = 1024
+	}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			c.lines[i].stamp = uint32(rnd(int(span))) + 1
+		}
+	}
+	c.clock += span + 1
+}
+
+// Flush invalidates all lines (e.g. across a reboot) without touching
+// statistics.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (lines stay warm), used at the end of
+// a measurement warm-up.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,347 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softsku/internal/platform"
+	"softsku/internal/rng"
+)
+
+func tiny() *Cache {
+	// 4 sets x 2 ways x 64B = 512B.
+	return New(Config{Name: "t", SizeBytes: 512, Ways: 2, BlockBytes: 64})
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := tiny()
+	if c.Access(0x1000, Data) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0x1000, Data) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x1030, Data) {
+		t.Fatal("same-line access must hit")
+	}
+	s := c.Stats()
+	if s.Accesses[Data] != 3 || s.Misses[Data] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny() // 4 sets, 2 ways; addresses with the same set index conflict
+	// Set stride: 4 sets * 64B = 256. Three lines mapping to set 0.
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Access(a, Data)
+	c.Access(b, Data)
+	c.Access(a, Data) // a most recent; b is LRU
+	c.Access(d, Data) // evicts b
+	if !c.Access(a, Data) {
+		t.Fatal("a should survive (MRU)")
+	}
+	if c.Probe(b) {
+		t.Fatal("b should have been evicted as LRU")
+	}
+}
+
+func TestWorkingSetFitsVsOverflows(t *testing.T) {
+	c := New(Config{Name: "l1", SizeBytes: 32 << 10, Ways: 8, BlockBytes: 64})
+	// Working set half the cache: steady-state misses ~ 0.
+	fits := func(lines int) float64 {
+		c.Flush()
+		for i := 0; i < lines; i++ { // warm-up round: exclude cold misses
+			c.Access(uint64(i*64), Data)
+		}
+		c.ResetStats()
+		for round := 0; round < 50; round++ {
+			for i := 0; i < lines; i++ {
+				c.Access(uint64(i*64), Data)
+			}
+		}
+		s := c.Stats()
+		return s.MissRatio(Data)
+	}
+	if mr := fits(256); mr > 0.01 { // 16 KiB in 32 KiB
+		t.Fatalf("resident working set miss ratio %g", mr)
+	}
+	if mr := fits(1024); mr < 0.5 { // 64 KiB in 32 KiB, sequential sweep thrashes LRU
+		t.Fatalf("overflowing working set miss ratio %g, want thrash", mr)
+	}
+}
+
+func TestPartitionIsolation(t *testing.T) {
+	c := New(Config{Name: "llc", SizeBytes: 64 << 10, Ways: 8, BlockBytes: 64})
+	if err := c.SetPartition(6, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Fill code's 2 ways in set 0, then hammer data in the same set:
+	// code lines must survive arbitrary data pressure.
+	setStride := uint64(c.Sets() * 64)
+	code1, code2 := uint64(0), setStride*100
+	c.Access(code1, Code)
+	c.Access(code2, Code)
+	src := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		c.Access(setStride*uint64(src.Intn(1000)+200), Data)
+	}
+	if !c.Probe(code1) || !c.Probe(code2) {
+		t.Fatal("CDP must protect code ways from data evictions")
+	}
+}
+
+func TestPartitionLookupStillHitsOtherSide(t *testing.T) {
+	// CDP restricts allocation, not lookup: a line installed as data
+	// before partitioning must still hit for later accesses.
+	c := New(Config{Name: "llc", SizeBytes: 64 << 10, Ways: 8, BlockBytes: 64})
+	c.Access(0x40, Data)
+	if err := c.SetPartition(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Access(0x40, Data) {
+		t.Fatal("post-partition access must still find the line")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	c := tiny()
+	if err := c.SetPartition(2, 1); err == nil {
+		t.Fatal("over-committed partition must error")
+	}
+	if err := c.SetPartition(0, 2); err == nil {
+		t.Fatal("zero-way side must error")
+	}
+}
+
+func TestWayLimitReducesCapacity(t *testing.T) {
+	c := New(Config{Name: "llc", SizeBytes: 64 << 10, Ways: 8, BlockBytes: 64})
+	run := func() float64 {
+		c.Flush()
+		c.ResetStats()
+		src := rng.New(2)
+		z := rng.NewZipf(src, 1024, 0.7) // 64 KiB working set
+		for i := 0; i < 200000; i++ {
+			c.Access(uint64(z.Next()*64), Data)
+		}
+		return c.Stats().MissRatio(Data)
+	}
+	full := run()
+	if err := c.SetWayLimit(2); err != nil {
+		t.Fatal(err)
+	}
+	limited := run()
+	if limited <= full*1.2 {
+		t.Fatalf("way limit should raise miss ratio: full=%g limited=%g", full, limited)
+	}
+	c.ClearPartition()
+	restored := run()
+	if restored > full*1.1 {
+		t.Fatalf("ClearPartition should restore capacity: %g vs %g", restored, full)
+	}
+}
+
+func TestWayLimitBounds(t *testing.T) {
+	c := tiny()
+	if err := c.SetWayLimit(0); err == nil {
+		t.Fatal("limit 0 must error")
+	}
+	if err := c.SetWayLimit(3); err == nil {
+		t.Fatal("limit above ways must error")
+	}
+}
+
+func TestPrefetch(t *testing.T) {
+	c := tiny()
+	if !c.Prefetch(0x1000, Data) {
+		t.Fatal("prefetch of absent line must move data")
+	}
+	if c.Prefetch(0x1000, Data) {
+		t.Fatal("prefetch of resident line is useless")
+	}
+	if !c.Access(0x1000, Data) {
+		t.Fatal("demand access after prefetch must hit")
+	}
+	s := c.Stats()
+	if s.PrefetchFills != 1 || s.PrefetchHits != 1 {
+		t.Fatalf("prefetch stats %+v", s)
+	}
+	if s.Misses[Data] != 0 {
+		t.Fatal("prefetch-covered access should not count as demand miss")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := tiny()
+	c.Access(0x0, Data)
+	before := c.Stats()
+	c.Probe(0x0)
+	c.Probe(0x4000)
+	if c.Stats() != before {
+		t.Fatal("Probe must not change stats")
+	}
+}
+
+func TestFlushInvalidatesKeepsStats(t *testing.T) {
+	c := tiny()
+	c.Access(0x0, Data)
+	c.Flush()
+	if c.Probe(0x0) {
+		t.Fatal("flush must invalidate")
+	}
+	if c.Stats().Accesses[Data] != 1 {
+		t.Fatal("flush must keep stats")
+	}
+	c.ResetStats()
+	if c.Stats().TotalAccesses() != 0 {
+		t.Fatal("ResetStats must zero counters")
+	}
+}
+
+func TestStatsInvariantProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := New(Config{Name: "p", SizeBytes: 4 << 10, Ways: 4, BlockBytes: 64})
+		src := rng.New(seed)
+		for i := 0; i < 2000; i++ {
+			kind := Data
+			if src.Bool(0.3) {
+				kind = Code
+			}
+			c.Access(uint64(src.Intn(4096))*64, kind)
+		}
+		s := c.Stats()
+		// Misses never exceed accesses, per kind.
+		return s.Misses[Code] <= s.Accesses[Code] && s.Misses[Data] <= s.Accesses[Data] &&
+			s.TotalAccesses() == 2000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	var s Stats
+	s.Misses[Code] = 17
+	if got := s.MPKI(Code, 10000); got != 1.7 {
+		t.Fatalf("MPKI=%g", got)
+	}
+	if got := s.MPKI(Code, 0); got != 0 {
+		t.Fatalf("MPKI with zero instructions = %g", got)
+	}
+}
+
+func TestHierarchyFillPath(t *testing.T) {
+	h := NewHierarchy(platform.Skylake18(), 2)
+	if lvl := h.Access(0, 0x100000, Data); lvl != Memory {
+		t.Fatalf("cold access hit %v", lvl)
+	}
+	if lvl := h.Access(0, 0x100000, Data); lvl != L1 {
+		t.Fatalf("warm access hit %v, want L1", lvl)
+	}
+	// A different core misses L1/L2 but hits the shared LLC.
+	if lvl := h.Access(1, 0x100000, Data); lvl != LLC {
+		t.Fatalf("cross-core access hit %v, want LLC", lvl)
+	}
+}
+
+func TestHierarchyCodeUsesL1I(t *testing.T) {
+	h := NewHierarchy(platform.Skylake18(), 1)
+	h.Access(0, 0x2000, Code)
+	ls := h.Stats()
+	if ls.L1I.Accesses[Code] != 1 || ls.L1D.TotalAccesses() != 0 {
+		t.Fatalf("code access routed wrong: %+v", ls)
+	}
+}
+
+func TestHierarchySharedLLCInterference(t *testing.T) {
+	// Two cores with disjoint working sets interfere in the LLC:
+	// aggregate footprint near LLC capacity raises per-core misses.
+	sku := platform.Skylake18()
+	run := func(cores int) float64 {
+		h := NewHierarchy(sku, cores)
+		src := rng.New(3)
+		perCore := 300000 // lines; ~18 MiB each
+		for i := 0; i < 400000; i++ {
+			core := i % cores
+			off := uint64(core) << 40
+			h.Access(core, off+uint64(src.Intn(perCore))*64, Data)
+		}
+		s := h.LLCs.Stats()
+		return s.MissRatio(Data)
+	}
+	one := run(1)
+	two := run(2)
+	if two <= one {
+		t.Fatalf("LLC interference missing: 1-core %g vs 2-core %g", one, two)
+	}
+}
+
+func TestHierarchyCDPAndCAT(t *testing.T) {
+	h := NewHierarchy(platform.Skylake18(), 1)
+	if err := h.ApplyCDP(6, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyCDP(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyCAT(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ApplyCAT(99); err == nil {
+		t.Fatal("CAT beyond ways must error")
+	}
+}
+
+func TestHierarchyPrefetchL1PullsThrough(t *testing.T) {
+	h := NewHierarchy(platform.Skylake18(), 1)
+	moved, fromMem := h.PrefetchL1(0, 0x9000, Data)
+	if !moved || !fromMem {
+		t.Fatalf("L1 prefetch from memory: moved=%v fromMem=%v", moved, fromMem)
+	}
+	if lvl := h.Access(0, 0x9000, Data); lvl != L1 {
+		t.Fatalf("after L1 prefetch, demand hit at %v", lvl)
+	}
+	// Prefetching a now-resident line is a no-op with no DRAM traffic.
+	moved, fromMem = h.PrefetchL1(0, 0x9000, Data)
+	if moved || fromMem {
+		t.Fatalf("repeat prefetch: moved=%v fromMem=%v", moved, fromMem)
+	}
+}
+
+func TestHierarchyPrefetchL2(t *testing.T) {
+	h := NewHierarchy(platform.Skylake18(), 1)
+	moved, fromMem := h.PrefetchL2(0, 0x9000, Data)
+	if !moved || !fromMem {
+		t.Fatalf("first L2 prefetch: moved=%v fromMem=%v", moved, fromMem)
+	}
+	if lvl := h.Access(0, 0x9000, Data); lvl != L2 {
+		t.Fatalf("after L2 prefetch, demand hit at %v", lvl)
+	}
+	// An L1 prefetch of an LLC-resident line moves data but not from DRAM.
+	h2 := NewHierarchy(platform.Skylake18(), 2)
+	h2.Access(1, 0x9000, Data) // core 1 pulls it into the shared LLC
+	moved, fromMem = h2.PrefetchL1(0, 0x9000, Data)
+	if !moved || fromMem {
+		t.Fatalf("LLC-sourced prefetch: moved=%v fromMem=%v", moved, fromMem)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := New(Config{Name: "llc", SizeBytes: 24 << 20, Ways: 11, BlockBytes: 64})
+	src := rng.New(1)
+	z := rng.NewZipf(src, 1<<20, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(z.Next())*64, Data)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := NewHierarchy(platform.Skylake18(), 18)
+	src := rng.New(1)
+	z := rng.NewZipf(src, 1<<20, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i%18, uint64(z.Next())*64, Data)
+	}
+}

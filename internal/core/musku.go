@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"softsku/internal/abtest"
+	"softsku/internal/emon"
+	"softsku/internal/knob"
+	"softsku/internal/loadgen"
+	"softsku/internal/platform"
+	"softsku/internal/sim"
+	"softsku/internal/workload"
+)
+
+// Point is one evaluated knob setting in the design-space map.
+type Point struct {
+	Setting    knob.Setting
+	Outcome    abtest.Outcome
+	IsBaseline bool
+	Chosen     bool
+}
+
+// KnobSweep is the design-space map for one knob: every candidate
+// setting's A/B outcome against the production baseline.
+type KnobSweep struct {
+	Knob     knob.ID
+	Baseline knob.Setting
+	Points   []Point
+}
+
+// Best returns the chosen point, or nil if the baseline was kept.
+func (k KnobSweep) Best() *Point {
+	for i := range k.Points {
+		if k.Points[i].Chosen {
+			return &k.Points[i]
+		}
+	}
+	return nil
+}
+
+// Result is a complete µSKU run: the design-space map, the composed
+// soft SKU, and its validation against production and stock servers.
+type Result struct {
+	Service  string
+	Platform string
+	Sweep    SweepMode
+	Metric   Metric
+
+	Baseline knob.Config // hand-tuned production configuration
+	Stock    knob.Config // off-the-shelf configuration
+	SoftSKU  knob.Config // µSKU's composed configuration
+
+	Map []KnobSweep
+
+	VsProduction abtest.Outcome
+	VsStock      abtest.Outcome
+
+	Reboots        int     // server reboots the sweep required
+	VirtualHours   float64 // virtual measurement time consumed
+	ExhaustiveBest float64 // best mean seen (exhaustive/hillclimb modes)
+}
+
+// Tool is one µSKU instance bound to a microservice/platform pair.
+type Tool struct {
+	in       Input
+	prof     *workload.Profile
+	sku      *platform.SKU
+	baseline knob.Config
+	space    *knob.Space
+	load     *loadgen.Profile
+	vclock   float64
+	reboots  int
+	logW     io.Writer
+
+	samplers map[string]abtest.Sampler // config-keyed cache
+	seedCtr  uint64
+}
+
+// New builds a µSKU tool from an input file. It rejects MIPS-metric
+// runs against performance-introspective services (§4: MIPS is
+// insufficient to measure Cache's throughput).
+func New(in Input) (*Tool, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	base, err := workload.ByName(in.Microservice)
+	if err != nil {
+		return nil, err
+	}
+	platName := in.Platform
+	if platName == "" {
+		platName = base.Platform
+	}
+	sku, err := platform.ByName(platName)
+	if err != nil {
+		return nil, err
+	}
+	prof := workload.ForPlatform(base, sku.Name)
+	return NewForService(in, prof, sku)
+}
+
+// NewForService builds a µSKU tool for an arbitrary (possibly
+// user-defined) microservice profile on the given platform — the
+// library's extension point for services beyond the paper's seven.
+func NewForService(in Input, prof *workload.Profile, sku *platform.SKU) (*Tool, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if prof.IntrospectivePerf && in.Metric == MetricMIPS {
+		return nil, fmt.Errorf(
+			"core: %s is performance-introspective; MIPS is not proportional to its throughput — use metric = qps (§4)",
+			prof.Name)
+	}
+	t := &Tool{
+		in:       in,
+		prof:     prof,
+		sku:      sku,
+		baseline: sim.ProductionConfig(sku, prof),
+		space:    BuildSpace(sku, prof, in.Knobs),
+		load:     loadgen.NewDiurnal(in.Seed ^ 0x10ad),
+		samplers: make(map[string]abtest.Sampler),
+	}
+	return t, nil
+}
+
+// SetLogger directs progress logging (nil disables it).
+func (t *Tool) SetLogger(w io.Writer) { t.logW = w }
+
+func (t *Tool) logf(format string, args ...interface{}) {
+	if t.logW != nil {
+		fmt.Fprintf(t.logW, format+"\n", args...)
+	}
+}
+
+// Space returns the configured design space (for inspection).
+func (t *Tool) Space() *knob.Space { return t.space }
+
+// Baseline returns the production configuration µSKU measures against.
+func (t *Tool) Baseline() knob.Config { return t.baseline }
+
+// sampler returns (building and caching as needed) the metric sampler
+// for a configuration. Treatment servers are fresh deployments; knob
+// changes that require reboots are counted.
+func (t *Tool) sampler(cfg knob.Config) (abtest.Sampler, error) {
+	key := cfg.String()
+	if s, ok := t.samplers[key]; ok {
+		return s, nil
+	}
+	srv, err := platform.NewServer(t.sku, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Both arms of every A/B pair run the same code on identical
+	// machines — the workload seed is shared; only the configuration
+	// differs (§4: "two identical servers ... that differ only in
+	// their knob configuration"). Measurement-noise streams stay
+	// private per sampler.
+	t.seedCtr++
+	m, err := sim.NewMachine(srv, t.prof, t.in.Seed)
+	if err != nil {
+		return nil, err
+	}
+	es := emon.NewSampler(m, t.load, t.in.Seed^t.seedCtr)
+	var s abtest.Sampler
+	switch t.in.Metric {
+	case MetricQPS:
+		s = es.QPS
+	case MetricPerfPerWatt:
+		s = es.MIPSPerWatt
+	default:
+		s = es.MIPS
+	}
+	t.samplers[key] = s
+	return s, nil
+}
+
+// compare A/B-tests treatment against the production baseline,
+// advancing the shared virtual clock so successive tests face
+// successive production load.
+func (t *Tool) compare(treatment knob.Config) (abtest.Outcome, error) {
+	control, err := t.sampler(t.baseline)
+	if err != nil {
+		return abtest.Outcome{}, err
+	}
+	treat, err := t.sampler(treatment)
+	if err != nil {
+		return abtest.Outcome{}, err
+	}
+	out, end := abtest.Run(t.in.AB, control, treat, t.vclock)
+	t.vclock = end
+	return out, nil
+}
+
+// Run executes the configured sweep and composes the soft SKU.
+func (t *Tool) Run() (*Result, error) {
+	res := &Result{
+		Service:  t.prof.Name,
+		Platform: t.sku.Name,
+		Sweep:    t.in.Sweep,
+		Metric:   t.in.Metric,
+		Baseline: t.baseline,
+		Stock:    sim.StockConfig(t.sku),
+	}
+	var composed knob.Config
+	var err error
+	switch t.in.Sweep {
+	case SweepIndependent:
+		composed, err = t.independentSweep(res)
+	case SweepExhaustive:
+		composed, err = t.exhaustiveSweep(res)
+	case SweepHillClimb:
+		composed, err = t.hillClimb(res)
+	default:
+		return nil, fmt.Errorf("core: unknown sweep mode %v", t.in.Sweep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := t.sku.Validate(composed); err != nil {
+		return nil, fmt.Errorf("core: composed soft SKU invalid: %w", err)
+	}
+	res.SoftSKU = composed
+	// The sweep itself is what must fit between code pushes (§4); the
+	// day-long deployment validations below are charged separately.
+	res.VirtualHours = t.vclock / 3600
+
+	// Final validation A/B tests: soft SKU vs hand-tuned production and
+	// vs a stock re-install (§6.2, Fig 19). Knob benefits are
+	// load-dependent (prefetching helps at the trough, hurts at the
+	// bandwidth-saturated peak), so the final comparisons sample across
+	// a full diurnal cycle rather than minutes at one phase — the
+	// paper's "prolonged durations ... under diurnal load".
+	vcfg := t.in.AB
+	if vcfg.MinSamples < 2000 {
+		vcfg.MinSamples = 2000
+	}
+	if vcfg.MaxSamples < vcfg.MinSamples {
+		vcfg.MaxSamples = vcfg.MinSamples
+	}
+	vcfg.SpacingSec = 86400.0 / float64(vcfg.MinSamples)
+	save := t.in.AB
+	t.in.AB = vcfg
+	if res.VsProduction, err = t.compare(composed); err != nil {
+		t.in.AB = save
+		return nil, err
+	}
+	if out, err := t.compareAgainst(res.Stock, composed); err == nil {
+		res.VsStock = out
+	} else {
+		t.in.AB = save
+		return nil, err
+	}
+	t.in.AB = save
+	res.Reboots = t.reboots
+	t.logf("soft SKU for %s on %s: %s", res.Service, res.Platform, composed)
+	t.logf("  vs production: %s   vs stock: %s", res.VsProduction, res.VsStock)
+	return res, nil
+}
+
+// compareAgainst A/B-tests treatment against an arbitrary control.
+func (t *Tool) compareAgainst(control, treatment knob.Config) (abtest.Outcome, error) {
+	c, err := t.sampler(control)
+	if err != nil {
+		return abtest.Outcome{}, err
+	}
+	tr, err := t.sampler(treatment)
+	if err != nil {
+		return abtest.Outcome{}, err
+	}
+	out, end := abtest.Run(t.in.AB, c, tr, t.vclock)
+	t.vclock = end
+	return out, nil
+}
+
+// independentSweep scales each knob one-by-one (§4): for every
+// candidate setting it A/B-tests baseline-with-that-setting against
+// the baseline, then the soft-SKU generator composes the most
+// performant significant winner of each knob.
+func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
+	composed := t.baseline
+	for _, id := range t.space.Knobs() {
+		sweep := KnobSweep{Knob: id, Baseline: t.baseline.Get(id)}
+		t.logf("sweeping %s (%d settings)", id, len(t.space.Values[id]))
+		bestIdx, bestDelta := -1, 0.0
+		for _, setting := range t.space.Values[id] {
+			if setting == sweep.Baseline {
+				sweep.Points = append(sweep.Points, Point{Setting: setting, IsBaseline: true})
+				continue
+			}
+			cfg := t.baseline.With(id, setting)
+			if err := t.sku.Validate(cfg); err != nil {
+				continue // unrealizable point; µSKU skips it
+			}
+			if id.RequiresReboot() {
+				t.reboots++
+			}
+			out, err := t.compare(cfg)
+			if err != nil {
+				return composed, err
+			}
+			sweep.Points = append(sweep.Points, Point{Setting: setting, Outcome: out})
+			t.logf("  %-12s %s", setting.Name, out)
+			if out.Better() && out.DeltaPct > bestDelta {
+				bestDelta = out.DeltaPct
+				bestIdx = len(sweep.Points) - 1
+			}
+		}
+		if bestIdx >= 0 {
+			sweep.Points[bestIdx].Chosen = true
+			composed = composed.With(id, sweep.Points[bestIdx].Setting)
+			t.logf("  -> chose %s (%+.2f%%)", sweep.Points[bestIdx].Setting.Name, bestDelta)
+		} else {
+			t.logf("  -> keeping production %s", sweep.Baseline.Name)
+		}
+		res.Map = append(res.Map, sweep)
+	}
+	return composed, nil
+}
+
+// exhaustiveSweep explores the cross-product (§4). It refuses design
+// spaces too large to finish between code pushes, as the paper notes
+// exhaustive search is impractical for the full seven-knob space.
+func (t *Tool) exhaustiveSweep(res *Result) (knob.Config, error) {
+	const maxPoints = 512
+	if n := t.space.Size(); n > maxPoints {
+		return t.baseline, fmt.Errorf(
+			"core: exhaustive sweep over %d points cannot finish between code pushes; restrict 'knobs' (limit %d)",
+			n, maxPoints)
+	}
+	type scored struct {
+		cfg   knob.Config
+		delta float64
+	}
+	best := scored{cfg: t.baseline}
+	var sweepErr error
+	t.space.Enumerate(t.baseline, func(cfg knob.Config) bool {
+		if cfg == t.baseline {
+			return true
+		}
+		if err := t.sku.Validate(cfg); err != nil {
+			return true
+		}
+		if len(knob.Diff(t.baseline, cfg)) > 0 {
+			for _, id := range knob.Diff(t.baseline, cfg) {
+				if id.RequiresReboot() {
+					t.reboots++
+					break
+				}
+			}
+		}
+		out, err := t.compare(cfg)
+		if err != nil {
+			sweepErr = err
+			return false
+		}
+		if out.Better() && out.DeltaPct > best.delta {
+			best = scored{cfg: cfg, delta: out.DeltaPct}
+		}
+		return true
+	})
+	if sweepErr != nil {
+		return t.baseline, sweepErr
+	}
+	res.ExhaustiveBest = best.delta
+	t.logf("exhaustive best: %s (%+.2f%%)", best.cfg, best.delta)
+	return best.cfg, nil
+}
+
+// FormatMap renders the design-space map as an aligned table.
+func FormatMap(res *Result) string {
+	var rows [][]string
+	for _, sweep := range res.Map {
+		for _, p := range sweep.Points {
+			mark := ""
+			if p.Chosen {
+				mark = "<= chosen"
+			}
+			outcome := "baseline"
+			if !p.IsBaseline {
+				outcome = p.Outcome.String()
+			}
+			rows = append(rows, []string{sweep.Knob.String(), p.Setting.Name, outcome, mark})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return false }) // keep sweep order
+	return formatTable([]string{"knob", "setting", "outcome", ""}, rows)
+}
+
+func formatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := ""
+	emit := func(cells []string) {
+		line := ""
+		for i, c := range cells {
+			for len(c) < widths[i] {
+				c += " "
+			}
+			if i > 0 {
+				line += "  "
+			}
+			line += c
+		}
+		for len(line) > 0 && line[len(line)-1] == ' ' {
+			line = line[:len(line)-1]
+		}
+		out += line + "\n"
+	}
+	emit(header)
+	for _, r := range rows {
+		emit(r)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"softsku/internal/knob"
+)
+
+// hillClimb greedily walks the design space (§7: "better search
+// heuristics (e.g., hill climbing) may be required"): from the
+// production baseline, repeatedly move one knob one step in the
+// direction of the best statistically significant improvement until no
+// neighbour wins.
+func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
+	current := t.baseline
+	const maxRounds = 24
+	for round := 0; round < maxRounds; round++ {
+		type move struct {
+			cfg   knob.Config
+			id    knob.ID
+			name  string
+			delta float64
+		}
+		var best *move
+		for _, id := range t.space.Knobs() {
+			values := t.space.Values[id]
+			cur := indexOfSetting(values, current.Get(id))
+			for _, ni := range []int{cur - 1, cur + 1} {
+				if ni < 0 || ni >= len(values) {
+					continue
+				}
+				cfg := current.With(id, values[ni])
+				if err := t.sku.Validate(cfg); err != nil {
+					continue
+				}
+				if id.RequiresReboot() {
+					t.reboots++
+				}
+				out, err := t.compareAgainst(current, cfg)
+				if err != nil {
+					return current, err
+				}
+				if out.Better() && (best == nil || out.DeltaPct > best.delta) {
+					best = &move{cfg: cfg, id: id, name: values[ni].Name, delta: out.DeltaPct}
+				}
+			}
+		}
+		if best == nil {
+			t.logf("hill climb converged after %d rounds", round)
+			break
+		}
+		t.logf("hill climb round %d: %s -> %s (%+.2f%%)", round, best.id, best.name, best.delta)
+		current = best.cfg
+		res.ExhaustiveBest += best.delta
+	}
+	return current, nil
+}
+
+// indexOfSetting finds a setting's position in the candidate list, or
+// the nearest candidate for values (like frequencies) that may sit
+// between steps. Returns -1 only for an empty list.
+func indexOfSetting(values []knob.Setting, s knob.Setting) int {
+	for i, v := range values {
+		if v == s {
+			return i
+		}
+	}
+	// Nearest by integer payload (frequencies, counts).
+	best, bestDist := -1, 0
+	for i, v := range values {
+		d := v.Int - s.Int
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// BinarySearchSHP is the §5(7) extension: instead of the linear
+// 100-page sweep, search the SHP count range with a ternary search
+// over the (unimodal: rising to the demand point, falling with waste)
+// response curve. Returns the best count found and the number of A/B
+// tests spent.
+func (t *Tool) BinarySearchSHP(lo, hi, step int) (int, int, error) {
+	if t.prof.SHPDemandChunks() == 0 {
+		return 0, 0, fmt.Errorf("core: %s does not use static huge pages", t.prof.Name)
+	}
+	if step < 1 {
+		step = 1
+	}
+	quant := func(n int) int { return (n / step) * step }
+	tests := 0
+	mean := func(n int) (float64, error) {
+		cfg := t.baseline.With(knob.SHP, knob.IntSetting(fmt.Sprintf("%d", n), n))
+		if err := t.sku.Validate(cfg); err != nil {
+			return 0, err
+		}
+		t.reboots++
+		out, err := t.compare(cfg)
+		if err != nil {
+			return 0, err
+		}
+		tests++
+		return out.Treatment.Mean(), nil
+	}
+	for hi-lo > 2*step {
+		m1 := quant(lo + (hi-lo)/3)
+		m2 := quant(lo + 2*(hi-lo)/3)
+		if m2 <= m1 {
+			m2 = m1 + step
+		}
+		v1, err := mean(m1)
+		if err != nil {
+			return 0, tests, err
+		}
+		v2, err := mean(m2)
+		if err != nil {
+			return 0, tests, err
+		}
+		if v1 < v2 {
+			lo = m1
+		} else {
+			hi = m2
+		}
+	}
+	best := quant((lo + hi) / 2)
+	return best, tests, nil
+}

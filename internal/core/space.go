@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"softsku/internal/knob"
+	"softsku/internal/platform"
+	"softsku/internal/workload"
+)
+
+// BuildSpace is µSKU's A/B test configurator (§4): it assembles the
+// design space for a microservice/platform pair, disabling knobs that
+// do not apply — SHPs for services that never request them, reboot
+// knobs (core count, SHP changes) for services whose infrastructure
+// cannot tolerate reboots on live traffic, and platform-unsupported
+// features.
+func BuildSpace(sku *platform.SKU, prof *workload.Profile, only []knob.ID) *knob.Space {
+	s := knob.NewSpace()
+
+	// (1) Core frequency: 1.6 GHz to the platform maximum (§5).
+	var coreF []knob.Setting
+	for mhz := sku.MinCoreMHz; mhz <= sku.MaxCoreMHz; mhz += 100 {
+		coreF = append(coreF, knob.IntSetting(fmt.Sprintf("%.1fGHz", float64(mhz)/1000), mhz))
+	}
+	s.Set(knob.CoreFreq, coreF...)
+
+	// (2) Uncore frequency: 1.4–1.8 GHz (§5).
+	var uncoreF []knob.Setting
+	for mhz := sku.MinUncoreMHz; mhz <= sku.MaxUncoreMHz; mhz += 100 {
+		uncoreF = append(uncoreF, knob.IntSetting(fmt.Sprintf("%.1fGHz", float64(mhz)/1000), mhz))
+	}
+	s.Set(knob.UncoreFreq, uncoreF...)
+
+	// (3) Core count: 2 to the platform maximum (§5); requires reboots.
+	var cores []knob.Setting
+	for n := 2; n < sku.Cores(); n += 2 {
+		cores = append(cores, knob.IntSetting(fmt.Sprintf("%d cores", n), n))
+	}
+	cores = append(cores, knob.IntSetting(fmt.Sprintf("%d cores", sku.Cores()), sku.Cores()))
+	s.Set(knob.CoreCount, cores...)
+
+	// (4) CDP: one dedicated way for data and the rest for code,
+	// through one way for code and the rest for data (§5), plus off.
+	if sku.SupportsRDT {
+		cdp := []knob.Setting{knob.CDPSetting(knob.CDPConfig{})}
+		for code := 1; code < sku.LLCWays; code++ {
+			cdp = append(cdp, knob.CDPSetting(knob.CDPConfig{
+				DataWays: sku.LLCWays - code,
+				CodeWays: code,
+			}))
+		}
+		s.Set(knob.CDP, cdp...)
+	}
+
+	// (5) Prefetchers: the five studied configurations (§5).
+	var pf []knob.Setting
+	for _, m := range knob.StudiedPrefetchConfigs() {
+		pf = append(pf, knob.PrefetchSetting(m))
+	}
+	s.Set(knob.Prefetch, pf...)
+
+	// (6) THP: madvise / always / never (§5).
+	s.Set(knob.THP,
+		knob.THPSetting(knob.THPMadvise),
+		knob.THPSetting(knob.THPAlways),
+		knob.THPSetting(knob.THPNever))
+
+	// (7) SHP: 0..600 in 100-page steps (§5) — only for services that
+	// use the static huge page APIs (µSKU disables it for Ads1, §4).
+	if prof.SHPDemandChunks() > 0 {
+		var shp []knob.Setting
+		for n := 0; n <= 600; n += 100 {
+			if n*2 > sku.HugePagePoolMiB {
+				break
+			}
+			shp = append(shp, knob.IntSetting(fmt.Sprintf("%d SHPs", n), n))
+		}
+		s.Set(knob.SHP, shp...)
+	}
+
+	// Reboot-intolerant services cannot A/B-test boot-time knobs on
+	// live traffic (§4, §6.1(3)).
+	if !prof.RebootTolerant {
+		s.Remove(knob.CoreCount)
+		s.Remove(knob.SHP)
+	}
+
+	// Optional restriction to user-selected knobs.
+	if len(only) > 0 {
+		keep := map[knob.ID]bool{}
+		for _, id := range only {
+			keep[id] = true
+		}
+		for _, id := range knob.All() {
+			if !keep[id] {
+				s.Remove(id)
+			}
+		}
+	}
+	return s
+}

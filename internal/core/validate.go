@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"softsku/internal/emon"
+	"softsku/internal/knob"
+	"softsku/internal/ods"
+	"softsku/internal/platform"
+	"softsku/internal/sim"
+	"softsku/internal/stats"
+)
+
+// PushReport is one code push's soft-SKU-vs-production comparison
+// during deployment validation.
+type PushReport struct {
+	Push     int
+	SoftQPS  float64
+	ProdQPS  float64
+	DeltaPct float64
+}
+
+// Validation is the §4 soft-SKU generator's deployment check: after
+// applying the chosen configuration to live servers, µSKU monitors
+// fleet-wide QPS via ODS for prolonged durations — across code pushes
+// and under diurnal load — to confirm the soft SKU's advantage is
+// stable.
+type Validation struct {
+	Pushes          []PushReport
+	MeanDeltaPct    float64
+	StableAdvantage bool // every push showed an improvement
+	Store           *ods.Store
+}
+
+// Validate deploys the soft SKU next to production servers and
+// compares ODS-collected QPS across `pushes` simulated code pushes
+// (each push re-seeds the workload: code layout and data placement
+// shift, §4 "code evolves rapidly... repeat experiments across
+// updates"). samplesPerPush QPS samples are spread across a full
+// diurnal period per push.
+func (t *Tool) Validate(softSKU knob.Config, pushes, samplesPerPush int) (*Validation, error) {
+	if pushes < 1 {
+		pushes = 1
+	}
+	if samplesPerPush < 10 {
+		samplesPerPush = 10
+	}
+	v := &Validation{Store: ods.NewStore(), StableAdvantage: true}
+	var deltas []float64
+	for p := 0; p < pushes; p++ {
+		seed := t.in.Seed + uint64(p+1)*7777777
+		build := func(cfg knob.Config, tag uint64) (*emon.Sampler, error) {
+			srv, err := platform.NewServer(t.sku, cfg)
+			if err != nil {
+				return nil, err
+			}
+			m, err := sim.NewMachine(srv, t.prof, seed)
+			if err != nil {
+				return nil, err
+			}
+			return emon.NewSampler(m, t.load, seed^tag), nil
+		}
+		soft, err := build(softSKU, 1)
+		if err != nil {
+			return nil, err
+		}
+		prod, err := build(t.baseline, 2)
+		if err != nil {
+			return nil, err
+		}
+		var softS, prodS stats.Sample
+		start := t.vclock
+		period := 86400.0 // one diurnal cycle per push
+		for i := 0; i < samplesPerPush; i++ {
+			at := start + float64(i)/float64(samplesPerPush)*period
+			sq := soft.QPS(at)
+			pq := prod.QPS(at)
+			softS.Add(sq)
+			prodS.Add(pq)
+			if err := v.Store.Append(fmt.Sprintf("push%d/softsku.qps", p), at, sq); err != nil {
+				return nil, err
+			}
+			if err := v.Store.Append(fmt.Sprintf("push%d/production.qps", p), at, pq); err != nil {
+				return nil, err
+			}
+		}
+		t.vclock = start + period
+		delta := (softS.Mean()/prodS.Mean() - 1) * 100
+		deltas = append(deltas, delta)
+		v.Pushes = append(v.Pushes, PushReport{
+			Push: p, SoftQPS: softS.Mean(), ProdQPS: prodS.Mean(), DeltaPct: delta,
+		})
+		if delta <= 0 {
+			v.StableAdvantage = false
+		}
+		t.logf("push %d: soft SKU QPS %+.2f%% vs production", p, delta)
+	}
+	v.MeanDeltaPct = stats.Mean(deltas)
+	return v, nil
+}

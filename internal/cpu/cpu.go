@@ -1,0 +1,207 @@
+// Package cpu implements the cycle-accounting core model that turns
+// measured memory-hierarchy event counts into cycles, IPC, and the
+// Top-down Microarchitecture Analysis (TMAM) slot breakdown the paper
+// uses in §2.4.1 (Fig 7).
+//
+// The model mirrors how TMAM attributes lost pipeline slots:
+// front-end stalls from instruction fetch misses (barely hidden by the
+// decoupled front end), bad speculation from branch-misprediction
+// recovery, back-end stalls from data misses (substantially overlapped
+// by out-of-order execution and memory-level parallelism) and
+// dependency chains, and retiring for useful work.
+package cpu
+
+import "fmt"
+
+// Counts are the per-window event totals the simulator measures by
+// driving workload streams through the cache/TLB models.
+type Counts struct {
+	Instructions uint64
+
+	Branches    uint64
+	Mispredicts uint64
+
+	// Code fetch accesses satisfied at each level beyond L1.
+	CodeL2, CodeLLC, CodeMem uint64
+	// Data load accesses satisfied at each level beyond L1.
+	DataL2, DataLLC, DataMem uint64
+	// Data store accesses satisfied at each level beyond L1. Store
+	// misses drain through the store buffer and overlap almost fully.
+	StoreL2, StoreLLC, StoreMem uint64
+
+	// Page-walk cycles charged by the TLB model.
+	ITLBWalkCycles uint64
+	DTLBWalkCycles uint64
+
+	// Direct context-switch cost in cycles (register/state save,
+	// scheduler path), charged by the scheduler model.
+	CtxSwitchCycles uint64
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(o Counts) {
+	c.Instructions += o.Instructions
+	c.Branches += o.Branches
+	c.Mispredicts += o.Mispredicts
+	c.CodeL2 += o.CodeL2
+	c.CodeLLC += o.CodeLLC
+	c.CodeMem += o.CodeMem
+	c.DataL2 += o.DataL2
+	c.DataLLC += o.DataLLC
+	c.DataMem += o.DataMem
+	c.StoreL2 += o.StoreL2
+	c.StoreLLC += o.StoreLLC
+	c.StoreMem += o.StoreMem
+	c.ITLBWalkCycles += o.ITLBWalkCycles
+	c.DTLBWalkCycles += o.DTLBWalkCycles
+	c.CtxSwitchCycles += o.CtxSwitchCycles
+}
+
+// Params parameterize the pipeline and the (configuration-dependent)
+// latencies of the hierarchy levels, all in core cycles.
+type Params struct {
+	Width         int     // pipeline slots per cycle
+	L2LatCycles   float64 // L1-miss L2-hit penalty
+	LLCLatCycles  float64 // L2-miss LLC-hit penalty (uncore-scaled)
+	MemLatCycles  float64 // LLC-miss memory penalty (load- and uncore-dependent)
+	MispredictPen float64 // recovery cycles per mispredicted branch
+	DepStallCPI   float64 // workload-inherent dependency stalls per instruction
+	BEOverlap     float64 // exposed fraction of data-miss latency (0 = default)
+	SMT           bool    // simultaneous multithreading active (2 threads/core)
+}
+
+// Attribution constants. Short fetch misses are substantially hidden
+// by the decoupled front end (fetch/decode queues); the deeper the
+// miss, the more of its latency reaches the pipeline. Data-miss
+// latency is overlapped by out-of-order execution and MLP.
+const (
+	feExposeL2  = 0.20 // exposed fraction of an L2-hit code miss
+	feExposeLLC = 0.25 // exposed fraction of an LLC-hit code miss
+	feExposeMem = 0.95 // exposed fraction of a memory code miss
+	// DefaultBEOverlap is the exposed fraction of data-miss latency
+	// when Params.BEOverlap is zero; workloads with deep memory-level
+	// parallelism (vector crunching) override it downward.
+	DefaultBEOverlap = 0.22
+	itlbExpose       = 0.30 // exposed fraction of instruction page-walk cycles
+	dtlbExpose       = 0.12 // exposed fraction of data page-walk cycles
+	storeOverlap     = 0.05 // exposed fraction of store-miss latency
+	baseDisp         = 0.90 // dispatch efficiency on unstalled cycles
+	smtHideGain      = 0.40 // fraction of a thread's stall cycles the sibling fills
+	smtMaxBoost      = 1.35 // cap on SMT core-throughput gain
+)
+
+// TopDown is the Fig 7 pipeline-slot breakdown; fractions sum to 1.
+type TopDown struct {
+	Retiring float64
+	FrontEnd float64
+	BadSpec  float64
+	BackEnd  float64
+}
+
+// String renders the breakdown as percentages.
+func (t TopDown) String() string {
+	return fmt.Sprintf("retiring=%.0f%% frontend=%.0f%% badspec=%.0f%% backend=%.0f%%",
+		t.Retiring*100, t.FrontEnd*100, t.BadSpec*100, t.BackEnd*100)
+}
+
+// Result is the core model's output for one measurement window.
+type Result struct {
+	Cycles   float64 // total core cycles for Counts.Instructions
+	IPC      float64 // per-thread instructions per cycle
+	SMTBoost float64 // core throughput multiplier from SMT (1 if off)
+	TopDown  TopDown
+
+	// Stall components in cycles, for diagnostics and tests.
+	BaseCycles     float64
+	FrontEndCycles float64
+	BadSpecCycles  float64
+	BackEndCycles  float64
+}
+
+// CoreIPS returns one core's instruction throughput at the given
+// frequency, including the SMT boost.
+func (r Result) CoreIPS(freqMHz int) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.IPC * r.SMTBoost * float64(freqMHz) * 1e6
+}
+
+// Analyze converts event counts into cycles and the TMAM breakdown.
+func Analyze(c Counts, p Params) Result {
+	if p.Width <= 0 {
+		p.Width = 4
+	}
+	instr := float64(c.Instructions)
+	if instr == 0 {
+		return Result{SMTBoost: 1}
+	}
+
+	base := instr / (float64(p.Width) * baseDisp)
+
+	frontend := feExposeL2*float64(c.CodeL2)*p.L2LatCycles +
+		feExposeLLC*float64(c.CodeLLC)*p.LLCLatCycles +
+		feExposeMem*float64(c.CodeMem)*p.MemLatCycles +
+		itlbExpose*float64(c.ITLBWalkCycles)
+
+	badspec := float64(c.Mispredicts) * p.MispredictPen
+
+	beOverlap := p.BEOverlap
+	if beOverlap == 0 {
+		beOverlap = DefaultBEOverlap
+	}
+	backend := beOverlap*(float64(c.DataL2)*p.L2LatCycles+
+		float64(c.DataLLC)*p.LLCLatCycles+
+		float64(c.DataMem)*p.MemLatCycles) +
+		storeOverlap*(float64(c.StoreL2)*p.L2LatCycles+
+			float64(c.StoreLLC)*p.LLCLatCycles+
+			float64(c.StoreMem)*p.MemLatCycles) +
+		dtlbExpose*float64(c.DTLBWalkCycles) +
+		p.DepStallCPI*instr
+
+	// Context-switch direct cost executes kernel code: charge it as
+	// front-end-heavy OS time (register save/restore plus scheduler
+	// path is fetch-bound on cold code).
+	frontend += float64(c.CtxSwitchCycles)
+
+	cycles := base + frontend + badspec + backend
+	ipc := instr / cycles
+
+	boost := 1.0
+	if p.SMT {
+		stallFrac := (frontend + badspec + backend) / cycles
+		boost = 1 + smtHideGain*stallFrac*2 // sibling fills some stall slots
+		if boost > smtMaxBoost {
+			boost = smtMaxBoost
+		}
+	}
+
+	slots := cycles * float64(p.Width)
+	retiring := instr / slots
+	lost := 1 - retiring
+	stall := frontend + badspec + backend
+	td := TopDown{Retiring: retiring}
+	if stall > 0 {
+		// Distribute non-retiring slots across stall causes, folding
+		// the dispatch-inefficiency share of base cycles into the
+		// back end (it is resource-bound in TMAM terms).
+		slack := base - instr/float64(p.Width)
+		total := stall + slack
+		td.FrontEnd = lost * frontend / total
+		td.BadSpec = lost * badspec / total
+		td.BackEnd = lost * (backend + slack) / total
+	} else {
+		td.BackEnd = lost
+	}
+
+	return Result{
+		Cycles:         cycles,
+		IPC:            ipc,
+		SMTBoost:       boost,
+		TopDown:        td,
+		BaseCycles:     base,
+		FrontEndCycles: frontend,
+		BadSpecCycles:  badspec,
+		BackEndCycles:  backend,
+	}
+}

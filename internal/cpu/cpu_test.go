@@ -1,0 +1,208 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseParams() Params {
+	return Params{
+		Width:         4,
+		L2LatCycles:   11,
+		LLCLatCycles:  40,
+		MemLatCycles:  200,
+		MispredictPen: 15,
+	}
+}
+
+func TestIdealIPC(t *testing.T) {
+	// No stalls at all: IPC approaches width x dispatch efficiency.
+	r := Analyze(Counts{Instructions: 1e6}, baseParams())
+	if r.IPC < 3.5 || r.IPC > 4.0 {
+		t.Fatalf("stall-free IPC = %g", r.IPC)
+	}
+	if r.TopDown.Retiring < 0.85 {
+		t.Fatalf("stall-free retiring = %g", r.TopDown.Retiring)
+	}
+}
+
+func TestZeroInstructions(t *testing.T) {
+	r := Analyze(Counts{}, baseParams())
+	if r.IPC != 0 || r.Cycles != 0 || r.SMTBoost != 1 {
+		t.Fatalf("zero-window result %+v", r)
+	}
+	if r.CoreIPS(2200) != 0 {
+		t.Fatal("CoreIPS must be 0 with no work")
+	}
+}
+
+func TestCodeMissesStallFrontEnd(t *testing.T) {
+	c := Counts{Instructions: 1e6, CodeMem: 2000} // 2 LLC code MPKI
+	r := Analyze(c, baseParams())
+	if r.TopDown.FrontEnd < 0.2 {
+		t.Fatalf("heavy code misses should show front-end stalls, got %+v", r.TopDown)
+	}
+	if r.IPC >= 3 {
+		t.Fatalf("IPC %g should drop well below ideal", r.IPC)
+	}
+}
+
+func TestDataMissesStallBackEnd(t *testing.T) {
+	c := Counts{Instructions: 1e6, DataMem: 5000}
+	r := Analyze(c, baseParams())
+	if r.TopDown.BackEnd < 0.2 {
+		t.Fatalf("heavy data misses should show back-end stalls, got %+v", r.TopDown)
+	}
+	if r.TopDown.FrontEnd > 0.05 {
+		t.Fatalf("no code misses but front-end = %g", r.TopDown.FrontEnd)
+	}
+}
+
+func TestCodeMissesCostMoreThanDataMisses(t *testing.T) {
+	// §6.1(4): "the latency of code misses is not hidden and they incur
+	// a greater penalty" — the CDP win's mechanism.
+	code := Analyze(Counts{Instructions: 1e6, CodeMem: 1000}, baseParams())
+	data := Analyze(Counts{Instructions: 1e6, DataMem: 1000}, baseParams())
+	if code.Cycles <= data.Cycles {
+		t.Fatalf("equal-count code misses must cost more: code=%g data=%g",
+			code.Cycles, data.Cycles)
+	}
+	ratio := (code.Cycles - 1e6/4/0.9) / (data.Cycles - 1e6/4/0.9)
+	if ratio < 2 {
+		t.Fatalf("code/data miss penalty ratio %g, want >= 2", ratio)
+	}
+}
+
+func TestBranchMispredicts(t *testing.T) {
+	c := Counts{Instructions: 1e6, Branches: 2e5, Mispredicts: 10000}
+	r := Analyze(c, baseParams())
+	if r.TopDown.BadSpec < 0.05 {
+		t.Fatalf("bad speculation too low: %+v", r.TopDown)
+	}
+	if r.BadSpecCycles != 150000 {
+		t.Fatalf("badspec cycles = %g", r.BadSpecCycles)
+	}
+}
+
+func TestTopDownSumsToOne(t *testing.T) {
+	f := func(codeMem, dataMem, misp uint16) bool {
+		c := Counts{
+			Instructions: 1e6,
+			CodeMem:      uint64(codeMem),
+			DataMem:      uint64(dataMem),
+			Mispredicts:  uint64(misp),
+			CodeL2:       uint64(codeMem) * 3,
+			DataL2:       uint64(dataMem) * 3,
+		}
+		td := Analyze(c, baseParams()).TopDown
+		sum := td.Retiring + td.FrontEnd + td.BadSpec + td.BackEnd
+		return math.Abs(sum-1) < 1e-9 &&
+			td.Retiring >= 0 && td.FrontEnd >= 0 && td.BadSpec >= 0 && td.BackEnd >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemLatencySensitivity(t *testing.T) {
+	// Raising memory latency (queueing, slower uncore) must lower IPC.
+	c := Counts{Instructions: 1e6, DataMem: 5000, CodeMem: 500}
+	fast := baseParams()
+	slow := baseParams()
+	slow.MemLatCycles = 400
+	if Analyze(c, slow).IPC >= Analyze(c, fast).IPC {
+		t.Fatal("higher memory latency must lower IPC")
+	}
+}
+
+func TestFrequencyDiminishingReturns(t *testing.T) {
+	// At higher core frequency, memory latency costs more cycles: the
+	// speedup from 1.6->2.2 GHz is sublinear for memory-bound work
+	// (the Fig 14a shape).
+	c := Counts{Instructions: 1e6, DataMem: 8000, DataLLC: 8000}
+	ips := func(mhz int) float64 {
+		p := baseParams()
+		// Memory latency is constant in ns; convert at each frequency.
+		const memNS = 100.0
+		p.MemLatCycles = memNS * float64(mhz) / 1000
+		p.LLCLatCycles = 18 * float64(mhz) / 1000
+		return Analyze(c, p).CoreIPS(mhz)
+	}
+	low, high := ips(1600), ips(2200)
+	speedup := high / low
+	if speedup <= 1.0 {
+		t.Fatalf("higher frequency must still help: %g", speedup)
+	}
+	if speedup >= 2200.0/1600.0 {
+		t.Fatalf("memory-bound speedup %g must be sublinear in frequency", speedup)
+	}
+	// A purely compute-bound workload scales ~linearly.
+	compute := Counts{Instructions: 1e6}
+	cLow := Analyze(compute, baseParams()).CoreIPS(1600)
+	cHigh := Analyze(compute, baseParams()).CoreIPS(2200)
+	if s := cHigh / cLow; math.Abs(s-2200.0/1600.0) > 1e-9 {
+		t.Fatalf("compute-bound frequency scaling = %g", s)
+	}
+}
+
+func TestSMTBoost(t *testing.T) {
+	c := Counts{Instructions: 1e6, DataMem: 8000}
+	p := baseParams()
+	off := Analyze(c, p)
+	p.SMT = true
+	on := Analyze(c, p)
+	if on.SMTBoost <= 1 || on.SMTBoost > smtMaxBoost {
+		t.Fatalf("SMT boost = %g", on.SMTBoost)
+	}
+	if off.SMTBoost != 1 {
+		t.Fatalf("SMT-off boost = %g", off.SMTBoost)
+	}
+	// Stall-heavy workloads gain more from SMT than lean ones.
+	lean := Analyze(Counts{Instructions: 1e6}, p)
+	if lean.SMTBoost >= on.SMTBoost {
+		t.Fatalf("stally workload should gain more: lean=%g stally=%g",
+			lean.SMTBoost, on.SMTBoost)
+	}
+}
+
+func TestTLBWalkCycles(t *testing.T) {
+	c := Counts{Instructions: 1e6, ITLBWalkCycles: 50000, DTLBWalkCycles: 50000}
+	r := Analyze(c, baseParams())
+	base := Analyze(Counts{Instructions: 1e6}, baseParams())
+	if r.Cycles <= base.Cycles {
+		t.Fatal("TLB walks must add cycles")
+	}
+	// Walk latency is mostly overlapped; only a fraction is exposed.
+	if got := r.FrontEndCycles - base.FrontEndCycles; got != 50000*itlbExpose {
+		t.Fatalf("ITLB walk attribution: %g", got)
+	}
+	if got := r.BackEndCycles - base.BackEndCycles; got != 50000*dtlbExpose {
+		t.Fatalf("DTLB walk attribution: %g", got)
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{Instructions: 10, CodeL2: 1, DataMem: 2, Mispredicts: 3}
+	a.Add(Counts{Instructions: 5, CodeL2: 2, DataMem: 1, ITLBWalkCycles: 7})
+	if a.Instructions != 15 || a.CodeL2 != 3 || a.DataMem != 3 || a.ITLBWalkCycles != 7 || a.Mispredicts != 3 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestDepStallLowersIPC(t *testing.T) {
+	p := baseParams()
+	p.DepStallCPI = 0.3
+	withDep := Analyze(Counts{Instructions: 1e6}, p)
+	without := Analyze(Counts{Instructions: 1e6}, baseParams())
+	if withDep.IPC >= without.IPC {
+		t.Fatal("dependency stalls must lower IPC")
+	}
+}
+
+func TestDefaultWidth(t *testing.T) {
+	r := Analyze(Counts{Instructions: 1000}, Params{})
+	if r.IPC <= 0 {
+		t.Fatal("zero-value params must still work (default width)")
+	}
+}

@@ -1,0 +1,132 @@
+package emon
+
+import (
+	"math"
+	"testing"
+
+	"softsku/internal/loadgen"
+	"softsku/internal/platform"
+	"softsku/internal/sim"
+	"softsku/internal/stats"
+	"softsku/internal/workload"
+)
+
+func newMachine(t *testing.T, svc string) *sim.Machine {
+	t.Helper()
+	prof, err := workload.ByName(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sku, err := platform.ByName(prof.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := platform.NewServer(sku, sim.ProductionConfig(sku, prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(srv, prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMIPSSampleMean(t *testing.T) {
+	m := newMachine(t, "Feed2")
+	want := m.SolvePeak().MIPS
+	s := NewSampler(m, loadgen.Flat(), 1)
+	var sm stats.Sample
+	for i := 0; i < 500; i++ {
+		sm.Add(s.MIPS(float64(i)))
+	}
+	if math.Abs(sm.Mean()-want)/want > 0.01 {
+		t.Fatalf("sample mean %.0f vs operating %.0f", sm.Mean(), want)
+	}
+	if sm.StdDev() == 0 {
+		t.Fatal("samples must carry measurement noise")
+	}
+	if rel := sm.StdDev() / sm.Mean(); rel < 0.005 || rel > 0.05 {
+		t.Fatalf("relative noise %.3f out of expected range", rel)
+	}
+}
+
+func TestSharedLoadCorrelation(t *testing.T) {
+	m := newMachine(t, "Feed2")
+	shared := loadgen.NewDiurnal(5)
+	shared.Period = 600 // compressed day
+	a := NewSampler(m, shared, 1)
+	b := NewSampler(m, shared, 2)
+	// Same load profile object: both arms see the same swing, so the
+	// ratio stays near 1 even as absolute values swing.
+	var ratio stats.Sample
+	var spread stats.Sample
+	for i := 0; i < 300; i++ {
+		t0 := float64(i)
+		va, vb := a.MIPS(t0), b.MIPS(t0)
+		ratio.Add(va / vb)
+		spread.Add(va)
+	}
+	if ratio.StdDev() > 0.05 {
+		t.Fatalf("paired samplers should track each other: ratio sd %.3f", ratio.StdDev())
+	}
+	if spread.StdDev()/spread.Mean() < 0.03 {
+		t.Fatalf("diurnal swing missing: rel sd %.3f", spread.StdDev()/spread.Mean())
+	}
+}
+
+func TestIntrospectiveMIPSInflation(t *testing.T) {
+	// §4: Cache executes exception handlers under QoS violations,
+	// inflating MIPS while real throughput (QPS) drops.
+	m := newMachine(t, "Cache1")
+	over := loadgen.Flat()
+	s := NewSampler(m, over, 1)
+	baseMIPS := s.MIPS(0)
+	baseQPS := s.QPS(0)
+
+	s2 := NewSampler(m, fixedLoad(1.15), 1)
+	hotMIPS := s2.MIPS(0)
+	hotQPS := s2.QPS(0)
+	if hotMIPS <= baseMIPS*1.02 {
+		t.Fatalf("overloaded Cache MIPS should inflate: %.0f vs %.0f", hotMIPS, baseMIPS)
+	}
+	if hotQPS >= baseQPS {
+		t.Fatalf("overloaded Cache QPS should drop: %.0f vs %.0f", hotQPS, baseQPS)
+	}
+}
+
+// fixedLoad pins the load factor, for overload tests.
+type fixedLoad float64
+
+func (f fixedLoad) Factor(float64) float64 { return float64(f) }
+
+func TestNonIntrospectiveMIPSUnderOverload(t *testing.T) {
+	// Non-introspective services saturate at util 1.0 without the
+	// exception-handler inflation.
+	m := newMachine(t, "Feed2")
+	base := NewSampler(m, loadgen.Flat(), 1)
+	hot := NewSampler(m, fixedLoad(1.15), 1)
+	var b, h stats.Sample
+	for i := 0; i < 200; i++ {
+		b.Add(base.MIPS(float64(i)))
+		h.Add(hot.MIPS(float64(i)))
+	}
+	// Overload raises util toward 1.0, so MIPS rises at most ~1/0.72.
+	if h.Mean() > b.Mean()*1.5 {
+		t.Fatalf("non-introspective MIPS inflated too much: %.0f vs %.0f", h.Mean(), b.Mean())
+	}
+}
+
+func TestReadCounters(t *testing.T) {
+	m := newMachine(t, "Web")
+	c := NewSampler(m, loadgen.Flat(), 1).ReadCounters(0)
+	if c.IPC <= 0 || c.MIPS <= 0 || c.MemBWGBs <= 0 || c.MemLatencyNS <= 0 {
+		t.Fatalf("degenerate counters: %+v", c)
+	}
+	if c.L1CodeMPKI < c.LLCCodeMPKI {
+		t.Fatal("L1 code MPKI must exceed LLC code MPKI")
+	}
+	if c.L1DataMPKI < c.LLCDataMPKI {
+		t.Fatal("L1 data MPKI must exceed LLC data MPKI")
+	}
+}

@@ -1,0 +1,362 @@
+package figures
+
+import (
+	"fmt"
+
+	"softsku/internal/cache"
+	"softsku/internal/mem"
+	"softsku/internal/platform"
+	"softsku/internal/workload"
+)
+
+// Table1SKUs reproduces Table 1: the key attributes of the three
+// hardware platforms.
+func Table1SKUs() Table {
+	t := Table{
+		ID:     "Table 1",
+		Title:  "Skylake18, Skylake20, Broadwell16 key attributes",
+		Header: []string{"attribute", "Skylake18", "Skylake20", "Broadwell16"},
+	}
+	skus := platform.FleetSKUs()
+	row := func(name string, get func(*platform.SKU) string) {
+		r := []string{name}
+		for _, s := range skus {
+			r = append(r, get(s))
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	row("Microarchitecture", func(s *platform.SKU) string { return s.Microarch })
+	row("Number of sockets", func(s *platform.SKU) string { return fmt.Sprintf("%d", s.Sockets) })
+	row("Cores/socket", func(s *platform.SKU) string { return fmt.Sprintf("%d", s.CoresPerSocket) })
+	row("SMT", func(s *platform.SKU) string { return fmt.Sprintf("%d", s.SMT) })
+	row("Cache block size", func(s *platform.SKU) string { return fmt.Sprintf("%d B", s.CacheBlock) })
+	row("L1-I$ (per core)", func(s *platform.SKU) string { return fmt.Sprintf("%d KiB", s.L1I>>10) })
+	row("L1-D$ (per core)", func(s *platform.SKU) string { return fmt.Sprintf("%d KiB", s.L1D>>10) })
+	row("Private L2$ (per core)", func(s *platform.SKU) string { return fmt.Sprintf("%d KiB", s.L2>>10) })
+	row("Shared LLC (per socket)", func(s *platform.SKU) string { return fmt.Sprintf("%.2f MiB", float64(s.LLC)/(1<<20)) })
+	row("LLC ways", func(s *platform.SKU) string { return fmt.Sprintf("%d", s.LLCWays) })
+	return t
+}
+
+// Table2Throughput reproduces Table 2: per-service throughput, request
+// latency, and path length scales, next to the paper's orders.
+func Table2Throughput(c *Context) Table {
+	t := Table{
+		ID:     "Table 2",
+		Title:  "Avg. request throughput, request latency, and path length",
+		Header: []string{"µservice", "QPS", "paper", "latency", "paper", "insn/query", "paper"},
+		Notes: []string{
+			"measured at the QoS-limited peak of one server",
+			"Web/Ads1 latency and Cache path length sit above the paper's order; see EXPERIMENTS.md",
+		},
+	}
+	paper := map[string][3]string{
+		"Web":    {"O(1e2)", "O(ms)", "O(1e6)"},
+		"Feed1":  {"O(1e3)", "O(ms)", "O(1e9)"},
+		"Feed2":  {"O(1e1)", "O(s)", "O(1e9)"},
+		"Ads1":   {"O(1e1)", "O(ms)", "O(1e9)"},
+		"Ads2":   {"O(1e2)", "O(ms)", "O(1e9)"},
+		"Cache1": {"O(1e5)", "O(µs)", "O(1e3)"},
+		"Cache2": {"O(1e5)", "O(µs)", "O(1e3)"},
+	}
+	for _, svc := range serviceOrder {
+		peak := c.Peak(svc)
+		prof := c.Machine(svc).Profile()
+		lat := peak.Result.Latency.Mean()
+		latStr := fmt.Sprintf("%.2g s", lat)
+		switch {
+		case lat < 1e-3:
+			latStr = fmt.Sprintf("%.0f µs", lat*1e6)
+		case lat < 1:
+			latStr = fmt.Sprintf("%.0f ms", lat*1e3)
+		}
+		p := paper[svc]
+		t.Rows = append(t.Rows, []string{
+			svc, order10(peak.Result.QPS), p[0], latStr, p[1],
+			order10(prof.PathLength), p[2],
+		})
+	}
+	return t
+}
+
+// Fig1Diversity reproduces Fig 1: the spread (max/min ratio) of
+// system-level and architectural traits across the seven services.
+func Fig1Diversity(c *Context) Table {
+	t := Table{
+		ID:     "Fig 1",
+		Title:  "Variation in system-level and architectural traits across µservices",
+		Header: []string{"metric", "min", "max", "spread(x)"},
+	}
+	metrics := []struct {
+		name string
+		get  func(svc string) float64
+	}{
+		{"Throughput (QPS)", func(s string) float64 { return c.Peak(s).Result.QPS }},
+		{"Req. latency (s)", func(s string) float64 { return c.Peak(s).Result.Latency.Mean() }},
+		{"CPU util.", func(s string) float64 { return c.Peak(s).Result.Util }},
+		{"Context switches (/s/core)", func(s string) float64 { return c.Peak(s).Result.CtxSwitchRate }},
+		{"IPC", func(s string) float64 { return c.Operating(s).IPC }},
+		{"LLC code MPKI", func(s string) float64 {
+			m, _ := c.Operating(s).Rates.CacheMPKI(cache.LLC)
+			if m < 0.01 {
+				m = 0.01
+			}
+			return m
+		}},
+		{"ITLB MPKI", func(s string) float64 {
+			m, _, _ := c.Operating(s).Rates.TLBMPKI()
+			if m < 0.01 {
+				m = 0.01
+			}
+			return m
+		}},
+		{"Mem. bandwidth util.", func(s string) float64 { return c.Operating(s).MemBWGBs }},
+	}
+	for _, m := range metrics {
+		lo, hi := 0.0, 0.0
+		for i, svc := range serviceOrder {
+			v := m.get(svc)
+			if i == 0 || v < lo {
+				lo = v
+			}
+			if i == 0 || v > hi {
+				hi = v
+			}
+		}
+		t.Rows = append(t.Rows, []string{m.name, fmt.Sprintf("%.3g", lo), fmt.Sprintf("%.3g", hi), f1(hi / lo)})
+	}
+	return t
+}
+
+// Fig2Breakdown reproduces Fig 2: per-request latency breakdown, and
+// Web's blocked-time split into queue/scheduler/IO components.
+func Fig2Breakdown(c *Context) Table {
+	t := Table{
+		ID:     "Fig 2",
+		Title:  "Request latency breakdown (running vs blocked; Web's blocked split)",
+		Header: []string{"µservice", "running", "queue", "sched", "io", "paper run/blocked"},
+		Notes:  []string{"Cache1/Cache2 omitted: concurrent execution paths (§2.3.2)"},
+	}
+	paper := map[string]string{
+		"Web": "28/72", "Feed1": "95/5", "Feed2": "62/38", "Ads1": "62/38", "Ads2": "90/10",
+	}
+	for _, svc := range []string{"Web", "Feed1", "Feed2", "Ads1", "Ads2"} {
+		r := c.Peak(svc).Result
+		t.Rows = append(t.Rows, []string{
+			svc, pct(r.RunFrac), pct(r.QueueFrac), pct(r.SchedFrac), pct(r.IOFrac), paper[svc],
+		})
+	}
+	return t
+}
+
+// Fig3CPUUtil reproduces Fig 3: maximum achievable CPU utilization in
+// user and kernel mode under QoS constraints.
+func Fig3CPUUtil(c *Context) Table {
+	t := Table{
+		ID:     "Fig 3",
+		Title:  "Max. achievable CPU utilization (user / kernel+IO)",
+		Header: []string{"µservice", "util", "user", "kernel+io"},
+		Notes:  []string{"load balancers modulate load to hold QoS (§2.3.3)"},
+	}
+	for _, svc := range serviceOrder {
+		r := c.Peak(svc).Result
+		t.Rows = append(t.Rows, []string{svc, pct(r.Util), pct(r.UserUtil), pct(r.KernelUtil)})
+	}
+	return t
+}
+
+// Fig4CtxSwitch reproduces Fig 4: the fraction of a CPU-second spent
+// context switching, bracketed by the literature's switch-cost bounds.
+func Fig4CtxSwitch(c *Context) Table {
+	t := Table{
+		ID:     "Fig 4",
+		Title:  "Context switch penalty range (% of a CPU-second)",
+		Header: []string{"µservice", "switches/s/core", "low (1µs)", "high (12µs)"},
+		Notes:  []string{"bounds from prior work's measured switch latencies (§2.3.4)"},
+	}
+	for _, svc := range serviceOrder {
+		rate := c.Peak(svc).Result.CtxSwitchRate
+		t.Rows = append(t.Rows, []string{
+			svc, f0(rate), pct(rate * 1e-6), pct(rate * 12e-6),
+		})
+	}
+	return t
+}
+
+// Fig5Mix reproduces Fig 5: instruction-type breakdown across the
+// microservices and the SPEC CPU2006 comparison rows.
+func Fig5Mix() Table {
+	t := Table{
+		ID:     "Fig 5",
+		Title:  "Instruction type breakdown (%)",
+		Header: []string{"workload", "branch", "fp", "arith", "load", "store"},
+	}
+	for _, svc := range serviceOrder {
+		prof, _ := workload.ByName(svc)
+		m := prof.Mix.Normalize()
+		t.Rows = append(t.Rows, []string{
+			svc, pct(m.Branch), pct(m.FP), pct(m.Arith), pct(m.Load), pct(m.Store),
+		})
+	}
+	for _, s := range workload.SPEC2006() {
+		m := s.Mix.Normalize()
+		t.Rows = append(t.Rows, []string{
+			s.Name, pct(m.Branch), pct(m.FP), pct(m.Arith), pct(m.Load), pct(m.Store),
+		})
+	}
+	return t
+}
+
+// Fig6IPC reproduces Fig 6: per-core IPC across the microservices and
+// the comparison suites.
+func Fig6IPC(c *Context) Table {
+	t := Table{
+		ID:     "Fig 6",
+		Title:  "Per-core IPC",
+		Header: []string{"workload", "IPC", "source"},
+	}
+	for _, svc := range serviceOrder {
+		t.Rows = append(t.Rows, []string{svc, f2(c.Operating(svc).IPC), "measured"})
+	}
+	for _, s := range workload.SPEC2006() {
+		t.Rows = append(t.Rows, []string{s.Name, f2(s.IPC), "SPEC2006 (measured on Skylake20, reproduced)"})
+	}
+	for _, g := range workload.GoogleServices() {
+		t.Rows = append(t.Rows, []string{g.Name, f2(g.IPC), g.Source + " (published, Haswell)"})
+	}
+	return t
+}
+
+// Fig7TopDown reproduces Fig 7: the TMAM pipeline-slot breakdown.
+func Fig7TopDown(c *Context) Table {
+	t := Table{
+		ID:     "Fig 7",
+		Title:  "Top-down pipeline slot breakdown",
+		Header: []string{"µservice", "retiring", "front-end", "bad spec", "back-end"},
+		Notes:  []string{"paper: our µservices retire in only 22–40% of slots; Web/Cache lose ~37% to the front end"},
+	}
+	for _, svc := range serviceOrder {
+		td := c.Operating(svc).TopDown
+		t.Rows = append(t.Rows, []string{
+			svc, pct(td.Retiring), pct(td.FrontEnd), pct(td.BadSpec), pct(td.BackEnd),
+		})
+	}
+	return t
+}
+
+// Fig8L1L2 reproduces Fig 8: L1 and L2 code/data MPKI.
+func Fig8L1L2(c *Context) Table {
+	t := Table{
+		ID:     "Fig 8",
+		Title:  "L1 and L2 code & data MPKI",
+		Header: []string{"workload", "L1 code", "L1 data", "L2 code", "L2 data"},
+	}
+	for _, svc := range serviceOrder {
+		r := c.Operating(svc).Rates
+		l1c, l1d := r.CacheMPKI(cache.L1)
+		l2c, l2d := r.CacheMPKI(cache.L2)
+		t.Rows = append(t.Rows, []string{svc, f1(l1c), f1(l1d), f1(l2c), f1(l2d)})
+	}
+	for _, s := range workload.SPEC2006() {
+		t.Rows = append(t.Rows, []string{
+			s.Name, f1(s.L1CodeMPKI), f1(s.L1DataMPKI), f1(s.L2CodeMPKI), f1(s.L2DataMPKI),
+		})
+	}
+	return t
+}
+
+// Fig9LLC reproduces Fig 9: LLC code/data MPKI.
+func Fig9LLC(c *Context) Table {
+	t := Table{
+		ID:     "Fig 9",
+		Title:  "LLC code & data MPKI",
+		Header: []string{"workload", "LLC code", "LLC data"},
+		Notes:  []string{"paper: Web incurs ~1.7 LLC code MPKI — unusual in steady state"},
+	}
+	for _, svc := range serviceOrder {
+		llcc, llcd := c.Operating(svc).Rates.CacheMPKI(cache.LLC)
+		t.Rows = append(t.Rows, []string{svc, f2(llcc), f2(llcd)})
+	}
+	for _, s := range workload.SPEC2006() {
+		t.Rows = append(t.Rows, []string{s.Name, f2(s.LLCCodeMPKI), f2(s.LLCDataMPKI)})
+	}
+	return t
+}
+
+// Fig10Ways reproduces Fig 10: LLC MPKI as CAT enables 2..max ways.
+func Fig10Ways(seed uint64) Table {
+	t := Table{
+		ID:     "Fig 10",
+		Title:  "LLC code+data MPKI vs enabled LLC ways (CAT)",
+		Header: []string{"µservice", "2w", "4w", "6w", "8w", "10w", "11w"},
+		Notes: []string{
+			"Cache omitted: fails QoS at reduced capacity (§2.4.3)",
+			"paper: a knee at ~8 ways captures the primary working set",
+		},
+	}
+	for _, svc := range []string{"Web", "Feed1", "Feed2", "Ads1", "Ads2"} {
+		prof, _ := workload.ByName(svc)
+		row := []string{svc}
+		for _, ways := range []int{2, 4, 6, 8, 10, 11} {
+			m, err := MachineFor(svc, prof.Platform, seed)
+			if err != nil {
+				panic(err)
+			}
+			if err := m.SetCAT(ways); err != nil {
+				panic(err)
+			}
+			r := m.Characterize()
+			codeM, dataM := r.CacheMPKI(cache.LLC)
+			row = append(row, f1(codeM+dataM))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig11TLB reproduces Fig 11: ITLB and DTLB (load/store) MPKI.
+func Fig11TLB(c *Context) Table {
+	t := Table{
+		ID:     "Fig 11",
+		Title:  "ITLB and DTLB (load & store) MPKI",
+		Header: []string{"workload", "ITLB", "DTLB load", "DTLB store"},
+		Notes:  []string{"paper: Web's JIT code cache drives drastically higher ITLB misses"},
+	}
+	for _, svc := range serviceOrder {
+		itlb, dl, ds := c.Operating(svc).Rates.TLBMPKI()
+		t.Rows = append(t.Rows, []string{svc, f2(itlb), f2(dl), f2(ds)})
+	}
+	for _, s := range workload.SPEC2006() {
+		t.Rows = append(t.Rows, []string{s.Name, f2(s.ITLBMPKI), f2(s.DTLBLoadMPKI), f2(s.DTLBStoreMPKI)})
+	}
+	return t
+}
+
+// Fig12Bandwidth reproduces Fig 12: the loaded-latency stress curves
+// of both Skylake platforms plus each service's operating point.
+func Fig12Bandwidth(c *Context) Table {
+	t := Table{
+		ID:     "Fig 12",
+		Title:  "Memory bandwidth vs latency: stress curves and operating points",
+		Header: []string{"point", "bandwidth GB/s", "latency ns"},
+	}
+	for _, name := range []string{"Skylake18", "Skylake20"} {
+		sku, _ := platform.ByName(name)
+		for _, p := range mem.NewModel(sku).StressCurve(9) {
+			t.Rows = append(t.Rows, []string{
+				name + " stress", f1(p.BandwidthGBs), f0(p.LatencyNS),
+			})
+		}
+	}
+	for _, svc := range serviceOrder {
+		op := c.Operating(svc)
+		prof := c.Machine(svc).Profile()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s (%s)", svc, prof.Platform), f1(op.MemBWGBs), f0(op.MemLatencyNS),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Ads1/Ads2 sit above the curve: bursty traffic (§2.4.5)",
+		"services under-utilize bandwidth to avoid the latency knee")
+	return t
+}

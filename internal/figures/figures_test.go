@@ -1,0 +1,135 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTable1Static(t *testing.T) {
+	tab := Table1SKUs()
+	out := tab.String()
+	for _, want := range []string{"Skylake18", "Skylake20", "Broadwell16", "24.75 MiB", "18", "SMT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5Static(t *testing.T) {
+	tab := Fig5Mix()
+	if len(tab.Rows) != 7+12 {
+		t.Fatalf("Fig 5 rows = %d, want 7 services + 12 SPEC", len(tab.Rows))
+	}
+}
+
+func TestCharacterizationTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization tables are slow")
+	}
+	c := NewContext(7)
+	for _, tab := range []Table{
+		Table2Throughput(c), Fig1Diversity(c), Fig2Breakdown(c), Fig3CPUUtil(c),
+		Fig4CtxSwitch(c), Fig6IPC(c), Fig7TopDown(c), Fig8L1L2(c), Fig9LLC(c),
+		Fig11TLB(c), Fig12Bandwidth(c),
+	} {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", tab.ID)
+		}
+		if got := len(tab.Header); got < 2 {
+			t.Errorf("%s: header too narrow", tab.ID)
+		}
+		for _, r := range tab.Rows {
+			if len(r) != len(tab.Header) {
+				t.Errorf("%s: ragged row %v", tab.ID, r)
+			}
+		}
+	}
+	// Fig 1's diversity spreads must be large on the axes the paper
+	// highlights: throughput and context switches span orders of
+	// magnitude.
+	div := Fig1Diversity(c)
+	if !strings.Contains(div.String(), "Throughput") {
+		t.Fatal("Fig 1 missing throughput row")
+	}
+}
+
+func TestFig10Knee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAT sweep is slow")
+	}
+	tab := Fig10Ways(7)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Fig 10 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestKnobFigureTHP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("A/B sweeps are slow")
+	}
+	tab := Fig18HugePages(7)
+	out := tab.String()
+	if !strings.Contains(out, "always") || !strings.Contains(out, "SHP") {
+		t.Fatalf("Fig 18 incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "<=") {
+		t.Fatalf("Fig 18 should mark chosen settings:\n%s", out)
+	}
+}
+
+func TestMachineFor2RejectsBadConfig(t *testing.T) {
+	probe, err := MachineFor("Web", "Skylake18", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := probe.Server().Config()
+	cfg.CoreFreqMHz = 99999
+	if _, err := MachineFor2("Web", "Skylake18", 1, cfg); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("core scaling sweep is slow")
+	}
+	tab := Fig15CoreCount(7)
+	// Gains must rise with cores and stay at or below ideal.
+	var lastGain float64
+	var lastTarget string
+	for _, r := range tab.Rows {
+		var gain, ideal float64
+		if _, err := fmt.Sscanf(r[2], "%fx", &gain); err != nil {
+			t.Fatalf("bad gain cell %q", r[2])
+		}
+		if _, err := fmt.Sscanf(r[3], "%fx", &ideal); err != nil {
+			t.Fatalf("bad ideal cell %q", r[3])
+		}
+		if r[0] == lastTarget && gain < lastGain {
+			t.Errorf("%s: gain fell from %.2f to %.2f", r[0], lastGain, gain)
+		}
+		if gain > ideal*1.02 {
+			t.Errorf("%s at %s cores: gain %.2f exceeds ideal %.2f", r[0], r[1], gain, ideal)
+		}
+		lastGain, lastTarget = gain, r[0]
+	}
+}
+
+func TestAblationSamplingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical ablation is slow-ish")
+	}
+	tab := AblationSampling(7)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The confidence-driven policy must detect at least as often as
+	// fixed N=50.
+	var adaptive, fixed50 int
+	fmt.Sscanf(tab.Rows[0][1], "%d/", &adaptive)
+	fmt.Sscanf(tab.Rows[1][1], "%d/", &fixed50)
+	if adaptive < fixed50 {
+		t.Fatalf("adaptive %d should beat fixed-50 %d", adaptive, fixed50)
+	}
+}

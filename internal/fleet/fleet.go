@@ -1,0 +1,229 @@
+// Package fleet models the operational side of soft SKUs (§1, §3):
+// pools of identical servers dedicated to microservices, rolling
+// soft-SKU deployments that bound unavailability, redeployment of
+// fungible hardware between services as allocation needs shift, and
+// the aggregate capacity arithmetic that turns single-digit percent
+// speedups into thousands of servers.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"softsku/internal/knob"
+	"softsku/internal/platform"
+	"softsku/internal/sim"
+	"softsku/internal/workload"
+)
+
+// Pool is the set of servers of one SKU dedicated to one microservice,
+// all running the same soft-SKU configuration (the fleet's deployment
+// unit: services run stand-alone on dedicated bare metal, §3).
+type Pool struct {
+	Service *workload.Profile
+	SKU     *platform.SKU
+	servers []*platform.Server
+	cfg     knob.Config
+}
+
+// Size returns the number of servers in the pool.
+func (p *Pool) Size() int { return len(p.servers) }
+
+// Config returns the pool's current soft-SKU configuration.
+func (p *Pool) Config() knob.Config { return p.cfg }
+
+// Reboots sums reboot counts across the pool's servers.
+func (p *Pool) Reboots() int {
+	total := 0
+	for _, s := range p.servers {
+		total += s.Reboots()
+	}
+	return total
+}
+
+// Fleet is a collection of service pools.
+type Fleet struct {
+	pools map[string]*Pool
+}
+
+// New returns an empty fleet.
+func New() *Fleet { return &Fleet{pools: make(map[string]*Pool)} }
+
+// AddPool provisions n servers of the SKU for a service at the given
+// configuration.
+func (f *Fleet) AddPool(svc *workload.Profile, sku *platform.SKU, n int, cfg knob.Config) error {
+	if n < 1 {
+		return fmt.Errorf("fleet: pool for %s needs at least one server", svc.Name)
+	}
+	if _, ok := f.pools[svc.Name]; ok {
+		return fmt.Errorf("fleet: pool for %s already exists", svc.Name)
+	}
+	prof := workload.ForPlatform(svc, sku.Name)
+	pool := &Pool{Service: prof, SKU: sku, cfg: cfg}
+	for i := 0; i < n; i++ {
+		srv, err := platform.NewServer(sku, cfg)
+		if err != nil {
+			return err
+		}
+		pool.servers = append(pool.servers, srv)
+	}
+	f.pools[svc.Name] = pool
+	return nil
+}
+
+// Pool returns a service's pool.
+func (f *Fleet) Pool(service string) (*Pool, error) {
+	p, ok := f.pools[service]
+	if !ok {
+		return nil, fmt.Errorf("fleet: no pool for %s", service)
+	}
+	return p, nil
+}
+
+// Services lists pool names, sorted.
+func (f *Fleet) Services() []string {
+	names := make([]string, 0, len(f.pools))
+	for n := range f.pools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Rollout summarizes one deployment wave plan.
+type Rollout struct {
+	Servers      int // servers reconfigured
+	Rebooted     int // servers that needed a reboot
+	Waves        int // deployment waves (bounded unavailability)
+	MaxUnavail   int
+	WaveRebooted []int
+}
+
+// Rollout applies a soft-SKU configuration to a pool in waves: at most
+// maxUnavailable servers are rebooting at any time, so the service
+// keeps serving (§3: servers are redeployed to different soft SKUs
+// through reconfiguration and/or reboot). MSR-only changes apply
+// in-place in a single pass.
+func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Rollout, error) {
+	pool, err := f.Pool(service)
+	if err != nil {
+		return Rollout{}, err
+	}
+	if maxUnavailable < 1 {
+		maxUnavailable = 1
+	}
+	if err := pool.SKU.Validate(cfg); err != nil {
+		return Rollout{}, err
+	}
+	needsReboot := false
+	for _, id := range knob.Diff(pool.cfg, cfg) {
+		if id.RequiresReboot() {
+			needsReboot = true
+		}
+	}
+	r := Rollout{Servers: pool.Size(), MaxUnavail: maxUnavailable}
+	if !needsReboot {
+		// Live reconfiguration: one pass, no waves needed.
+		for _, srv := range pool.servers {
+			if _, err := srv.Apply(cfg); err != nil {
+				return r, err
+			}
+		}
+		r.Waves = 1
+		r.WaveRebooted = []int{0}
+		pool.cfg = cfg
+		return r, nil
+	}
+	for start := 0; start < pool.Size(); start += maxUnavailable {
+		end := start + maxUnavailable
+		if end > pool.Size() {
+			end = pool.Size()
+		}
+		rebootedThisWave := 0
+		for _, srv := range pool.servers[start:end] {
+			rebooted, err := srv.Apply(cfg)
+			if err != nil {
+				return r, err
+			}
+			if rebooted {
+				r.Rebooted++
+				rebootedThisWave++
+			}
+		}
+		r.Waves++
+		r.WaveRebooted = append(r.WaveRebooted, rebootedThisWave)
+	}
+	pool.cfg = cfg
+	return r, nil
+}
+
+// Redeploy moves n servers from one pool to another, reconfiguring
+// them to the destination's soft SKU — the hardware-fungibility story
+// that motivates soft SKUs over custom silicon (§1, §3). Both pools
+// must run the same hardware SKU; that is the whole point of limiting
+// platform diversity.
+func (f *Fleet) Redeploy(from, to string, n int) (Rollout, error) {
+	src, err := f.Pool(from)
+	if err != nil {
+		return Rollout{}, err
+	}
+	dst, err := f.Pool(to)
+	if err != nil {
+		return Rollout{}, err
+	}
+	if src.SKU.Name != dst.SKU.Name {
+		return Rollout{}, fmt.Errorf(
+			"fleet: cannot redeploy across SKUs (%s -> %s); fungibility requires identical hardware",
+			src.SKU.Name, dst.SKU.Name)
+	}
+	if n < 1 || n >= src.Size() {
+		return Rollout{}, fmt.Errorf("fleet: cannot move %d of %d servers from %s", n, src.Size(), from)
+	}
+	r := Rollout{Servers: n, MaxUnavail: n, Waves: 1}
+	moved := src.servers[src.Size()-n:]
+	src.servers = src.servers[:src.Size()-n]
+	for _, srv := range moved {
+		rebooted, err := srv.Apply(dst.cfg)
+		if err != nil {
+			return r, err
+		}
+		if rebooted {
+			r.Rebooted++
+		}
+	}
+	r.WaveRebooted = []int{r.Rebooted}
+	dst.servers = append(dst.servers, moved...)
+	return r, nil
+}
+
+// PoolThroughput returns the pool's aggregate peak throughput (QPS)
+// under its current configuration.
+func (f *Fleet) PoolThroughput(service string, seed uint64) (float64, error) {
+	pool, err := f.Pool(service)
+	if err != nil {
+		return 0, err
+	}
+	srv, err := platform.NewServer(pool.SKU, pool.cfg)
+	if err != nil {
+		return 0, err
+	}
+	m, err := sim.NewMachine(srv, pool.Service, seed)
+	if err != nil {
+		return 0, err
+	}
+	return m.SolvePeak().QPS * float64(pool.Size()), nil
+}
+
+// CapacitySavings converts a soft SKU's throughput gain into the
+// provisioning reduction at a given pool size: the servers no longer
+// needed to serve the same aggregate load ("achieving even
+// single-digit percent speedups can yield immense aggregate data
+// center efficiency benefits", §6.2).
+func CapacitySavings(servers int, gainPct float64) int {
+	if gainPct <= 0 || servers < 1 {
+		return 0
+	}
+	needed := int(math.Ceil(float64(servers) / (1 + gainPct/100)))
+	return servers - needed
+}

@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softsku/internal/knob"
+	"softsku/internal/platform"
+	"softsku/internal/sim"
+	"softsku/internal/workload"
+)
+
+func webPool(t *testing.T, n int) (*Fleet, knob.Config) {
+	t.Helper()
+	f := New()
+	sku := platform.Skylake18()
+	web, _ := workload.ByName("Web")
+	cfg := sim.ProductionConfig(sku, web)
+	if err := f.AddPool(web, sku, n, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return f, cfg
+}
+
+func TestAddPoolAndLookup(t *testing.T) {
+	f, cfg := webPool(t, 10)
+	p, err := f.Pool("Web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 10 || p.Config() != cfg {
+		t.Fatalf("pool state: size=%d", p.Size())
+	}
+	if _, err := f.Pool("Feed1"); err == nil {
+		t.Fatal("missing pool must error")
+	}
+	if err := f.AddPool(p.Service, p.SKU, 5, cfg); err == nil {
+		t.Fatal("duplicate pool must error")
+	}
+	if names := f.Services(); len(names) != 1 || names[0] != "Web" {
+		t.Fatalf("services = %v", names)
+	}
+}
+
+func TestAddPoolValidation(t *testing.T) {
+	f := New()
+	sku := platform.Skylake18()
+	web, _ := workload.ByName("Web")
+	if err := f.AddPool(web, sku, 0, sim.ProductionConfig(sku, web)); err == nil {
+		t.Fatal("zero-size pool must error")
+	}
+	bad := sim.ProductionConfig(sku, web)
+	bad.CoreFreqMHz = 99999
+	if err := f.AddPool(web, sku, 1, bad); err == nil {
+		t.Fatal("invalid config must error")
+	}
+}
+
+func TestRolloutLiveReconfig(t *testing.T) {
+	// MSR-only changes (THP, CDP, prefetchers, frequency) roll out in a
+	// single pass with no reboots.
+	f, cfg := webPool(t, 50)
+	soft := cfg.With(knob.THP, knob.THPSetting(knob.THPAlways))
+	r, err := f.Rollout("Web", soft, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rebooted != 0 || r.Waves != 1 || r.Servers != 50 {
+		t.Fatalf("live rollout: %+v", r)
+	}
+	p, _ := f.Pool("Web")
+	if p.Config().THP != knob.THPAlways || p.Reboots() != 0 {
+		t.Fatal("pool config not applied")
+	}
+}
+
+func TestRolloutRebootWaves(t *testing.T) {
+	// SHP changes need reboots; availability bounds the wave size.
+	f, cfg := webPool(t, 53)
+	soft := cfg.With(knob.SHP, knob.IntSetting("300", 300))
+	r, err := f.Rollout("Web", soft, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rebooted != 53 {
+		t.Fatalf("rebooted = %d, want 53", r.Rebooted)
+	}
+	if r.Waves != 6 { // ceil(53/10)
+		t.Fatalf("waves = %d, want 6", r.Waves)
+	}
+	for i, w := range r.WaveRebooted {
+		if i < 5 && w != 10 {
+			t.Fatalf("wave %d rebooted %d, want 10", i, w)
+		}
+	}
+	if r.WaveRebooted[5] != 3 {
+		t.Fatalf("last wave rebooted %d, want 3", r.WaveRebooted[5])
+	}
+	p, _ := f.Pool("Web")
+	if p.Reboots() != 53 {
+		t.Fatalf("pool reboots = %d", p.Reboots())
+	}
+}
+
+func TestRolloutInvalidConfig(t *testing.T) {
+	f, cfg := webPool(t, 5)
+	bad := cfg
+	bad.Cores = 999
+	if _, err := f.Rollout("Web", bad, 2); err == nil {
+		t.Fatal("invalid rollout config must error")
+	}
+}
+
+func TestRedeployFungibility(t *testing.T) {
+	// The §3 story: same SKU, different service — servers move between
+	// pools through reconfiguration.
+	f := New()
+	sku := platform.Skylake18()
+	web, _ := workload.ByName("Web")
+	cache2, _ := workload.ByName("Cache2")
+	webCfg := sim.ProductionConfig(sku, web)      // SHP 200
+	cacheCfg := sim.ProductionConfig(sku, cache2) // SHP 0
+	if err := f.AddPool(web, sku, 20, webCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddPool(cache2, sku, 10, cacheCfg); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Redeploy("Web", "Cache2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Servers != 5 {
+		t.Fatalf("moved %d", r.Servers)
+	}
+	// Web's SHP reservation differs from Cache2's, so moving requires
+	// reboots.
+	if r.Rebooted != 5 {
+		t.Fatalf("rebooted = %d, want 5", r.Rebooted)
+	}
+	webP, _ := f.Pool("Web")
+	cacheP, _ := f.Pool("Cache2")
+	if webP.Size() != 15 || cacheP.Size() != 15 {
+		t.Fatalf("sizes after redeploy: %d / %d", webP.Size(), cacheP.Size())
+	}
+}
+
+func TestRedeployRejectsCrossSKU(t *testing.T) {
+	f := New()
+	web, _ := workload.ByName("Web")
+	ads2, _ := workload.ByName("Ads2")
+	skl18, skl20 := platform.Skylake18(), platform.Skylake20()
+	_ = f.AddPool(web, skl18, 10, sim.ProductionConfig(skl18, web))
+	_ = f.AddPool(ads2, skl20, 10, sim.ProductionConfig(skl20, ads2))
+	if _, err := f.Redeploy("Web", "Ads2", 2); err == nil {
+		t.Fatal("cross-SKU redeploy must be rejected")
+	}
+}
+
+func TestRedeployBounds(t *testing.T) {
+	f, _ := webPool(t, 5)
+	web, _ := workload.ByName("Web")
+	sku := platform.Skylake18()
+	cache2, _ := workload.ByName("Cache2")
+	_ = f.AddPool(cache2, sku, 2, sim.ProductionConfig(sku, cache2))
+	_ = web
+	if _, err := f.Redeploy("Web", "Cache2", 5); err == nil {
+		t.Fatal("cannot empty a pool")
+	}
+	if _, err := f.Redeploy("Web", "Cache2", 0); err == nil {
+		t.Fatal("zero-server move must error")
+	}
+}
+
+func TestPoolThroughputScalesWithSize(t *testing.T) {
+	fA, _ := webPool(t, 2)
+	fB, _ := webPool(t, 4)
+	a, err := fA.PoolThroughput("Web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fB.PoolThroughput("Web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 2*a {
+		t.Fatalf("aggregate throughput must scale: %g vs %g", a, b)
+	}
+}
+
+func TestCapacitySavings(t *testing.T) {
+	// §6.2: single-digit speedups at hundreds of thousands of servers.
+	if got := CapacitySavings(100000, 4.5); got < 4000 || got > 4500 {
+		t.Fatalf("savings at +4.5%% on 100k servers = %d", got)
+	}
+	if got := CapacitySavings(100, 0); got != 0 {
+		t.Fatalf("no gain, no savings: %d", got)
+	}
+	if got := CapacitySavings(0, 10); got != 0 {
+		t.Fatalf("empty pool: %d", got)
+	}
+}
+
+func TestCapacitySavingsProperty(t *testing.T) {
+	f := func(n uint16, gain uint8) bool {
+		servers := int(n%50000) + 1
+		g := float64(gain%20) + 0.1
+		saved := CapacitySavings(servers, g)
+		if saved < 0 || saved >= servers {
+			return false
+		}
+		// The remaining servers at +g% must still cover the old load.
+		remaining := float64(servers-saved) * (1 + g/100)
+		return remaining >= float64(servers)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

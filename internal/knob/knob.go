@@ -1,0 +1,369 @@
+// Package knob defines the soft-SKU configuration design space: the
+// seven coarse-grain server knobs µSKU tunes (§4–5 of the paper) and
+// the configuration records the A/B tester sweeps.
+//
+// The seven knobs are: core frequency, uncore frequency, active core
+// count, LLC code/data prioritization (CDP), hardware prefetcher
+// enables, transparent huge pages (THP), and statically-allocated huge
+// pages (SHP).
+package knob
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ID identifies one of the seven tunable knobs.
+type ID int
+
+// The seven knobs, in the order the paper presents them.
+const (
+	CoreFreq ID = iota
+	UncoreFreq
+	CoreCount
+	CDP
+	Prefetch
+	THP
+	SHP
+	numKnobs
+)
+
+// All lists every knob ID in presentation order.
+func All() []ID {
+	ids := make([]ID, numKnobs)
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	return ids
+}
+
+// String returns the knob's canonical lower-case name, as used in
+// µSKU input files.
+func (id ID) String() string {
+	switch id {
+	case CoreFreq:
+		return "corefreq"
+	case UncoreFreq:
+		return "uncorefreq"
+	case CoreCount:
+		return "corecount"
+	case CDP:
+		return "cdp"
+	case Prefetch:
+		return "prefetch"
+	case THP:
+		return "thp"
+	case SHP:
+		return "shp"
+	default:
+		return fmt.Sprintf("knob(%d)", int(id))
+	}
+}
+
+// ParseID parses a knob name as written in µSKU input files.
+func ParseID(s string) (ID, error) {
+	for _, id := range All() {
+		if id.String() == strings.ToLower(strings.TrimSpace(s)) {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("knob: unknown knob %q", s)
+}
+
+// RequiresReboot reports whether changing this knob requires a server
+// reboot (§4: core count changes go through the boot loader's isolcpus
+// flag; SHP reservations happen at boot).
+func (id ID) RequiresReboot() bool {
+	return id == CoreCount || id == SHP
+}
+
+// PrefetchMask selects which of the four hardware prefetchers are
+// enabled (§5(5)); bits mirror IA32_MISC_ENABLE-style controls.
+type PrefetchMask uint8
+
+// The four prefetchers on our platforms.
+const (
+	PrefetchL2HW  PrefetchMask = 1 << iota // L2 hardware (stream) prefetcher
+	PrefetchL2Adj                          // L2 adjacent cache line prefetcher
+	PrefetchDCU                            // L1-D next-line prefetcher
+	PrefetchDCUIP                          // L1-D IP-stride prefetcher
+
+	PrefetchNone PrefetchMask = 0
+	PrefetchAll               = PrefetchL2HW | PrefetchL2Adj | PrefetchDCU | PrefetchDCUIP
+)
+
+// Has reports whether all prefetchers in m2 are enabled in m.
+func (m PrefetchMask) Has(m2 PrefetchMask) bool { return m&m2 == m2 }
+
+// String names the mask using the paper's five studied configurations
+// where possible.
+func (m PrefetchMask) String() string {
+	switch m {
+	case PrefetchNone:
+		return "all-off"
+	case PrefetchAll:
+		return "all-on"
+	case PrefetchDCU | PrefetchDCUIP:
+		return "dcu+dcuip"
+	case PrefetchDCU:
+		return "dcu-only"
+	case PrefetchL2HW | PrefetchDCU:
+		return "l2hw+dcu"
+	}
+	var parts []string
+	if m.Has(PrefetchL2HW) {
+		parts = append(parts, "l2hw")
+	}
+	if m.Has(PrefetchL2Adj) {
+		parts = append(parts, "l2adj")
+	}
+	if m.Has(PrefetchDCU) {
+		parts = append(parts, "dcu")
+	}
+	if m.Has(PrefetchDCUIP) {
+		parts = append(parts, "dcuip")
+	}
+	if len(parts) == 0 {
+		return "all-off"
+	}
+	return strings.Join(parts, "+")
+}
+
+// StudiedPrefetchConfigs returns the five prefetcher configurations
+// µSKU considers (§5(5)).
+func StudiedPrefetchConfigs() []PrefetchMask {
+	return []PrefetchMask{
+		PrefetchNone,
+		PrefetchAll,
+		PrefetchDCU | PrefetchDCUIP,
+		PrefetchDCU,
+		PrefetchL2HW | PrefetchDCU,
+	}
+}
+
+// THPMode is the transparent-huge-page policy (§5(6)).
+type THPMode int
+
+// The three THP policies µSKU considers.
+const (
+	THPMadvise THPMode = iota // enabled only for regions that request it (production default)
+	THPAlways                 // enabled for all anonymous memory
+	THPNever                  // disabled even if requested
+)
+
+// String returns the sysfs-style policy name.
+func (m THPMode) String() string {
+	switch m {
+	case THPMadvise:
+		return "madvise"
+	case THPAlways:
+		return "always"
+	case THPNever:
+		return "never"
+	default:
+		return fmt.Sprintf("thp(%d)", int(m))
+	}
+}
+
+// ParseTHP parses a THP policy name.
+func ParseTHP(s string) (THPMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "madvise":
+		return THPMadvise, nil
+	case "always":
+		return THPAlways, nil
+	case "never":
+		return THPNever, nil
+	}
+	return 0, fmt.Errorf("knob: unknown THP mode %q", s)
+}
+
+// CDPConfig partitions LLC ways between data and code using Intel
+// RDT's Code/Data Prioritization (§5(4)). The zero value means CDP is
+// disabled and code/data share all ways.
+type CDPConfig struct {
+	DataWays int
+	CodeWays int
+}
+
+// Enabled reports whether CDP partitioning is active.
+func (c CDPConfig) Enabled() bool { return c.DataWays > 0 || c.CodeWays > 0 }
+
+// Ways returns the total ways the partition spans.
+func (c CDPConfig) Ways() int { return c.DataWays + c.CodeWays }
+
+// String renders the paper's "{data, code}" labelling.
+func (c CDPConfig) String() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	return fmt.Sprintf("{%d,%d}", c.DataWays, c.CodeWays)
+}
+
+// Config is a complete soft-SKU knob assignment for one server.
+type Config struct {
+	CoreFreqMHz   int
+	UncoreFreqMHz int
+	Cores         int
+	CDP           CDPConfig
+	Prefetch      PrefetchMask
+	THP           THPMode
+	SHPCount      int // number of reserved 2 MiB static huge pages
+}
+
+// String renders the config compactly for design-space maps and logs.
+func (c Config) String() string {
+	return fmt.Sprintf("core=%.1fGHz uncore=%.1fGHz cores=%d cdp=%s pf=%s thp=%s shp=%d",
+		float64(c.CoreFreqMHz)/1000, float64(c.UncoreFreqMHz)/1000,
+		c.Cores, c.CDP, c.Prefetch, c.THP, c.SHPCount)
+}
+
+// With returns a copy of c with the single knob id set to the given
+// setting value. It panics on a type mismatch, which indicates a
+// programming error in sweep construction.
+func (c Config) With(id ID, v Setting) Config {
+	switch id {
+	case CoreFreq:
+		c.CoreFreqMHz = v.Int
+	case UncoreFreq:
+		c.UncoreFreqMHz = v.Int
+	case CoreCount:
+		c.Cores = v.Int
+	case CDP:
+		c.CDP = v.CDP
+	case Prefetch:
+		c.Prefetch = v.Prefetch
+	case THP:
+		c.THP = v.THP
+	case SHP:
+		c.SHPCount = v.Int
+	default:
+		panic(fmt.Sprintf("knob: With on unknown knob %v", id))
+	}
+	return c
+}
+
+// Get returns c's current setting for the given knob.
+func (c Config) Get(id ID) Setting {
+	switch id {
+	case CoreFreq:
+		return IntSetting(fmt.Sprintf("%.1fGHz", float64(c.CoreFreqMHz)/1000), c.CoreFreqMHz)
+	case UncoreFreq:
+		return IntSetting(fmt.Sprintf("%.1fGHz", float64(c.UncoreFreqMHz)/1000), c.UncoreFreqMHz)
+	case CoreCount:
+		return IntSetting(fmt.Sprintf("%d cores", c.Cores), c.Cores)
+	case CDP:
+		return CDPSetting(c.CDP)
+	case Prefetch:
+		return PrefetchSetting(c.Prefetch)
+	case THP:
+		return THPSetting(c.THP)
+	case SHP:
+		return IntSetting(fmt.Sprintf("%d SHPs", c.SHPCount), c.SHPCount)
+	default:
+		panic(fmt.Sprintf("knob: Get on unknown knob %v", id))
+	}
+}
+
+// Diff lists the knobs on which a and b differ.
+func Diff(a, b Config) []ID {
+	var ids []ID
+	for _, id := range All() {
+		if a.Get(id) != b.Get(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Setting is one candidate value for a knob: a tagged union with a
+// display name. Exactly one payload field is meaningful for a given
+// knob ID.
+type Setting struct {
+	Name     string
+	Int      int
+	CDP      CDPConfig
+	Prefetch PrefetchMask
+	THP      THPMode
+}
+
+// IntSetting builds a Setting holding an integer payload (frequencies
+// in MHz, core counts, SHP counts).
+func IntSetting(name string, v int) Setting { return Setting{Name: name, Int: v} }
+
+// CDPSetting builds a Setting holding a CDP partition.
+func CDPSetting(c CDPConfig) Setting { return Setting{Name: c.String(), CDP: c} }
+
+// PrefetchSetting builds a Setting holding a prefetcher mask.
+func PrefetchSetting(m PrefetchMask) Setting { return Setting{Name: m.String(), Prefetch: m} }
+
+// THPSetting builds a Setting holding a THP policy.
+func THPSetting(m THPMode) Setting { return Setting{Name: m.String(), THP: m} }
+
+// Space enumerates the candidate settings for each knob on a given
+// platform/microservice pair. Knobs absent from the map are held at
+// their baseline value during sweeps (§4: µSKU disables knobs that do
+// not apply, e.g. SHP on services that never request huge pages).
+type Space struct {
+	Values map[ID][]Setting
+}
+
+// NewSpace returns an empty design space.
+func NewSpace() *Space { return &Space{Values: make(map[ID][]Setting)} }
+
+// Set installs the candidate settings for one knob, replacing any
+// previous candidates.
+func (s *Space) Set(id ID, vals ...Setting) { s.Values[id] = vals }
+
+// Remove disables a knob entirely (it will be skipped in sweeps).
+func (s *Space) Remove(id ID) { delete(s.Values, id) }
+
+// Knobs returns the IDs present in the space, in presentation order.
+func (s *Space) Knobs() []ID {
+	var ids []ID
+	for _, id := range All() {
+		if len(s.Values[id]) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Size returns the number of points in the exhaustive cross-product.
+func (s *Space) Size() int {
+	size := 1
+	for _, id := range s.Knobs() {
+		size *= len(s.Values[id])
+	}
+	return size
+}
+
+// IndependentPoints returns the number of A/B tests an independent
+// (one-knob-at-a-time) sweep performs.
+func (s *Space) IndependentPoints() int {
+	n := 0
+	for _, id := range s.Knobs() {
+		n += len(s.Values[id])
+	}
+	return n
+}
+
+// Enumerate calls fn for every configuration in the exhaustive
+// cross-product, starting from base. Iteration order is deterministic.
+// If fn returns false, enumeration stops early.
+func (s *Space) Enumerate(base Config, fn func(Config) bool) {
+	ids := s.Knobs()
+	var rec func(i int, c Config) bool
+	rec = func(i int, c Config) bool {
+		if i == len(ids) {
+			return fn(c)
+		}
+		for _, v := range s.Values[ids[i]] {
+			if !rec(i+1, c.With(ids[i], v)) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, base)
+}

@@ -1,0 +1,233 @@
+package knob
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIDStringRoundTrip(t *testing.T) {
+	for _, id := range All() {
+		got, err := ParseID(id.String())
+		if err != nil {
+			t.Fatalf("ParseID(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Fatalf("round trip %v -> %v", id, got)
+		}
+	}
+}
+
+func TestParseIDCaseInsensitive(t *testing.T) {
+	id, err := ParseID("  CoreFreq ")
+	if err != nil || id != CoreFreq {
+		t.Fatalf("got %v, %v", id, err)
+	}
+}
+
+func TestParseIDUnknown(t *testing.T) {
+	if _, err := ParseID("voltage"); err == nil {
+		t.Fatal("expected error for unknown knob")
+	}
+}
+
+func TestRequiresReboot(t *testing.T) {
+	want := map[ID]bool{
+		CoreFreq: false, UncoreFreq: false, CoreCount: true,
+		CDP: false, Prefetch: false, THP: false, SHP: true,
+	}
+	for id, w := range want {
+		if id.RequiresReboot() != w {
+			t.Errorf("%v reboot = %v, want %v", id, id.RequiresReboot(), w)
+		}
+	}
+}
+
+func TestPrefetchMaskNames(t *testing.T) {
+	cases := map[PrefetchMask]string{
+		PrefetchNone:                "all-off",
+		PrefetchAll:                 "all-on",
+		PrefetchDCU | PrefetchDCUIP: "dcu+dcuip",
+		PrefetchDCU:                 "dcu-only",
+		PrefetchL2HW | PrefetchDCU:  "l2hw+dcu",
+		PrefetchL2Adj | PrefetchDCU: "l2adj+dcu",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%08b -> %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestStudiedPrefetchConfigsMatchPaper(t *testing.T) {
+	cfgs := StudiedPrefetchConfigs()
+	if len(cfgs) != 5 {
+		t.Fatalf("paper studies 5 prefetcher configs, got %d", len(cfgs))
+	}
+	if cfgs[0] != PrefetchNone || cfgs[1] != PrefetchAll {
+		t.Fatal("first two configs must be all-off, all-on")
+	}
+}
+
+func TestPrefetchHas(t *testing.T) {
+	m := PrefetchL2HW | PrefetchDCU
+	if !m.Has(PrefetchDCU) || m.Has(PrefetchDCUIP) {
+		t.Fatal("Has logic wrong")
+	}
+	if !m.Has(PrefetchNone) {
+		t.Fatal("every mask has the empty mask")
+	}
+}
+
+func TestTHPRoundTrip(t *testing.T) {
+	for _, m := range []THPMode{THPMadvise, THPAlways, THPNever} {
+		got, err := ParseTHP(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round trip %v: got %v err %v", m, got, err)
+		}
+	}
+	if _, err := ParseTHP("sometimes"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCDPConfig(t *testing.T) {
+	var off CDPConfig
+	if off.Enabled() || off.String() != "off" {
+		t.Fatal("zero CDP should be off")
+	}
+	c := CDPConfig{DataWays: 6, CodeWays: 5}
+	if !c.Enabled() || c.Ways() != 11 || c.String() != "{6,5}" {
+		t.Fatalf("CDP render: %v ways=%d", c, c.Ways())
+	}
+}
+
+func TestConfigWithGet(t *testing.T) {
+	base := Config{CoreFreqMHz: 2200, UncoreFreqMHz: 1800, Cores: 18,
+		Prefetch: PrefetchAll, THP: THPMadvise}
+	c := base.With(CoreFreq, IntSetting("1.6GHz", 1600))
+	if c.CoreFreqMHz != 1600 || base.CoreFreqMHz != 2200 {
+		t.Fatal("With must not mutate the receiver")
+	}
+	c = c.With(CDP, CDPSetting(CDPConfig{DataWays: 6, CodeWays: 5}))
+	if c.CDP.DataWays != 6 {
+		t.Fatal("CDP not applied")
+	}
+	c = c.With(THP, THPSetting(THPAlways))
+	if c.THP != THPAlways {
+		t.Fatal("THP not applied")
+	}
+	c = c.With(Prefetch, PrefetchSetting(PrefetchNone))
+	if c.Prefetch != PrefetchNone {
+		t.Fatal("prefetch not applied")
+	}
+	c = c.With(SHP, IntSetting("300", 300))
+	if c.SHPCount != 300 {
+		t.Fatal("SHP not applied")
+	}
+}
+
+func TestConfigWithGetRoundTripProperty(t *testing.T) {
+	f := func(core, uncore uint16, cores, shp uint8) bool {
+		c := Config{
+			CoreFreqMHz:   int(core%1000) + 1600,
+			UncoreFreqMHz: int(uncore%500) + 1400,
+			Cores:         int(cores%20) + 1,
+			SHPCount:      int(shp) * 10,
+		}
+		for _, id := range All() {
+			if c.With(id, c.Get(id)) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := Config{CoreFreqMHz: 2200, Cores: 18}
+	b := a.With(UncoreFreq, IntSetting("1.4GHz", 1400))
+	ids := Diff(a, b)
+	if len(ids) != 1 || ids[0] != UncoreFreq {
+		t.Fatalf("diff=%v", ids)
+	}
+	if len(Diff(a, a)) != 0 {
+		t.Fatal("self-diff must be empty")
+	}
+}
+
+func TestSpaceEnumerate(t *testing.T) {
+	s := NewSpace()
+	s.Set(CoreFreq, IntSetting("1.6", 1600), IntSetting("2.2", 2200))
+	s.Set(THP, THPSetting(THPMadvise), THPSetting(THPAlways), THPSetting(THPNever))
+	if s.Size() != 6 {
+		t.Fatalf("size=%d", s.Size())
+	}
+	if s.IndependentPoints() != 5 {
+		t.Fatalf("independent points=%d", s.IndependentPoints())
+	}
+	var seen []Config
+	s.Enumerate(Config{Cores: 4}, func(c Config) bool {
+		seen = append(seen, c)
+		return true
+	})
+	if len(seen) != 6 {
+		t.Fatalf("enumerated %d", len(seen))
+	}
+	for _, c := range seen {
+		if c.Cores != 4 {
+			t.Fatal("base fields must carry through enumeration")
+		}
+	}
+	// Early stop.
+	count := 0
+	s.Enumerate(Config{}, func(Config) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop at %d", count)
+	}
+}
+
+func TestSpaceKnobsOrder(t *testing.T) {
+	s := NewSpace()
+	s.Set(SHP, IntSetting("0", 0))
+	s.Set(CoreFreq, IntSetting("2.2", 2200))
+	ids := s.Knobs()
+	if len(ids) != 2 || ids[0] != CoreFreq || ids[1] != SHP {
+		t.Fatalf("knob order: %v", ids)
+	}
+}
+
+func TestSpaceRemove(t *testing.T) {
+	s := NewSpace()
+	s.Set(SHP, IntSetting("0", 0), IntSetting("100", 100))
+	s.Remove(SHP)
+	if len(s.Knobs()) != 0 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{CoreFreqMHz: 2200, UncoreFreqMHz: 1800, Cores: 18,
+		CDP: CDPConfig{DataWays: 6, CodeWays: 5}, Prefetch: PrefetchAll,
+		THP: THPAlways, SHPCount: 300}
+	got := c.String()
+	for _, want := range []string{"2.2GHz", "1.8GHz", "cores=18", "{6,5}", "all-on", "always", "shp=300"} {
+		if !contains(got, want) {
+			t.Errorf("config string %q missing %q", got, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

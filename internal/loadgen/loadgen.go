@@ -1,0 +1,82 @@
+// Package loadgen models production traffic dynamics: the diurnal
+// load swings and transient fluctuations µSKU must measure through
+// (§4: "capturing behavior in production systems facing diurnal or
+// transient load fluctuations"). A/B tests compare two servers in the
+// same fleet facing the *same* load, so one shared Profile drives
+// both sides of every comparison.
+package loadgen
+
+import (
+	"math"
+
+	"softsku/internal/rng"
+)
+
+// Profile generates the load factor over virtual time: a multiplier
+// around 1.0 applied to a service's peak-rated utilization.
+type Profile struct {
+	// Period of the diurnal cycle in seconds (86400 for a real day;
+	// tests compress it).
+	Period float64
+	// Swing is the peak-to-trough amplitude of the diurnal component
+	// (e.g. 0.15 → ±15%).
+	Swing float64
+	// Jitter is the standard deviation of transient load fluctuation,
+	// modelled as a mean-reverting random walk.
+	Jitter float64
+
+	src   *rng.Source
+	walk  float64
+	lastT float64
+}
+
+// NewDiurnal builds the default production-like load profile.
+func NewDiurnal(seed uint64) *Profile {
+	return &Profile{
+		Period: 86400,
+		Swing:  0.15,
+		Jitter: 0.03,
+		src:    rng.New(seed),
+	}
+}
+
+// Flat returns a constant-load profile (synthetic load tests — the
+// thing the paper warns does not capture production behaviour).
+func Flat() *Profile { return &Profile{Period: 1, Swing: 0, Jitter: 0, src: rng.New(1)} }
+
+// Factor returns the load multiplier at virtual time t. Successive
+// calls should use non-decreasing t; the transient component evolves
+// with the time delta (an Ornstein-Uhlenbeck-style mean-reverting
+// walk).
+func (p *Profile) Factor(t float64) float64 {
+	diurnal := 0.0
+	if p.Swing > 0 && p.Period > 0 {
+		diurnal = p.Swing * math.Sin(2*math.Pi*t/p.Period)
+	}
+	if p.Jitter > 0 && p.src != nil {
+		dt := t - p.lastT
+		if dt < 0 {
+			dt = 0
+		}
+		p.lastT = t
+		// Mean-revert with ~60 s correlation time.
+		const tau = 60.0
+		decay := math.Exp(-dt / tau)
+		p.walk = p.walk*decay + p.src.Norm(0, p.Jitter*math.Sqrt(1-decay*decay))
+	}
+	f := 1 + diurnal + p.walk
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// Arrivals returns the number of Poisson arrivals in a window of
+// length dt seconds at the given mean rate, for callers generating
+// open-loop traffic outside the event simulator.
+func (p *Profile) Arrivals(rate, dt float64) int {
+	if p.src == nil {
+		p.src = rng.New(1)
+	}
+	return p.src.Poisson(rate * dt)
+}

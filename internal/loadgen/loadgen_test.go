@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlatIsConstant(t *testing.T) {
+	p := Flat()
+	for _, tm := range []float64{0, 10, 1000, 86400} {
+		if got := p.Factor(tm); got != 1 {
+			t.Fatalf("flat factor at %g = %g", tm, got)
+		}
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	p := NewDiurnal(1)
+	p.Jitter = 0 // isolate the deterministic component
+	peak := p.Factor(86400.0 / 4)
+	trough := p.Factor(3 * 86400.0 / 4)
+	if math.Abs(peak-1.15) > 1e-9 || math.Abs(trough-0.85) > 1e-9 {
+		t.Fatalf("diurnal extremes: peak=%g trough=%g", peak, trough)
+	}
+}
+
+func TestJitterBoundedAndMeanReverting(t *testing.T) {
+	p := NewDiurnal(7)
+	p.Swing = 0 // isolate jitter
+	sum, n := 0.0, 0
+	for tm := 0.0; tm < 36000; tm += 10 {
+		f := p.Factor(tm)
+		if f < 0.5 || f > 1.5 {
+			t.Fatalf("jitter escaped: %g at %g", f, tm)
+		}
+		sum += f
+		n++
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.02 {
+		t.Fatalf("jitter not mean-reverting: mean %g", mean)
+	}
+}
+
+func TestFactorDeterministicPerSeed(t *testing.T) {
+	a, b := NewDiurnal(3), NewDiurnal(3)
+	for tm := 0.0; tm < 1000; tm += 13 {
+		if a.Factor(tm) != b.Factor(tm) {
+			t.Fatal("same seed must give identical load traces")
+		}
+	}
+	c := NewDiurnal(4)
+	same := true
+	for tm := 0.0; tm < 1000; tm += 13 {
+		if a.Factor(tm) != c.Factor(tm) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestFactorFloor(t *testing.T) {
+	p := &Profile{Period: 100, Swing: 5, Jitter: 0} // absurd swing
+	if got := p.Factor(75); got < 0.05 {
+		t.Fatalf("factor must be floored: %g", got)
+	}
+}
+
+func TestArrivalsMean(t *testing.T) {
+	p := Flat()
+	total := 0
+	const windows = 10000
+	for i := 0; i < windows; i++ {
+		total += p.Arrivals(100, 0.1) // mean 10 per window
+	}
+	mean := float64(total) / windows
+	if math.Abs(mean-10) > 0.2 {
+		t.Fatalf("arrival mean %g, want ~10", mean)
+	}
+}

@@ -1,0 +1,114 @@
+// Package mem models the platform memory subsystem's bandwidth/latency
+// trade-off: the characteristic "hockey-stick" curve of Fig 12, with a
+// horizontal asymptote at the unloaded latency and exponential latency
+// growth as demanded bandwidth approaches saturation.
+//
+// The model is the load-dependent server of classical queueing
+// analysis: latency = unloaded + k·ρ/(1−ρ), with ρ the utilization of
+// achievable peak bandwidth. Burstiness raises effective utilization,
+// reproducing why Ads1/Ads2 sit above the stress-test curve (§2.4.5).
+package mem
+
+import (
+	"softsku/internal/platform"
+)
+
+// Model is one platform's memory subsystem.
+type Model struct {
+	peakGBs    float64
+	unloadedNS float64
+	queueK     float64 // queueing-delay scale factor, ns
+}
+
+// queueK default: how many ns of queueing delay at ρ = 0.5.
+const defaultQueueK = 14
+
+// NewModel builds the memory model for a SKU.
+func NewModel(sku *platform.SKU) *Model {
+	return &Model{
+		peakGBs:    sku.MemPeakGBs,
+		unloadedNS: sku.MemUnloadedNS,
+		queueK:     defaultQueueK,
+	}
+}
+
+// NewModelParams builds a model from explicit parameters (tests,
+// hypothetical platforms).
+func NewModelParams(peakGBs, unloadedNS float64) *Model {
+	return &Model{peakGBs: peakGBs, unloadedNS: unloadedNS, queueK: defaultQueueK}
+}
+
+// PeakGBs returns the achievable peak bandwidth.
+func (m *Model) PeakGBs() float64 { return m.peakGBs }
+
+// UnloadedNS returns the idle load-to-use latency.
+func (m *Model) UnloadedNS() float64 { return m.unloadedNS }
+
+// maxRho caps utilization: demanded bandwidth beyond ~98% of peak is
+// simply not achieved (the memory system saturates).
+const maxRho = 0.98
+
+// Utilization converts a bandwidth demand to effective utilization,
+// accounting for traffic burstiness. Burstiness b >= 0 inflates
+// instantaneous load: bursty services see queueing as if running at
+// (1+b)·ρ even though their average bandwidth is lower.
+func (m *Model) Utilization(demandGBs, burstiness float64) float64 {
+	rho := demandGBs / m.peakGBs * (1 + burstiness)
+	if rho > maxRho {
+		rho = maxRho
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	return rho
+}
+
+// LatencyNS returns the average memory access latency at the given
+// bandwidth demand, burstiness, and uncore latency scale (>= 1 when
+// the uncore runs below nominal frequency). The uncore clocks the
+// on-die portion of the path (LLC miss handling, memory controller),
+// which is roughly 40% of the unloaded latency.
+func (m *Model) LatencyNS(demandGBs, burstiness, uncoreScale float64) float64 {
+	rho := m.Utilization(demandGBs, burstiness)
+	unloaded := m.unloadedNS * (0.6 + 0.4*uncoreScale)
+	return unloaded + m.queueK*rho/(1-rho)*uncoreScale
+}
+
+// AchievedGBs returns the bandwidth the system actually delivers for a
+// demand: demand itself below saturation, clamped at the achievable
+// peak beyond it.
+func (m *Model) AchievedGBs(demandGBs float64) float64 {
+	limit := m.peakGBs * maxRho
+	if demandGBs > limit {
+		return limit
+	}
+	if demandGBs < 0 {
+		return 0
+	}
+	return demandGBs
+}
+
+// Point is one (bandwidth, latency) sample of a stress curve.
+type Point struct {
+	BandwidthGBs float64
+	LatencyNS    float64
+}
+
+// StressCurve reproduces the Intel Memory Latency Checker experiment
+// that draws Fig 12's backdrop: sweep injected bandwidth from idle to
+// saturation and record average latency, at nominal uncore frequency
+// and no burstiness.
+func (m *Model) StressCurve(points int) []Point {
+	if points < 2 {
+		points = 2
+	}
+	curve := make([]Point, points)
+	for i := range curve {
+		bw := float64(i) / float64(points-1) * m.peakGBs * maxRho
+		curve[i] = Point{
+			BandwidthGBs: bw,
+			LatencyNS:    m.LatencyNS(bw, 0, 1),
+		}
+	}
+	return curve
+}

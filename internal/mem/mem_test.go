@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softsku/internal/platform"
+)
+
+func TestUnloadedLatency(t *testing.T) {
+	m := NewModel(platform.Skylake18())
+	if got := m.LatencyNS(0, 0, 1); got != m.UnloadedNS() {
+		t.Fatalf("idle latency %g, want %g", got, m.UnloadedNS())
+	}
+}
+
+func TestHockeyStickShape(t *testing.T) {
+	m := NewModel(platform.Skylake18())
+	l25 := m.LatencyNS(0.25*m.PeakGBs(), 0, 1)
+	l50 := m.LatencyNS(0.50*m.PeakGBs(), 0, 1)
+	l90 := m.LatencyNS(0.90*m.PeakGBs(), 0, 1)
+	l97 := m.LatencyNS(0.97*m.PeakGBs(), 0, 1)
+	if !(l25 < l50 && l50 < l90 && l90 < l97) {
+		t.Fatalf("latency must be monotone: %g %g %g %g", l25, l50, l90, l97)
+	}
+	// Exponential knee: the 90→97% increment dwarfs the 25→50% one.
+	if (l97 - l90) < 5*(l50-l25) {
+		t.Fatalf("missing hockey stick: low slope %g, knee slope %g", l50-l25, l97-l90)
+	}
+	// Fig 12: low-load latency stays near the asymptote (< 2x unloaded).
+	if l50 > 2*m.UnloadedNS() {
+		t.Fatalf("half-load latency %g too far above unloaded %g", l50, m.UnloadedNS())
+	}
+}
+
+func TestSaturationClamp(t *testing.T) {
+	m := NewModel(platform.Broadwell16())
+	demand := 2 * m.PeakGBs()
+	if got := m.AchievedGBs(demand); got > m.PeakGBs() {
+		t.Fatalf("achieved %g exceeds peak %g", got, m.PeakGBs())
+	}
+	// Latency at over-saturation is finite but very large.
+	l := m.LatencyNS(demand, 0, 1)
+	if l < 5*m.UnloadedNS() {
+		t.Fatalf("saturated latency %g too low", l)
+	}
+	if l > 1e6 {
+		t.Fatalf("saturated latency %g should stay finite", l)
+	}
+}
+
+func TestBurstinessRaisesLatency(t *testing.T) {
+	// §2.4.5: Ads1/Ads2 operate at higher latency than the curve
+	// predicts due to traffic burstiness.
+	m := NewModel(platform.Skylake18())
+	smooth := m.LatencyNS(0.5*m.PeakGBs(), 0, 1)
+	bursty := m.LatencyNS(0.5*m.PeakGBs(), 0.4, 1)
+	if bursty <= smooth {
+		t.Fatalf("burstiness must raise latency: %g vs %g", bursty, smooth)
+	}
+}
+
+func TestUncoreScaleRaisesLatency(t *testing.T) {
+	m := NewModel(platform.Skylake18())
+	nominal := m.LatencyNS(0.3*m.PeakGBs(), 0, 1.0)
+	slow := m.LatencyNS(0.3*m.PeakGBs(), 0, 1.8/1.4)
+	if slow <= nominal {
+		t.Fatalf("slower uncore must raise memory latency: %g vs %g", slow, nominal)
+	}
+	// But it must not scale the whole latency (DRAM core timing is
+	// uncore-independent): below proportional scaling.
+	if slow >= nominal*1.8/1.4 {
+		t.Fatalf("uncore scaling too aggressive: %g vs %g", slow, nominal)
+	}
+}
+
+func TestPlatformOrdering(t *testing.T) {
+	// At the same absolute demand, Broadwell16 must queue far more
+	// than Skylake18 — the mechanism behind Figs 16(b)/17.
+	demand := 45.0 // GB/s, comfortable on SKL, heavy on BDW
+	skl := NewModel(platform.Skylake18()).LatencyNS(demand, 0, 1)
+	bdw := NewModel(platform.Broadwell16()).LatencyNS(demand, 0, 1)
+	if bdw < skl*1.3 {
+		t.Fatalf("Broadwell must be queue-bound at %g GB/s: skl=%g bdw=%g", demand, skl, bdw)
+	}
+}
+
+func TestStressCurve(t *testing.T) {
+	m := NewModel(platform.Skylake20())
+	curve := m.StressCurve(50)
+	if len(curve) != 50 {
+		t.Fatalf("points=%d", len(curve))
+	}
+	if curve[0].BandwidthGBs != 0 || curve[0].LatencyNS != m.UnloadedNS() {
+		t.Fatalf("curve origin wrong: %+v", curve[0])
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].LatencyNS <= curve[i-1].LatencyNS {
+			t.Fatalf("curve not strictly increasing at %d", i)
+		}
+		if curve[i].BandwidthGBs <= curve[i-1].BandwidthGBs {
+			t.Fatalf("bandwidth not increasing at %d", i)
+		}
+	}
+	if last := curve[len(curve)-1].BandwidthGBs; last > m.PeakGBs() {
+		t.Fatalf("curve exceeds peak: %g", last)
+	}
+}
+
+func TestStressCurveMinPoints(t *testing.T) {
+	if got := len(NewModelParams(100, 80).StressCurve(1)); got != 2 {
+		t.Fatalf("degenerate point count: %d", got)
+	}
+}
+
+func TestUtilizationBoundsProperty(t *testing.T) {
+	m := NewModelParams(100, 80)
+	f := func(demand, burst float64) bool {
+		if demand < 0 {
+			demand = -demand
+		}
+		if burst < 0 {
+			burst = -burst
+		}
+		rho := m.Utilization(demand, burst)
+		return rho >= 0 && rho <= maxRho
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyFiniteProperty(t *testing.T) {
+	m := NewModelParams(100, 80)
+	f := func(demand, burst float64) bool {
+		if demand < 0 {
+			demand = -demand
+		}
+		if burst < 0 {
+			burst = -burst
+		}
+		l := m.LatencyNS(demand, burst, 1)
+		return l >= m.UnloadedNS() && l < 1e6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

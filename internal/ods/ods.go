@@ -1,0 +1,136 @@
+// Package ods is an in-memory time-series store modelled on the
+// Operational Data Store the paper uses for fleet-wide system metrics
+// (§2.2): sampled metrics are appended per series and queried over
+// time ranges with mean/percentile aggregation. µSKU's soft-SKU
+// generator validates deployed configurations by comparing QPS series
+// collected here over prolonged durations (§4).
+package ods
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"softsku/internal/stats"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	T float64 // seconds since epoch of the simulation
+	V float64
+}
+
+// Store holds named time series. It is safe for concurrent use —
+// every machine in the (simulated) fleet appends to it.
+type Store struct {
+	mu     sync.RWMutex
+	series map[string][]Point
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[string][]Point)}
+}
+
+// Append records one sample. Samples must be appended in
+// non-decreasing time order per series; out-of-order appends are
+// rejected so range queries can binary-search.
+func (s *Store) Append(name string, t, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := s.series[name]
+	if n := len(pts); n > 0 && pts[n-1].T > t {
+		return fmt.Errorf("ods: out-of-order append to %q: %g after %g", name, t, pts[n-1].T)
+	}
+	s.series[name] = append(pts, Point{T: t, V: v})
+	return nil
+}
+
+// Names returns all series names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.series))
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of samples in a series.
+func (s *Store) Len(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series[name])
+}
+
+// Latest returns the most recent sample of a series.
+func (s *Store) Latest(name string) (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pts := s.series[name]
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}
+
+// Range returns a copy of the samples with t0 <= T < t1.
+func (s *Store) Range(name string, t0, t1 float64) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pts := s.series[name]
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].T >= t0 })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].T >= t1 })
+	out := make([]Point, hi-lo)
+	copy(out, pts[lo:hi])
+	return out
+}
+
+// Values returns just the values in [t0, t1).
+func (s *Store) Values(name string, t0, t1 float64) []float64 {
+	pts := s.Range(name, t0, t1)
+	vs := make([]float64, len(pts))
+	for i, p := range pts {
+		vs[i] = p.V
+	}
+	return vs
+}
+
+// Mean aggregates a range; returns 0 for an empty range.
+func (s *Store) Mean(name string, t0, t1 float64) float64 {
+	return stats.Mean(s.Values(name, t0, t1))
+}
+
+// Percentile aggregates a range (p in 0..100); returns 0 for empty.
+func (s *Store) Percentile(name string, t0, t1 float64, p float64) float64 {
+	vs := s.Values(name, t0, t1)
+	if len(vs) == 0 {
+		return 0
+	}
+	return stats.Percentile(vs, p)
+}
+
+// Sample returns a stats.Sample over a range for CI computation.
+func (s *Store) Sample(name string, t0, t1 float64) *stats.Sample {
+	var sm stats.Sample
+	sm.AddAll(s.Values(name, t0, t1))
+	return &sm
+}
+
+// Prune drops samples older than keepAfter from every series, the way
+// a retention policy bounds ODS storage.
+func (s *Store) Prune(keepAfter float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, pts := range s.series {
+		lo := sort.Search(len(pts), func(i int) bool { return pts[i].T >= keepAfter })
+		if lo == 0 {
+			continue
+		}
+		kept := make([]Point, len(pts)-lo)
+		copy(kept, pts[lo:])
+		s.series[name] = kept
+	}
+}

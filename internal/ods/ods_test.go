@@ -1,0 +1,139 @@
+package ods
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndRange(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		if err := s.Append("qps", float64(i), float64(i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := s.Range("qps", 3, 7)
+	if len(pts) != 4 || pts[0].T != 3 || pts[3].T != 6 {
+		t.Fatalf("range = %v", pts)
+	}
+	if got := s.Mean("qps", 0, 10); got != 450 {
+		t.Fatalf("mean = %g", got)
+	}
+	if got := s.Len("qps"); got != 10 {
+		t.Fatalf("len = %d", got)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	s := NewStore()
+	_ = s.Append("x", 5, 1)
+	if err := s.Append("x", 3, 1); err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+	// Equal timestamps are allowed (multiple samples per tick).
+	if err := s.Append("x", 5, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Latest("missing"); ok {
+		t.Fatal("missing series should report !ok")
+	}
+	_ = s.Append("x", 1, 10)
+	_ = s.Append("x", 2, 20)
+	p, ok := s.Latest("x")
+	if !ok || p.V != 20 {
+		t.Fatalf("latest = %v %v", p, ok)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := NewStore()
+	_ = s.Append("b", 0, 1)
+	_ = s.Append("a", 0, 1)
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 100; i++ {
+		_ = s.Append("lat", float64(i), float64(i))
+	}
+	if got := s.Percentile("lat", 0, 200, 99); got < 98 || got > 100 {
+		t.Fatalf("p99 = %g", got)
+	}
+	if got := s.Percentile("missing", 0, 1, 50); got != 0 {
+		t.Fatalf("missing percentile = %g", got)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		_ = s.Append("x", float64(i), 1)
+	}
+	s.Prune(5)
+	if got := s.Len("x"); got != 5 {
+		t.Fatalf("after prune len = %d", got)
+	}
+	if pts := s.Range("x", 0, 100); pts[0].T != 5 {
+		t.Fatalf("oldest after prune = %g", pts[0].T)
+	}
+}
+
+func TestSampleCI(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 1000; i++ {
+		_ = s.Append("m", float64(i), 100)
+	}
+	sm := s.Sample("m", 0, 1000)
+	if sm.N() != 1000 || sm.Mean() != 100 {
+		t.Fatalf("sample %v", sm)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("s%d", g)
+			for i := 0; i < 1000; i++ {
+				if err := s.Append(name, float64(i), float64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if got := s.Len(fmt.Sprintf("s%d", g)); got != 1000 {
+			t.Fatalf("series s%d len = %d", g, got)
+		}
+	}
+}
+
+func TestRangeHalfOpenProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		s := NewStore()
+		for i := 0; i < int(n%50)+1; i++ {
+			_ = s.Append("x", float64(i), 1)
+		}
+		whole := s.Range("x", 0, 1000)
+		split := append(s.Range("x", 0, 10), s.Range("x", 10, 1000)...)
+		return len(whole) == len(split)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

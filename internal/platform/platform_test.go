@@ -1,0 +1,277 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softsku/internal/knob"
+)
+
+func TestTable1Attributes(t *testing.T) {
+	// The SKUs must match Table 1 of the paper.
+	skl18 := Skylake18()
+	if skl18.Sockets != 1 || skl18.CoresPerSocket != 18 || skl18.SMT != 2 {
+		t.Fatalf("Skylake18 topology wrong: %+v", skl18)
+	}
+	if skl18.L2 != 1<<20 || skl18.LLC != 25344<<10 || skl18.LLCWays != 11 {
+		t.Fatalf("Skylake18 caches wrong")
+	}
+	skl20 := Skylake20()
+	if skl20.Sockets != 2 || skl20.CoresPerSocket != 20 || skl20.LLC != 27<<20 {
+		t.Fatalf("Skylake20 wrong: %+v", skl20)
+	}
+	bdw := Broadwell16()
+	if bdw.Sockets != 1 || bdw.CoresPerSocket != 16 || bdw.L2 != 256<<10 || bdw.LLC != 24<<20 {
+		t.Fatalf("Broadwell16 wrong: %+v", bdw)
+	}
+	if bdw.LLCWays != 12 {
+		t.Fatalf("Broadwell16 must have 12 LLC ways (Fig 16b), got %d", bdw.LLCWays)
+	}
+	for _, s := range FleetSKUs() {
+		if s.CacheBlock != 64 || s.L1I != 32<<10 || s.L1D != 32<<10 {
+			t.Errorf("%s L1/block size wrong", s.Name)
+		}
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	// Fig 12: Skylake20 > Skylake18 >> Broadwell16 peak bandwidth.
+	if !(Skylake20().MemPeakGBs > Skylake18().MemPeakGBs) {
+		t.Fatal("Skylake20 must have more bandwidth headroom than Skylake18")
+	}
+	if !(Skylake18().MemPeakGBs > 1.5*Broadwell16().MemPeakGBs) {
+		t.Fatal("Broadwell16 must be markedly bandwidth-poorer than Skylake18")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Skylake18", "Skylake20", "Broadwell16", "skylake18"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("Cascade Lake"); err == nil {
+		t.Fatal("expected error for unknown SKU")
+	}
+}
+
+func TestStockConfigValid(t *testing.T) {
+	for _, s := range FleetSKUs() {
+		if err := s.Validate(s.StockConfig()); err != nil {
+			t.Errorf("%s stock config invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	s := Skylake18()
+	base := s.StockConfig()
+	cases := []knob.Config{
+		base.With(knob.CoreFreq, knob.IntSetting("1.0", 1000)),
+		base.With(knob.CoreFreq, knob.IntSetting("3.0", 3000)),
+		base.With(knob.UncoreFreq, knob.IntSetting("1.2", 1200)),
+		base.With(knob.CoreCount, knob.IntSetting("0", 0)),
+		base.With(knob.CoreCount, knob.IntSetting("19", 19)),
+		base.With(knob.SHP, knob.IntSetting("-1", -1)),
+		base.With(knob.SHP, knob.IntSetting("huge", 1<<20)),
+		base.With(knob.CDP, knob.CDPSetting(knob.CDPConfig{DataWays: 5, CodeWays: 5})), // 10 != 11
+		base.With(knob.CDP, knob.CDPSetting(knob.CDPConfig{DataWays: 11, CodeWays: 0})),
+	}
+	for i, cfg := range cases {
+		if err := s.Validate(cfg); err == nil {
+			t.Errorf("case %d: expected validation error for %v", i, cfg)
+		}
+	}
+}
+
+func TestValidateCDPOnBroadwell(t *testing.T) {
+	// Fig 16(b) sweeps CDP on Broadwell16, so it must support RDT; a
+	// 12-way partition must validate.
+	bdw := Broadwell16()
+	cfg := bdw.StockConfig().With(knob.CDP,
+		knob.CDPSetting(knob.CDPConfig{DataWays: 6, CodeWays: 6}))
+	if err := bdw.Validate(cfg); err != nil {
+		t.Fatalf("Broadwell16 must accept full-span CDP: %v", err)
+	}
+}
+
+func TestAVXOffset(t *testing.T) {
+	s := Skylake18()
+	cfg := s.StockConfig() // 2200 MHz
+	if got := s.EffectiveCoreMHz(cfg, 0.0); got != 2200 {
+		t.Fatalf("integer workload should run at 2200, got %d", got)
+	}
+	// Ads1-style AVX-heavy workload is capped at 2.0 GHz (§6.1(1)).
+	if got := s.EffectiveCoreMHz(cfg, 0.25); got != 2000 {
+		t.Fatalf("AVX workload should cap at 2000, got %d", got)
+	}
+	// A low requested frequency is unaffected by the turbo offset.
+	low := cfg.With(knob.CoreFreq, knob.IntSetting("1.6", 1600))
+	if got := s.EffectiveCoreMHz(low, 0.25); got != 1600 {
+		t.Fatalf("below-cap request should pass through, got %d", got)
+	}
+}
+
+func TestUncoreScale(t *testing.T) {
+	s := Skylake18()
+	max := s.StockConfig()
+	if got := s.UncoreScale(max); got != 1.0 {
+		t.Fatalf("nominal uncore scale = %g", got)
+	}
+	slow := max.With(knob.UncoreFreq, knob.IntSetting("1.4", 1400))
+	if got := s.UncoreScale(slow); got <= 1.0 {
+		t.Fatalf("slower uncore must increase latency scale, got %g", got)
+	}
+}
+
+func TestServerConfigRoundTrip(t *testing.T) {
+	s := Skylake18()
+	cfg := knob.Config{
+		CoreFreqMHz:   1900,
+		UncoreFreqMHz: 1500,
+		Cores:         8,
+		CDP:           knob.CDPConfig{DataWays: 6, CodeWays: 5},
+		Prefetch:      knob.PrefetchDCU | knob.PrefetchDCUIP,
+		THP:           knob.THPAlways,
+		SHPCount:      300,
+	}
+	srv, err := NewServer(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Config(); got != cfg {
+		t.Fatalf("round trip:\n got %v\nwant %v", got, cfg)
+	}
+}
+
+func TestServerRoundTripProperty(t *testing.T) {
+	s := Skylake20()
+	f := func(coreStep, uncoreStep, cores, pf, thp, shp uint8) bool {
+		cfg := knob.Config{
+			CoreFreqMHz:   1600 + int(coreStep%7)*100,
+			UncoreFreqMHz: 1400 + int(uncoreStep%5)*100,
+			Cores:         1 + int(cores)%s.Cores(),
+			Prefetch:      knob.PrefetchMask(pf % 16),
+			THP:           knob.THPMode(thp % 3),
+			SHPCount:      int(shp%7) * 100,
+		}
+		srv, err := NewServer(s, cfg)
+		if err != nil {
+			return false
+		}
+		return srv.Config() == cfg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebootSemantics(t *testing.T) {
+	s := Skylake18()
+	srv, err := NewServer(s, s.StockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Reboots() != 0 {
+		t.Fatal("initial boot must not count")
+	}
+	// MSR-only change: no reboot.
+	cfg := s.StockConfig().With(knob.CoreFreq, knob.IntSetting("1.8", 1800))
+	rebooted, err := srv.Apply(cfg)
+	if err != nil || rebooted {
+		t.Fatalf("frequency change forced reboot=%v err=%v", rebooted, err)
+	}
+	// Core count: reboot via isolcpus.
+	cfg = cfg.With(knob.CoreCount, knob.IntSetting("8", 8))
+	rebooted, err = srv.Apply(cfg)
+	if err != nil || !rebooted {
+		t.Fatalf("core count change must reboot, got %v err=%v", rebooted, err)
+	}
+	if srv.Reboots() != 1 {
+		t.Fatalf("reboots=%d", srv.Reboots())
+	}
+	// SHP change: reboot.
+	cfg = cfg.With(knob.SHP, knob.IntSetting("200", 200))
+	if rebooted, _ = srv.Apply(cfg); !rebooted {
+		t.Fatal("SHP change must reboot")
+	}
+	// Re-applying the identical config is free.
+	if rebooted, _ = srv.Apply(cfg); rebooted {
+		t.Fatal("no-op apply must not reboot")
+	}
+	if srv.Reboots() != 2 {
+		t.Fatalf("reboots=%d", srv.Reboots())
+	}
+}
+
+func TestApplyRejectsInvalidWithoutStateChange(t *testing.T) {
+	s := Skylake18()
+	srv, _ := NewServer(s, s.StockConfig())
+	before := srv.Config()
+	bad := before.With(knob.CoreFreq, knob.IntSetting("3.0", 3000))
+	if _, err := srv.Apply(bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if srv.Config() != before {
+		t.Fatal("failed Apply must not change state")
+	}
+}
+
+func TestIsolcpusEncoding(t *testing.T) {
+	s := Skylake18()
+	cfg := s.StockConfig().With(knob.CoreCount, knob.IntSetting("16", 16))
+	srv, _ := NewServer(s, cfg)
+	if got := srv.KernelParam("isolcpus"); got != "16,17" {
+		t.Fatalf("isolcpus=%q", got)
+	}
+}
+
+func TestMSRPrefetcherEncoding(t *testing.T) {
+	s := Skylake18()
+	cfg := s.StockConfig().With(knob.Prefetch, knob.PrefetchSetting(knob.PrefetchNone))
+	srv, _ := NewServer(s, cfg)
+	// All four disable bits must be set.
+	if got := srv.ReadMSR(MSRMiscFeature); got != 0xf {
+		t.Fatalf("MSR 0x1a4 = %#x, want 0xf", got)
+	}
+	cfg = cfg.With(knob.Prefetch, knob.PrefetchSetting(knob.PrefetchAll))
+	if _, err := srv.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.ReadMSR(MSRMiscFeature); got != 0 {
+		t.Fatalf("MSR 0x1a4 = %#x, want 0", got)
+	}
+}
+
+func TestLLCWaySize(t *testing.T) {
+	s := Skylake18()
+	if got := s.LLCWaySize(); got != 25344<<10/11 {
+		t.Fatalf("way size = %d", got)
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	s := Skylake18()
+	stock := s.StockConfig()
+	full := s.PowerWatts(stock, s.MaxCoreMHz, 1.0, 60)
+	idle := s.PowerWatts(stock, s.MaxCoreMHz, 0.0, 0)
+	if full <= idle {
+		t.Fatal("utilization must add power")
+	}
+	if idle < s.IdleWatts || idle > s.IdleWatts+s.UncoreMaxWatts+1 {
+		t.Fatalf("idle power %g implausible", idle)
+	}
+	// Frequency scaling is superlinear: dropping 2.2 -> 1.6 GHz saves
+	// more than proportionally on the dynamic component.
+	lowF := stock.With(knob.CoreFreq, knob.IntSetting("1.6", 1600))
+	hi := s.PowerWatts(stock, 2200, 0.9, 40) - idle
+	lo := s.PowerWatts(lowF, 1600, 0.9, 40) - idle
+	if lo >= hi*1600/2200 {
+		t.Fatalf("dynamic power not superlinear: hi=%g lo=%g", hi, lo)
+	}
+	// Slower uncore saves power too.
+	lowU := stock.With(knob.UncoreFreq, knob.IntSetting("1.4", 1400))
+	if s.PowerWatts(lowU, 2200, 0.5, 40) >= s.PowerWatts(stock, 2200, 0.5, 40) {
+		t.Fatal("slower uncore must reduce power")
+	}
+}

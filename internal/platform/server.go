@@ -1,0 +1,169 @@
+package platform
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"softsku/internal/knob"
+)
+
+// Model-specific register addresses µSKU writes, mirroring the Intel
+// registers the paper's prototype drives (§5).
+const (
+	MSRPerfCtl          = 0x199 // core frequency target ratio
+	MSRMiscFeature      = 0x1a4 // prefetcher disable bits
+	MSRUncoreRatioLimit = 0x620 // uncore min/max ratio
+)
+
+// Prefetcher disable bits in MSR 0x1A4. A set bit disables the
+// prefetcher, matching Intel's encoding.
+const (
+	miscL2HWDisable  = 1 << 0
+	miscL2AdjDisable = 1 << 1
+	miscDCUDisable   = 1 << 2
+	miscDCUIPDisable = 1 << 3
+)
+
+// Server is a booted instance of a SKU. Knob changes are applied the
+// way µSKU applies them in production: frequency and prefetcher knobs
+// through MSR writes, CDP through the resctrl interface, THP through a
+// kernel configuration file, and core count / SHP reservations through
+// boot parameters followed by a reboot (§5).
+type Server struct {
+	sku     *SKU
+	msr     map[uint32]uint64
+	kernel  map[string]string // kernel config files and boot parameters
+	resctrl knob.CDPConfig
+	reboots int
+}
+
+// NewServer boots a server of the given SKU with the given initial
+// configuration. The initial boot is not counted in Reboots.
+func NewServer(sku *SKU, cfg knob.Config) (*Server, error) {
+	if err := sku.Validate(cfg); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		sku:    sku,
+		msr:    make(map[uint32]uint64),
+		kernel: make(map[string]string),
+	}
+	s.write(cfg)
+	return s, nil
+}
+
+// SKU returns the server's hardware description.
+func (s *Server) SKU() *SKU { return s.sku }
+
+// Reboots returns how many reboots knob changes have forced since the
+// server was provisioned. Some microservices cannot tolerate reboots
+// on live traffic; µSKU consults this cost when planning sweeps.
+func (s *Server) Reboots() int { return s.reboots }
+
+// Apply reconfigures the server to cfg, returning whether a reboot was
+// required. Invalid configurations are rejected without any state
+// change.
+func (s *Server) Apply(cfg knob.Config) (rebooted bool, err error) {
+	if err := s.sku.Validate(cfg); err != nil {
+		return false, err
+	}
+	cur := s.Config()
+	for _, id := range knob.Diff(cur, cfg) {
+		if id.RequiresReboot() {
+			rebooted = true
+		}
+	}
+	s.write(cfg)
+	if rebooted {
+		s.reboots++
+	}
+	return rebooted, nil
+}
+
+// write encodes cfg into the MSR file, resctrl state, and kernel
+// parameters. Config() decodes the same state back, so the encoded
+// form is the source of truth.
+func (s *Server) write(cfg knob.Config) {
+	// Core ratio in 100 MHz units, Intel PERF_CTL layout (bits 15:8).
+	s.msr[MSRPerfCtl] = uint64(cfg.CoreFreqMHz/100) << 8
+	// Uncore min/max ratio (bits 6:0 max, 14:8 min); µSKU pins both.
+	ratio := uint64(cfg.UncoreFreqMHz / 100)
+	s.msr[MSRUncoreRatioLimit] = ratio | ratio<<8
+	// Prefetcher disables.
+	var misc uint64
+	if !cfg.Prefetch.Has(knob.PrefetchL2HW) {
+		misc |= miscL2HWDisable
+	}
+	if !cfg.Prefetch.Has(knob.PrefetchL2Adj) {
+		misc |= miscL2AdjDisable
+	}
+	if !cfg.Prefetch.Has(knob.PrefetchDCU) {
+		misc |= miscDCUDisable
+	}
+	if !cfg.Prefetch.Has(knob.PrefetchDCUIP) {
+		misc |= miscDCUIPDisable
+	}
+	s.msr[MSRMiscFeature] = misc
+
+	s.resctrl = cfg.CDP
+
+	// Kernel-side knobs.
+	if cfg.Cores < s.sku.Cores() {
+		// isolcpus lists the cores the OS may NOT schedule on.
+		var isolated []string
+		for c := cfg.Cores; c < s.sku.Cores(); c++ {
+			isolated = append(isolated, strconv.Itoa(c))
+		}
+		s.kernel["isolcpus"] = strings.Join(isolated, ",")
+	} else {
+		delete(s.kernel, "isolcpus")
+	}
+	s.kernel["transparent_hugepage/enabled"] = cfg.THP.String()
+	s.kernel["vm/nr_hugepages"] = strconv.Itoa(cfg.SHPCount)
+}
+
+// Config decodes the server's current soft-SKU configuration from its
+// MSRs and kernel parameters.
+func (s *Server) Config() knob.Config {
+	var cfg knob.Config
+	cfg.CoreFreqMHz = int(s.msr[MSRPerfCtl]>>8) * 100
+	cfg.UncoreFreqMHz = int(s.msr[MSRUncoreRatioLimit]&0x7f) * 100
+	misc := s.msr[MSRMiscFeature]
+	if misc&miscL2HWDisable == 0 {
+		cfg.Prefetch |= knob.PrefetchL2HW
+	}
+	if misc&miscL2AdjDisable == 0 {
+		cfg.Prefetch |= knob.PrefetchL2Adj
+	}
+	if misc&miscDCUDisable == 0 {
+		cfg.Prefetch |= knob.PrefetchDCU
+	}
+	if misc&miscDCUIPDisable == 0 {
+		cfg.Prefetch |= knob.PrefetchDCUIP
+	}
+	cfg.CDP = s.resctrl
+
+	cfg.Cores = s.sku.Cores()
+	if isol, ok := s.kernel["isolcpus"]; ok && isol != "" {
+		cfg.Cores -= len(strings.Split(isol, ","))
+	}
+	if mode, err := knob.ParseTHP(s.kernel["transparent_hugepage/enabled"]); err == nil {
+		cfg.THP = mode
+	}
+	if n, err := strconv.Atoi(s.kernel["vm/nr_hugepages"]); err == nil {
+		cfg.SHPCount = n
+	}
+	return cfg
+}
+
+// ReadMSR returns the raw value of an MSR, for diagnostics and tests.
+func (s *Server) ReadMSR(addr uint32) uint64 { return s.msr[addr] }
+
+// KernelParam returns a kernel configuration value ("" if unset).
+func (s *Server) KernelParam(name string) string { return s.kernel[name] }
+
+// String describes the server and its current configuration.
+func (s *Server) String() string {
+	return fmt.Sprintf("%s[%s]", s.sku.Name, s.Config())
+}

@@ -1,0 +1,333 @@
+// Package platform models the hardware SKUs of the paper's fleet
+// (Table 1): Skylake18, Skylake20, and Broadwell16. A SKU is the
+// immutable description of a stock-keeping unit; a Server is a booted
+// instance of a SKU whose tunable knobs (MSRs, kernel parameters) have
+// been set to a particular soft-SKU configuration.
+//
+// The package enforces the operational semantics that matter to µSKU:
+// which knob changes require a reboot, platform-specific knob ranges,
+// and the shared core/uncore power budget that caps AVX-heavy services
+// (like Ads1) below the nominal turbo frequency (§6.1(1)).
+package platform
+
+import (
+	"fmt"
+	"math"
+
+	"softsku/internal/knob"
+)
+
+// SKU describes one hardware stock-keeping unit. All capacities are in
+// bytes; frequencies in MHz; latencies in nanoseconds at nominal
+// uncore frequency.
+type SKU struct {
+	Name      string
+	Microarch string
+
+	Sockets        int
+	CoresPerSocket int
+	SMT            int // hardware threads per core
+
+	CacheBlock int // line size, bytes
+	L1I        int // per core
+	L1D        int // per core
+	L2         int // per core
+	LLC        int // per socket
+	LLCWays    int
+
+	// TLB geometry (per core). Entries for 4 KiB and 2 MiB pages.
+	ITLB4K, ITLB2M int
+	DTLB4K, DTLB2M int
+	STLB           int // unified second-level TLB entries
+
+	// Frequency capabilities.
+	MinCoreMHz, MaxCoreMHz     int
+	MinUncoreMHz, MaxUncoreMHz int
+	AVXOffsetMHz               int // turbo reduction under heavy AVX
+
+	// Pipeline.
+	DispatchWidth int // pipeline slots per cycle for top-down accounting
+
+	// Power model (§7 extension: energy-aware tuning). The core and
+	// uncore domains share the CPU power budget; dynamic core power
+	// scales superlinearly with frequency.
+	IdleWatts       float64 // package + platform idle power
+	CoreDynWatts    float64 // per active core at max frequency, full utilization
+	UncoreMaxWatts  float64 // uncore domain at maximum uncore frequency
+	DRAMWattsPerGBs float64 // incremental DRAM power per GB/s of traffic
+
+	// Memory subsystem (whole platform).
+	MemPeakGBs       float64 // achievable peak bandwidth
+	MemUnloadedNS    float64 // idle load-to-use latency
+	LLCLatencyNS     float64 // LLC hit latency at nominal uncore
+	L2LatencyNS      float64
+	HugePagePoolMiB  int // memory reservable for static huge pages
+	SupportsRDT      bool
+	SupportsTurbo    bool
+	StockPrefetchers knob.PrefetchMask
+}
+
+// Cores returns the total physical core count across sockets.
+func (s *SKU) Cores() int { return s.Sockets * s.CoresPerSocket }
+
+// Threads returns the total hardware thread count.
+func (s *SKU) Threads() int { return s.Cores() * s.SMT }
+
+// LLCWaySize returns the capacity of a single LLC way in bytes.
+func (s *SKU) LLCWaySize() int { return s.LLC / s.LLCWays }
+
+// String identifies the SKU.
+func (s *SKU) String() string { return s.Name }
+
+// Skylake18 returns the 18-core single-socket Intel Skylake platform
+// (Table 1). Web, Feed1, Feed2, Ads1, and Cache2 run on it.
+func Skylake18() *SKU {
+	return &SKU{
+		Name:      "Skylake18",
+		Microarch: "Intel Skylake",
+
+		Sockets:        1,
+		CoresPerSocket: 18,
+		SMT:            2,
+
+		CacheBlock: 64,
+		L1I:        32 << 10,
+		L1D:        32 << 10,
+		L2:         1 << 20,
+		LLC:        25344 << 10, // 24.75 MiB
+		LLCWays:    11,
+
+		ITLB4K: 128, ITLB2M: 8,
+		DTLB4K: 64, DTLB2M: 32,
+		STLB: 1536,
+
+		MinCoreMHz: 1600, MaxCoreMHz: 2200,
+		MinUncoreMHz: 1400, MaxUncoreMHz: 1800,
+		AVXOffsetMHz: 200,
+
+		DispatchWidth: 4,
+
+		IdleWatts:       62,
+		CoreDynWatts:    6.2,
+		UncoreMaxWatts:  18,
+		DRAMWattsPerGBs: 0.18,
+
+		MemPeakGBs:       118,
+		MemUnloadedNS:    78,
+		LLCLatencyNS:     18,
+		L2LatencyNS:      5,
+		HugePagePoolMiB:  2048,
+		SupportsRDT:      true,
+		SupportsTurbo:    true,
+		StockPrefetchers: knob.PrefetchAll,
+	}
+}
+
+// Skylake20 returns the dual-socket 20-core-per-socket Skylake
+// platform (Table 1). Ads2 and Cache1 run on it for its higher peak
+// memory bandwidth (Fig 12).
+func Skylake20() *SKU {
+	return &SKU{
+		Name:      "Skylake20",
+		Microarch: "Intel Skylake",
+
+		Sockets:        2,
+		CoresPerSocket: 20,
+		SMT:            2,
+
+		CacheBlock: 64,
+		L1I:        32 << 10,
+		L1D:        32 << 10,
+		L2:         1 << 20,
+		LLC:        27 << 20, // 27 MiB per socket
+		LLCWays:    11,
+
+		ITLB4K: 128, ITLB2M: 8,
+		DTLB4K: 64, DTLB2M: 32,
+		STLB: 1536,
+
+		MinCoreMHz: 1600, MaxCoreMHz: 2200,
+		MinUncoreMHz: 1400, MaxUncoreMHz: 1800,
+		AVXOffsetMHz: 200,
+
+		DispatchWidth: 4,
+
+		IdleWatts:       110,
+		CoreDynWatts:    6.0,
+		UncoreMaxWatts:  34,
+		DRAMWattsPerGBs: 0.18,
+
+		MemPeakGBs:       145,
+		MemUnloadedNS:    84, // NUMA raises the average unloaded latency
+		LLCLatencyNS:     19,
+		L2LatencyNS:      5,
+		HugePagePoolMiB:  4096,
+		SupportsRDT:      true,
+		SupportsTurbo:    true,
+		StockPrefetchers: knob.PrefetchAll,
+	}
+}
+
+// Broadwell16 returns the previous-generation 16-core Broadwell
+// platform µSKU also tunes Web on (§5). Its markedly lower peak memory
+// bandwidth is what flips the CDP and prefetcher results in Figs 16–17.
+func Broadwell16() *SKU {
+	return &SKU{
+		Name:      "Broadwell16",
+		Microarch: "Intel Broadwell",
+
+		Sockets:        1,
+		CoresPerSocket: 16,
+		SMT:            2,
+
+		CacheBlock: 64,
+		L1I:        32 << 10,
+		L1D:        32 << 10,
+		L2:         256 << 10,
+		LLC:        24 << 20,
+		LLCWays:    12,
+
+		ITLB4K: 128, ITLB2M: 8,
+		DTLB4K: 64, DTLB2M: 32,
+		STLB: 1024,
+
+		MinCoreMHz: 1600, MaxCoreMHz: 2200,
+		MinUncoreMHz: 1400, MaxUncoreMHz: 1800,
+		AVXOffsetMHz: 300,
+
+		DispatchWidth: 4,
+
+		IdleWatts:       58,
+		CoreDynWatts:    6.8,
+		UncoreMaxWatts:  16,
+		DRAMWattsPerGBs: 0.22,
+
+		MemPeakGBs:       34, // older board: half the channels populated
+		MemUnloadedNS:    85,
+		LLCLatencyNS:     20,
+		L2LatencyNS:      4,
+		HugePagePoolMiB:  2048,
+		SupportsRDT:      true,
+		SupportsTurbo:    true,
+		StockPrefetchers: knob.PrefetchL2HW | knob.PrefetchDCU,
+	}
+}
+
+// ByName looks up one of the three fleet SKUs by (case-sensitive)
+// name.
+func ByName(name string) (*SKU, error) {
+	switch name {
+	case "Skylake18", "skylake18":
+		return Skylake18(), nil
+	case "Skylake20", "skylake20":
+		return Skylake20(), nil
+	case "Broadwell16", "broadwell16":
+		return Broadwell16(), nil
+	}
+	return nil, fmt.Errorf("platform: unknown SKU %q", name)
+}
+
+// FleetSKUs returns all three platforms in Table 1 order.
+func FleetSKUs() []*SKU {
+	return []*SKU{Skylake18(), Skylake20(), Broadwell16()}
+}
+
+// StockConfig returns the off-the-shelf configuration for the SKU
+// (§6.2): maximum core and uncore frequency, all cores active, no CDP,
+// all platform-default prefetchers on, THP always, no SHPs.
+func (s *SKU) StockConfig() knob.Config {
+	return knob.Config{
+		CoreFreqMHz:   s.MaxCoreMHz,
+		UncoreFreqMHz: s.MaxUncoreMHz,
+		Cores:         s.Cores(),
+		CDP:           knob.CDPConfig{},
+		Prefetch:      knob.PrefetchAll,
+		THP:           knob.THPAlways,
+		SHPCount:      0,
+	}
+}
+
+// Validate reports whether cfg is realizable on this SKU, returning a
+// descriptive error otherwise. µSKU refuses to A/B-test unrealizable
+// points rather than silently clamping them.
+func (s *SKU) Validate(cfg knob.Config) error {
+	if cfg.CoreFreqMHz < s.MinCoreMHz || cfg.CoreFreqMHz > s.MaxCoreMHz {
+		return fmt.Errorf("platform: core frequency %d MHz outside [%d, %d] on %s",
+			cfg.CoreFreqMHz, s.MinCoreMHz, s.MaxCoreMHz, s.Name)
+	}
+	if cfg.UncoreFreqMHz < s.MinUncoreMHz || cfg.UncoreFreqMHz > s.MaxUncoreMHz {
+		return fmt.Errorf("platform: uncore frequency %d MHz outside [%d, %d] on %s",
+			cfg.UncoreFreqMHz, s.MinUncoreMHz, s.MaxUncoreMHz, s.Name)
+	}
+	if cfg.Cores < 1 || cfg.Cores > s.Cores() {
+		return fmt.Errorf("platform: core count %d outside [1, %d] on %s",
+			cfg.Cores, s.Cores(), s.Name)
+	}
+	if cfg.CDP.Enabled() {
+		if !s.SupportsRDT {
+			return fmt.Errorf("platform: %s does not support RDT/CDP", s.Name)
+		}
+		if cfg.CDP.DataWays < 1 || cfg.CDP.CodeWays < 1 {
+			return fmt.Errorf("platform: CDP %s must dedicate at least one way each", cfg.CDP)
+		}
+		if cfg.CDP.Ways() != s.LLCWays {
+			return fmt.Errorf("platform: CDP %s must span all %d LLC ways on %s",
+				cfg.CDP, s.LLCWays, s.Name)
+		}
+	}
+	if cfg.SHPCount < 0 {
+		return fmt.Errorf("platform: negative SHP count %d", cfg.SHPCount)
+	}
+	if mib := cfg.SHPCount * 2; mib > s.HugePagePoolMiB {
+		return fmt.Errorf("platform: %d SHPs (%d MiB) exceed the %d MiB reservable pool on %s",
+			cfg.SHPCount, mib, s.HugePagePoolMiB, s.Name)
+	}
+	return nil
+}
+
+// EffectiveCoreMHz returns the core frequency the power budget allows
+// for a workload with the given fraction of AVX/floating-point
+// operations. The core and uncore domains share a fixed CPU power
+// budget; services with heavy AVX use (Ads1) must run below nominal
+// turbo (§6.1(1)).
+func (s *SKU) EffectiveCoreMHz(cfg knob.Config, avxFrac float64) int {
+	mhz := cfg.CoreFreqMHz
+	if avxFrac >= 0.15 {
+		// Heavy AVX trips the offset; the cap applies to the turbo
+		// range only, never pushing below the minimum.
+		cap := s.MaxCoreMHz - s.AVXOffsetMHz
+		if mhz > cap {
+			mhz = cap
+		}
+	}
+	if mhz < s.MinCoreMHz {
+		mhz = s.MinCoreMHz
+	}
+	return mhz
+}
+
+// PowerWatts estimates platform power at the given operating
+// conditions: active core count, effective core frequency, CPU
+// utilization, uncore frequency, and DRAM traffic. Dynamic core power
+// follows the classic f^2.7 voltage/frequency scaling.
+func (s *SKU) PowerWatts(cfg knob.Config, effCoreMHz int, util, dramGBs float64) float64 {
+	fRatio := float64(effCoreMHz) / float64(s.MaxCoreMHz)
+	uRatio := float64(cfg.UncoreFreqMHz) / float64(s.MaxUncoreMHz)
+	core := float64(cfg.Cores) * s.CoreDynWatts * util * powf(fRatio, 2.7)
+	uncore := s.UncoreMaxWatts * uRatio * uRatio
+	return s.IdleWatts + core + uncore + s.DRAMWattsPerGBs*dramGBs
+}
+
+func powf(x, p float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Exp(p * math.Log(x))
+}
+
+// UncoreScale returns the latency multiplier for uncore-clocked
+// structures (LLC, memory controller path) at the configured uncore
+// frequency, relative to nominal maximum.
+func (s *SKU) UncoreScale(cfg knob.Config) float64 {
+	return float64(s.MaxUncoreMHz) / float64(cfg.UncoreFreqMHz)
+}

@@ -1,0 +1,224 @@
+// Package rng provides deterministic pseudo-random number generation and
+// the distribution samplers the SoftSKU simulators depend on.
+//
+// Every source of randomness in the repository flows through a seeded
+// Source so that simulations, tests, and benchmarks are reproducible
+// bit-for-bit across runs. The generator is xoshiro256**, seeded via
+// SplitMix64; independent sub-streams for subsystems are derived with
+// Split so that adding a consumer never perturbs another consumer's
+// stream.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source implementing
+// xoshiro256**. The zero value is not valid; use New.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed via SplitMix64 so that nearby
+// seeds produce uncorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	src.s0, src.s1, src.s2, src.s3 = next(), next(), next(), next()
+	if src.s0|src.s1|src.s2|src.s3 == 0 {
+		src.s0 = 1 // xoshiro must not be seeded with all zeros
+	}
+	return &src
+}
+
+// Split derives an independent sub-stream labelled by label. The parent
+// stream is not advanced, so consumers can be added or removed without
+// disturbing sibling streams.
+func (s *Source) Split(label string) *Source {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	// Mix the parent state without advancing it.
+	return New(h ^ s.s0 ^ rotl(s.s2, 17))
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n called with n <= 0")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (s *Source) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It panics if mean <= 0.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp called with mean <= 0")
+	}
+	return -mean * math.Log(1-s.Float64())
+}
+
+// Poisson returns a Poisson-distributed count with the given mean. For
+// large means a normal approximation is used, which is accurate to well
+// under the simulation noise floor.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(math.Round(s.Norm(mean, math.Sqrt(mean))))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	// Knuth's algorithm for small means.
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// LogNormal returns a log-normally distributed value parameterized by
+// the mean and standard deviation of the underlying normal.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Norm(mu, sigma))
+}
+
+// Pareto returns a Pareto-distributed value with minimum xm and shape
+// alpha. Heavy-tailed service demands use this.
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	return xm / math.Pow(1-s.Float64(), 1/alpha)
+}
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^theta. It is used to give synthetic address streams a
+// realistic hot/cold locality profile.
+type Zipf struct {
+	src   *Source
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with skew theta in (0, 1)
+// U (1, inf). theta == 1 is nudged to avoid the harmonic singularity.
+// It panics if n <= 0.
+func NewZipf(src *Source, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf called with n <= 0")
+	}
+	if theta == 1 {
+		theta = 0.99999
+	}
+	z := &Zipf{src: src, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// Next returns the next sampled rank in [0, n). Rank 0 is hottest.
+func (z *Zipf) Next() int {
+	// Gray et al.'s quick Zipf approximation, standard in YCSB-style
+	// workload generators.
+	u := z.src.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// N returns the sampler's support size.
+func (z *Zipf) N() int { return z.n }
+
+func zeta(n int, theta float64) float64 {
+	// For large n, approximate the generalized harmonic number with the
+	// integral; exact summation up to a cutoff keeps the head accurate.
+	const cutoff = 10000
+	sum := 0.0
+	limit := n
+	if limit > cutoff {
+		limit = cutoff
+	}
+	for i := 1; i <= limit; i++ {
+		sum += math.Pow(float64(i), -theta)
+	}
+	if n > cutoff {
+		// Integral of x^-theta from cutoff to n.
+		if theta != 1 {
+			sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(cutoff), 1-theta)) / (1 - theta)
+		} else {
+			sum += math.Log(float64(n) / float64(cutoff))
+		}
+	}
+	return sum
+}

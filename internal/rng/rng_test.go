@@ -1,0 +1,276 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("nearby seeds collided %d times", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	s := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded source produced repeats: %d unique of 100", len(seen))
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	want := New(7).Split("cache").Uint64()
+	if got := New(7).Split("cache").Uint64(); got != want {
+		t.Fatalf("Split not deterministic: got %d want %d", got, want)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(7), New(7)
+	a.Split("cache")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split advanced the parent stream")
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	a := New(7)
+	s1 := a.Split("tlb")
+	s2 := a.Split("cache")
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("different labels produced identical sub-streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(6)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm(10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("normal mean %g, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("normal stddev %g, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(8)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.1 {
+		t.Fatalf("exponential mean %g, want ~5", mean)
+	}
+}
+
+func TestExpNonNegative(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		if v := s.Exp(1); v < 0 {
+			t.Fatalf("exponential produced negative %g", v)
+		}
+	}
+}
+
+func TestPoissonSmallMean(t *testing.T) {
+	s := New(10)
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Poisson(2.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("poisson(2.5) mean %g", mean)
+	}
+}
+
+func TestPoissonLargeMean(t *testing.T) {
+	s := New(11)
+	const n = 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Poisson(500)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-500) > 2 {
+		t.Fatalf("poisson(500) mean %g", mean)
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(12)
+	for i := 0; i < 10000; i++ {
+		if v := s.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("pareto below minimum: %g", v)
+		}
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("lognormal non-positive: %g", v)
+		}
+	}
+}
+
+func TestZipfBoundsProperty(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := int(rawN%1000) + 1
+		z := NewZipf(New(seed), n, 0.9)
+		for i := 0; i < 200; i++ {
+			r := z.Next()
+			if r < 0 || r >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(New(14), 10000, 0.99)
+	const n = 100000
+	hot := 0
+	for i := 0; i < n; i++ {
+		if z.Next() < 100 { // hottest 1% of ranks
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.3 {
+		t.Fatalf("zipf(0.99) hottest 1%% got only %.2f of accesses, want skewed (>0.3)", frac)
+	}
+}
+
+func TestZipfUnitThetaNudged(t *testing.T) {
+	z := NewZipf(New(15), 100, 1.0)
+	for i := 0; i < 1000; i++ {
+		if r := z.Next(); r < 0 || r >= 100 {
+			t.Fatalf("rank out of bounds: %d", r)
+		}
+	}
+}
+
+func TestZipfPanicsOnEmptySupport(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(New(1), 0, 0.9)
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(16)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %g", frac)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(New(1), 1<<20, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

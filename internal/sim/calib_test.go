@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"softsku/internal/cache"
+	"softsku/internal/platform"
+	"softsku/internal/workload"
+)
+
+// newPeakMachine builds a machine for a service on its production
+// platform at the hand-tuned production configuration.
+func newPeakMachine(t testing.TB, name string) *Machine {
+	t.Helper()
+	prof, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sku, err := platform.ByName(prof.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := platform.NewServer(sku, ProductionConfig(sku, prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(srv, prof, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPrintCharacterization is a diagnostic: -run PrintCharacterization -v
+// dumps the full measured characterization for calibration work.
+func TestPrintCharacterization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, name := range []string{"Web", "Feed1", "Feed2", "Ads1", "Ads2", "Cache1", "Cache2"} {
+		m := newPeakMachine(t, name)
+		op := m.SolvePeak()
+		r := op.Rates
+		l1c, l1d := r.CacheMPKI(cache.L1)
+		l2c, l2d := r.CacheMPKI(cache.L2)
+		llcc, llcd := r.CacheMPKI(cache.LLC)
+		itlb, dl, ds := r.TLBMPKI()
+		fmt.Printf("%-7s IPC=%.2f td={r%.0f f%.0f b%.0f be%.0f} L1{c%.1f d%.1f} L2{c%.1f d%.1f} LLC{c%.2f d%.2f} TLB{i%.2f dl%.2f ds%.2f} bw=%.1f lat=%.0f MIPS=%.0f QPS=%.0f sw=%d\n",
+			name, op.IPC,
+			op.TopDown.Retiring*100, op.TopDown.FrontEnd*100, op.TopDown.BadSpec*100, op.TopDown.BackEnd*100,
+			l1c, l1d, l2c, l2d, llcc, llcd, itlb, dl, ds,
+			op.MemBWGBs, op.MemLatencyNS, op.MIPS, op.QPS, r.CtxSwitches)
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"softsku/internal/platform"
+	"softsku/internal/workload"
+)
+
+func colocate(t *testing.T, a, b string) CoResult {
+	t.Helper()
+	pa, err := workload.ByName(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := workload.ByName(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Colocate(platform.Skylake18(), pa, pb, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestColocateSelfSymmetric(t *testing.T) {
+	r := colocate(t, "Web", "Web")
+	if math.Abs(r.SlowdownA-r.SlowdownB) > 0.03 {
+		t.Fatalf("self-pairing must be symmetric: %.3f vs %.3f", r.SlowdownA, r.SlowdownB)
+	}
+	if r.SlowdownA < 1.05 {
+		t.Fatalf("a second Web tenant must visibly interfere: %.3f", r.SlowdownA)
+	}
+}
+
+func TestColocateNeighboursInterfere(t *testing.T) {
+	r := colocate(t, "Web", "Feed1")
+	// Any LLC-hungry neighbour slows both sides relative to an idle
+	// neighbour (allowing slight measurement slack).
+	if r.SlowdownA < 0.98 || r.SlowdownB < 0.98 {
+		t.Fatalf("negative interference is implausible: %+v", r)
+	}
+	if r.SlowdownA < 1.02 && r.SlowdownB < 1.02 {
+		t.Fatalf("no measurable interference at all: %+v", r)
+	}
+}
+
+func TestColocateAffinityOrdering(t *testing.T) {
+	// The scheduler-relevant signal: neighbours differ. Web suffers
+	// more from a second Web (large shared footprint) than from Feed2.
+	webWeb := colocate(t, "Web", "Web")
+	webFeed2 := colocate(t, "Web", "Feed2")
+	if webWeb.SlowdownA <= webFeed2.SlowdownA {
+		t.Fatalf("Web should prefer Feed2 over another Web as neighbour: %.3f vs %.3f",
+			webWeb.SlowdownA, webFeed2.SlowdownA)
+	}
+}
+
+func TestColocateDeterministic(t *testing.T) {
+	a := colocate(t, "Feed1", "Feed2")
+	b := colocate(t, "Feed1", "Feed2")
+	if a != b {
+		t.Fatalf("colocation measurement not deterministic:\n%+v\n%+v", a, b)
+	}
+}

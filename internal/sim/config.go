@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"softsku/internal/knob"
+	"softsku/internal/platform"
+	"softsku/internal/workload"
+)
+
+// ProductionConfig returns the hand-tuned production configuration for
+// a service/platform pair (§6.2): maximum core and uncore frequencies
+// (Turbo on), all cores active, no CDP, the platform's default
+// prefetcher set, THP=madvise, and the operations team's historical
+// SHP reservations (200 for Web on Skylake, 488 for Web on Broadwell).
+func ProductionConfig(sku *platform.SKU, prof *workload.Profile) knob.Config {
+	cfg := knob.Config{
+		CoreFreqMHz:   sku.MaxCoreMHz,
+		UncoreFreqMHz: sku.MaxUncoreMHz,
+		Cores:         sku.Cores(),
+		CDP:           knob.CDPConfig{},
+		Prefetch:      sku.StockPrefetchers,
+		THP:           knob.THPMadvise,
+		SHPCount:      0,
+	}
+	if prof.Name == "Web" {
+		switch sku.Name {
+		case "Broadwell16":
+			cfg.SHPCount = 488
+		default:
+			cfg.SHPCount = 200
+		}
+	}
+	return cfg
+}
+
+// StockConfig returns the off-the-shelf configuration after a fresh
+// server re-install (§6.2): like production but with every prefetcher
+// on, THP=always, and no SHPs.
+func StockConfig(sku *platform.SKU) knob.Config { return sku.StockConfig() }

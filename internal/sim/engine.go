@@ -1,0 +1,81 @@
+package sim
+
+import "container/heap"
+
+// event is one scheduled occurrence in virtual time.
+type event struct {
+	at  float64 // seconds of virtual time
+	seq uint64  // tie-breaker for determinism
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulation loop in virtual
+// time. No wall-clock dependence: reproducibility is exact.
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventQueue
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Run processes events until the queue empties or virtual time reaches
+// until. Events scheduled exactly at the horizon still run.
+func (e *Engine) Run(until float64) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softsku/internal/rng"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now = %g", e.Now())
+	}
+}
+
+func TestEngineFIFOTies(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties must run in scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++ })
+	e.At(5, func() { ran++ })
+	e.At(11, func() { ran++ })
+	e.Run(5) // events exactly at the horizon still run
+	if ran != 2 {
+		t.Fatalf("ran=%d", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending=%d", e.Pending())
+	}
+	e.Run(20)
+	if ran != 3 {
+		t.Fatalf("ran=%d after second run", ran)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 100 {
+			e.After(0.5, tick)
+		}
+	}
+	e.After(0.5, tick)
+	e.Run(1000)
+	if ticks != 100 {
+		t.Fatalf("ticks=%d", ticks)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("now=%g", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(5, func() {
+		// Scheduling in the past must clamp to now, not go backwards.
+		e.At(1, func() { fired = true })
+	})
+	e.Run(10)
+	if !fired {
+		t.Fatal("past-scheduled event never ran")
+	}
+}
+
+func TestEngineNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-3, func() { ran = true })
+	e.Run(1)
+	if !ran {
+		t.Fatal("negative delay should clamp to zero and run")
+	}
+}
+
+func TestEngineTimeMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		e := NewEngine()
+		src := rng.New(seed)
+		last := -1.0
+		ok := true
+		for i := 0; i < 50; i++ {
+			e.At(src.Float64()*100, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run(200)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

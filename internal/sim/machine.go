@@ -1,0 +1,479 @@
+// Package sim binds the substrates into a server simulator: a
+// platform.Server runs one workload.Profile, its synthetic streams
+// drive the cache/TLB/prefetch models, and a bandwidth↔latency fixed
+// point yields the operating point (IPC, MIPS, top-down breakdown,
+// memory bandwidth) that the characterization figures and µSKU's A/B
+// tests observe. A discrete-event request simulator (service.go)
+// layers request latency, queueing, and context-switch behaviour on
+// top.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"softsku/internal/cache"
+	"softsku/internal/cpu"
+	"softsku/internal/mem"
+	"softsku/internal/platform"
+	"softsku/internal/prefetch"
+	"softsku/internal/rng"
+	"softsku/internal/tlb"
+	"softsku/internal/workload"
+)
+
+const (
+	// simThreads is how many representative worker threads drive the
+	// shared hierarchy; the LLC is scaled by simThreads/activeCores to
+	// preserve per-thread capacity pressure (see cache.NewHierarchySized).
+	simThreads = 4
+
+	// Measurement window sizes, instructions per simulated thread.
+	warmupInstr  = 200_000
+	measureInstr = 600_000
+
+	// ctxSwitchCostSec is the direct (register/scheduler) cost of one
+	// context switch. Prior work brackets total cost between ~1 µs and
+	// ~12 µs; the indirect (cache pollution) part is emergent from
+	// pool switching, so only the direct part is charged here.
+	ctxSwitchCostSec = 2e-6
+
+	// shpPressureMissPerMiB converts reserved-but-unused SHP memory
+	// into extra cold data misses per instruction: memory lost to an
+	// unusable reservation shrinks what the service (and page cache)
+	// can keep resident. See DESIGN.md's substitution table.
+	shpPressureMissPerMiB = 1e-6
+)
+
+// Machine simulates one server of a SKU running one microservice under
+// a given soft-SKU configuration.
+type Machine struct {
+	srv    *platform.Server
+	prof   *workload.Profile
+	seed   uint64
+	layout workload.Layout
+	space  *tlb.AddressSpace
+	hier   *cache.Hierarchy
+	tlbs   []*tlb.TLB
+	pfs    []*prefetch.Engine
+	thr    []*workload.Stream
+	memMod *mem.Model
+
+	nthreads int
+	// tally[level][0] counts data loads satisfied at level, [1] stores.
+	tally [4][2]uint64
+	rates *WindowRates // cached characterization, nil until measured
+}
+
+// WindowRates are per-instruction event rates measured over one
+// window, the inputs to the cycle model's fixed point.
+type WindowRates struct {
+	Instructions uint64
+	Counts       cpu.Counts // absolute counts over the window
+
+	// Per-instruction DRAM line traffic.
+	DemandMemPerInstr   float64 // demand LLC misses
+	PrefetchMemPerInstr float64 // prefetch fills from DRAM
+
+	CtxSwitches uint64
+
+	// Raw model stats for MPKI reporting.
+	Cache cache.LevelStats
+	TLB   tlb.Stats
+	PF    prefetch.Stats
+}
+
+// NewMachine builds the simulator for a server/profile pair. The
+// profile should already be platform-adjusted (workload.ForPlatform).
+func NewMachine(srv *platform.Server, prof *workload.Profile, seed uint64) (*Machine, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := srv.Config()
+	sku := srv.SKU()
+
+	m := &Machine{srv: srv, prof: prof, seed: seed, memMod: mem.NewModel(sku)}
+	m.layout = prof.BuildLayout()
+	space, err := tlb.NewAddressSpace(m.layout.Regions, cfg.THP, cfg.SHPCount)
+	if err != nil {
+		return nil, err
+	}
+	m.space = space
+
+	m.nthreads = simThreads
+	if cfg.Cores < m.nthreads {
+		m.nthreads = cfg.Cores
+	}
+	// The simulated threads share the full LLC: service data is shared
+	// across cores (one heap), so per-core LLC slicing would be wrong.
+	// The footprint component that *does* grow with active cores —
+	// per-request private state — is instead scaled into each sim
+	// thread's private span (workload.NewStream's coreScale).
+	totalLLC := sku.LLC * sku.Sockets
+	m.hier = cache.NewHierarchySized(sku, m.nthreads, totalLLC)
+	if cfg.CDP.Enabled() {
+		if err := m.hier.ApplyCDP(cfg.CDP.DataWays, cfg.CDP.CodeWays); err != nil {
+			return nil, err
+		}
+	}
+
+	geom := tlb.Geometry{
+		ITLB4K: sku.ITLB4K, ITLB2M: sku.ITLB2M,
+		DTLB4K: sku.DTLB4K, DTLB2M: sku.DTLB2M,
+		STLB: sku.STLB,
+	}
+	coreScale := float64(cfg.Cores) / float64(m.nthreads)
+	for i := 0; i < m.nthreads; i++ {
+		m.tlbs = append(m.tlbs, tlb.New(geom))
+		m.pfs = append(m.pfs, prefetch.NewEngine(m.hier, i, cfg.Prefetch))
+		m.thr = append(m.thr, workload.NewStream(prof, m.layout,
+			seed+uint64(i)*7919, i, coreScale))
+	}
+	return m, nil
+}
+
+// Server returns the underlying server.
+func (m *Machine) Server() *platform.Server { return m.srv }
+
+// Profile returns the workload.
+func (m *Machine) Profile() *workload.Profile { return m.prof }
+
+// SetCAT limits the LLC to n ways (the Fig 10 capacity sweep) and
+// invalidates the cached characterization.
+func (m *Machine) SetCAT(n int) error {
+	if err := m.hier.ApplyCAT(n); err != nil {
+		return err
+	}
+	m.rates = nil
+	return nil
+}
+
+// prefill functionally warms the hierarchy with the steady-state
+// resident working set. Measurement windows are far too short to warm
+// multi-MiB tiers through sampled accesses alone (the classic
+// sampled-simulation cold-start problem, cf. the paper's own warm-up
+// discard, §4); installing the tiers directly — coldest first, so LRU
+// ends up ordered by heat — lets short windows observe steady-state
+// hit rates. The subsequent instruction warm-up settles TLBs and LRU.
+func (m *Machine) prefill() {
+	prof := m.prof
+	installData := func(c *cache.Cache, lo, hi uint64) {
+		for off := lo; off < hi; off += 64 {
+			_, addr := workload.MapDataOffset(prof, m.layout, off)
+			c.InstallWarm(addr, cache.Data)
+		}
+	}
+	installCode := func(c *cache.Cache, pool int, bytes uint64) {
+		for line := uint64(0); line < bytes/64; line++ {
+			c.InstallWarm(workload.MapCodeLine(prof, m.layout, pool, line), cache.Code)
+		}
+	}
+	cfg := m.srv.Config()
+	coreScale := float64(cfg.Cores) / float64(m.nthreads)
+	llc := m.hier.LLCs
+	llcBytes := uint64(m.srv.SKU().LLC * m.srv.SKU().Sockets)
+	capSpan := func(b uint64) uint64 {
+		if b > llcBytes {
+			return llcBytes
+		}
+		return b
+	}
+	// Coldest first: the sequential-stream span (pure churn), then
+	// private spans, warm tiers, then mid and hot so they end up
+	// most-recently-used.
+	if prof.DataSeqFrac > 0 {
+		installData(llc, 0, capSpan(prof.SeqSpan))
+	}
+	for ti := 0; ti < m.nthreads; ti++ {
+		base, span := workload.PrivateSpan(prof, ti, coreScale)
+		if span > 0 {
+			installData(llc, base, base+span)
+		}
+	}
+	installData(llc, 0, prof.DataWarm.Bytes)
+	for pool := 0; pool < prof.CodePools; pool++ {
+		installCode(llc, pool, prof.CodeWarm.Bytes)
+	}
+	installData(llc, 0, prof.DataMid.Bytes)
+	installData(llc, 0, prof.DataHot.Bytes)
+	for ti := 0; ti < m.nthreads; ti++ {
+		pool := ti % prof.CodePools
+		installCode(llc, pool, prof.CodeMid.Bytes)
+		installCode(m.hier.L2s[ti], pool, prof.CodeMid.Bytes)
+		installCode(m.hier.L1I[ti], pool, prof.CodeHot.Bytes)
+		installData(m.hier.L2s[ti], 0, prof.DataMid.Bytes)
+		installData(m.hier.L1D[ti], 0, prof.DataHot.Bytes)
+	}
+}
+
+// Characterize runs (or returns the cached) measurement window:
+// functional prefill, instruction warm-up, stat reset, then a measured
+// window per thread, interleaved in chunks so threads genuinely
+// contend for the shared LLC.
+func (m *Machine) Characterize() *WindowRates {
+	if m.rates != nil {
+		return m.rates
+	}
+	m.prefill()
+	ager := rng.New(m.seed ^ 0xa6e5)
+	m.hier.LLCs.ScrambleAges(ager.Intn)
+	m.runWindow(warmupInstr)
+	m.resetStats()
+	switches := m.runWindow(measureInstr)
+
+	instr := uint64(measureInstr) * uint64(m.nthreads)
+	r := &WindowRates{
+		Instructions: instr,
+		CtxSwitches:  switches,
+		Cache:        m.hier.Stats(),
+	}
+	for _, t := range m.tlbs {
+		s := t.Stats()
+		r.TLB.Fetches += s.Fetches
+		r.TLB.FetchMisses += s.FetchMisses
+		r.TLB.Loads += s.Loads
+		r.TLB.LoadMisses += s.LoadMisses
+		r.TLB.Stores += s.Stores
+		r.TLB.StoreMisses += s.StoreMisses
+		r.TLB.WalkCycles += s.WalkCycles
+	}
+	for _, p := range m.pfs {
+		s := p.Stats()
+		r.PF.Issued += s.Issued
+		r.PF.Moved += s.Moved
+		r.PF.FromMemory += s.FromMemory
+	}
+
+	mix := m.prof.Mix.Normalize()
+	c := &r.Counts
+	c.Instructions = instr
+	c.Branches = uint64(float64(instr) * mix.Branch)
+	c.Mispredicts = uint64(float64(c.Branches) * m.prof.BranchMispredict)
+
+	// Accesses satisfied at each level: L1 misses that hit L2, etc.
+	cs := r.Cache
+	c.CodeL2 = cs.L2.Accesses[cache.Code] - cs.L2.Misses[cache.Code]
+	c.CodeLLC = cs.LLC.Accesses[cache.Code] - cs.LLC.Misses[cache.Code]
+	c.CodeMem = cs.LLC.Misses[cache.Code]
+	c.DataL2 = m.tally[cache.L2][0]
+	c.DataLLC = m.tally[cache.LLC][0]
+	c.DataMem = m.tally[cache.Memory][0]
+	c.StoreL2 = m.tally[cache.L2][1]
+	c.StoreLLC = m.tally[cache.LLC][1]
+	c.StoreMem = m.tally[cache.Memory][1]
+
+	// Split walk cycles by origin using miss counts.
+	iw := r.TLB.FetchMisses
+	dw := r.TLB.LoadMisses + r.TLB.StoreMisses
+	if iw+dw > 0 {
+		c.ITLBWalkCycles = r.TLB.WalkCycles * iw / (iw + dw)
+		c.DTLBWalkCycles = r.TLB.WalkCycles - c.ITLBWalkCycles
+	}
+
+	// SHP over-reservation pressure: wasted MiB become cold misses.
+	wasted := float64(m.space.WastedSHPMiB())
+	extra := uint64(float64(instr) * wasted * shpPressureMissPerMiB)
+	c.DataMem += extra
+
+	r.DemandMemPerInstr = float64(cs.LLC.TotalMisses()+extra) / float64(instr)
+	r.PrefetchMemPerInstr = float64(r.PF.FromMemory) / float64(instr)
+
+	m.rates = r
+	return r
+}
+
+// runWindow advances every thread by instrPerThread instructions in
+// interleaved chunks, returning the number of context switches
+// injected.
+func (m *Machine) runWindow(instrPerThread int) uint64 {
+	cfg := m.srv.Config()
+	// Context-switch interval in instructions, from the profile's
+	// per-core switch rate at this core frequency (IPC≈1 estimate; the
+	// induced error is second-order).
+	interval := math.MaxInt64
+	if m.prof.CtxSwitchRate > 0 {
+		interval = int(float64(cfg.CoreFreqMHz) * 1e6 / m.prof.CtxSwitchRate)
+	}
+	var switches uint64
+	const chunk = 2000
+	buf := make([]workload.Access, 0, chunk*2)
+	for done := 0; done < instrPerThread; done += chunk {
+		n := chunk
+		if instrPerThread-done < n {
+			n = instrPerThread - done
+		}
+		for ti := range m.thr {
+			buf = m.thr[ti].Generate(buf[:0], n)
+			t := m.tlbs[ti]
+			pf := m.pfs[ti]
+			for i := range buf {
+				a := &buf[i]
+				lvl := m.hier.Access(ti, a.Addr, a.Kind)
+				if a.Kind == cache.Data {
+					st := 0
+					if a.Type == tlb.Store {
+						st = 1
+					}
+					m.tally[lvl][st]++
+				}
+				page, huge := m.space.PageOf(int(a.Region), a.Addr)
+				t.Access(page, huge, a.Type)
+				pf.OnAccess(a.Addr, a.Kind, a.IP, lvl)
+			}
+			if (done/interval != (done+n)/interval) && interval > 0 {
+				m.thr[ti].SwitchPool()
+				switches++
+			}
+		}
+	}
+	return switches
+}
+
+func (m *Machine) resetStats() {
+	m.tally = [4][2]uint64{}
+	m.hier.ResetStats()
+	for i := range m.tlbs {
+		m.tlbs[i].ResetStats()
+		m.pfs[i].ResetStats()
+	}
+}
+
+// Operating is the steady-state operating point of the machine at a
+// given CPU utilization: the quantities EMON-style sampling observes.
+type Operating struct {
+	Util float64
+
+	IPC      float64 // per hardware thread
+	SMTBoost float64
+	CoreIPS  float64 // per core, SMT-boosted, at effective frequency
+	TotalIPS float64 // machine-wide, utilization-scaled
+	MIPS     float64 // TotalIPS / 1e6 — µSKU's throughput metric
+	QPS      float64 // TotalIPS / path length
+
+	EffCoreMHz   float64
+	MemBWGBs     float64 // achieved DRAM bandwidth
+	MemLatencyNS float64 // average loaded memory latency
+	Watts        float64 // estimated platform power (§7 extension)
+	MIPSPerWatt  float64 // energy efficiency of the operating point
+	TopDown      cpu.TopDown
+
+	Rates *WindowRates
+}
+
+// Solve finds the operating point at the given utilization by solving
+// the bandwidth↔latency fixed point: memory latency depends on
+// bandwidth, which depends on achieved IPS, which depends on memory
+// latency. Saturation-bound services (Web on Broadwell) settle where
+// the latency curve's knee caps throughput — the mechanism behind
+// Figs 16(b) and 17.
+func (m *Machine) Solve(util float64) Operating {
+	if util <= 0 {
+		util = 1e-3
+	}
+	if util > 1 {
+		util = 1
+	}
+	r := m.Characterize()
+	cfg := m.srv.Config()
+	sku := m.srv.SKU()
+
+	effMHz := sku.EffectiveCoreMHz(cfg, m.prof.AVXFrac())
+	uncore := sku.UncoreScale(cfg)
+	ghz := float64(effMHz) / 1000
+
+	counts := r.Counts
+	counts.CtxSwitchCycles = uint64(float64(r.CtxSwitches) * ctxSwitchCostSec * float64(effMHz) * 1e6)
+
+	linesPerInstr := r.DemandMemPerInstr + r.PrefetchMemPerInstr
+	var res cpu.Result
+	var latNS float64
+	// achieved(x) is the machine-wide IPS the cycle model delivers when
+	// memory latency is priced at the bandwidth x·lines·64 implies. It
+	// is monotone non-increasing in x, so the fixed point
+	// achieved(IPS) = IPS is unique; bisection is robust even on the
+	// steep saturated part of the latency curve where plain iteration
+	// oscillates.
+	achieved := func(ips float64) float64 {
+		bw := ips * linesPerInstr * 64 / 1e9
+		latNS = m.memMod.LatencyNS(bw, m.prof.Burstiness, uncore)
+		p := cpu.Params{
+			Width:         sku.DispatchWidth,
+			L2LatCycles:   sku.L2LatencyNS * ghz,
+			LLCLatCycles:  sku.LLCLatencyNS * (0.45 + 0.55*uncore) * ghz,
+			MemLatCycles:  latNS * ghz,
+			MispredictPen: 15,
+			DepStallCPI:   m.prof.DepStallCPI,
+			BEOverlap:     m.prof.BEOverlap,
+			SMT:           sku.SMT > 1,
+		}
+		res = cpu.Analyze(counts, p)
+		return res.CoreIPS(effMHz) * float64(cfg.Cores) * util
+	}
+	lo := 0.0
+	hi := float64(sku.DispatchWidth) * 1.4 * float64(effMHz) * 1e6 * float64(cfg.Cores)
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if achieved(mid) > mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	totalIPS := achieved((lo + hi) / 2)
+	bw := totalIPS * linesPerInstr * 64 / 1e9
+	latNS = m.memMod.LatencyNS(bw, m.prof.Burstiness, uncore)
+	watts := sku.PowerWatts(cfg, effMHz, util, m.memMod.AchievedGBs(bw))
+	return Operating{
+		Util:         util,
+		IPC:          res.IPC,
+		SMTBoost:     res.SMTBoost,
+		CoreIPS:      res.CoreIPS(effMHz),
+		TotalIPS:     totalIPS,
+		MIPS:         totalIPS / 1e6,
+		QPS:          totalIPS / m.prof.PathLength,
+		EffCoreMHz:   float64(effMHz),
+		MemBWGBs:     m.memMod.AchievedGBs(bw),
+		MemLatencyNS: latNS,
+		Watts:        watts,
+		MIPSPerWatt:  totalIPS / 1e6 / watts,
+		TopDown:      res.TopDown,
+		Rates:        r,
+	}
+}
+
+// SolvePeak returns the operating point at the service's QoS-derived
+// utilization ceiling (Fig 3's peak load).
+func (m *Machine) SolvePeak() Operating { return m.Solve(m.prof.MaxCPUUtil) }
+
+// MPKI helpers over the characterization window.
+
+// CacheMPKI returns code and data MPKI at the given level.
+func (r *WindowRates) CacheMPKI(level cache.Level) (code, data float64) {
+	var s cache.Stats
+	switch level {
+	case cache.L1:
+		// L1I and L1D are reported jointly: code from L1I, data from L1D.
+		return r.Cache.L1I.MPKI(cache.Code, r.Instructions),
+			r.Cache.L1D.MPKI(cache.Data, r.Instructions)
+	case cache.L2:
+		s = r.Cache.L2
+	case cache.LLC:
+		s = r.Cache.LLC
+	default:
+		return 0, 0
+	}
+	return s.MPKI(cache.Code, r.Instructions), s.MPKI(cache.Data, r.Instructions)
+}
+
+// TLBMPKI returns ITLB, DTLB-load, and DTLB-store MPKI.
+func (r *WindowRates) TLBMPKI() (itlb, dload, dstore float64) {
+	return r.TLB.MPKI(tlb.Fetch, r.Instructions),
+		r.TLB.MPKI(tlb.Load, r.Instructions),
+		r.TLB.MPKI(tlb.Store, r.Instructions)
+}
+
+// String summarizes the operating point.
+func (o Operating) String() string {
+	return fmt.Sprintf("util=%.0f%% IPC=%.2f MIPS=%.0f QPS=%.0f bw=%.1fGB/s lat=%.0fns",
+		o.Util*100, o.IPC, o.MIPS, o.QPS, o.MemBWGBs, o.MemLatencyNS)
+}

@@ -1,0 +1,59 @@
+package sim
+
+// PeakLoad is the outcome of the load-balancer-style peak search: the
+// highest offered load the server sustains without violating its QoS
+// constraints (§2.3.3 — "load balancers modulate load to ensure
+// constraints are met").
+type PeakLoad struct {
+	OfferedQPS float64
+	Result     ServiceResult
+	// Feasible reports whether the returned point meets the QoS
+	// constraints at all; false means the SLO is unattainable even at
+	// minimal load (e.g. the p99 target is below the service's
+	// intrinsic latency).
+	Feasible bool
+}
+
+// FindPeak binary-searches offered QPS for the highest load meeting
+// both the service's p99 latency SLO and its utilization ceiling. The
+// returned result is the Fig 2–4 measurement at that peak.
+func (m *Machine) FindPeak(seed uint64) PeakLoad {
+	prof := m.prof
+	op := m.Solve(prof.MaxCPUUtil)
+	cfg := m.srv.Config()
+	smt := m.srv.SKU().SMT
+
+	// Capacity-derived bracket.
+	hi := op.CoreIPS * float64(cfg.Cores) / prof.PathLength * 1.5
+	lo := hi / 64
+
+	run := func(qps float64) ServiceResult {
+		dur := 4000 / qps
+		if dur < 0.5 {
+			dur = 0.5
+		}
+		if dur > 30 {
+			dur = 30
+		}
+		s := NewServiceSim(prof, op, cfg.Cores, smt, seed)
+		return s.Run(qps, dur)
+	}
+	feasible := func(r ServiceResult) bool {
+		return r.Util <= prof.MaxCPUUtil &&
+			r.Latency.Quantile(0.99) <= prof.QoSLatencyP99
+	}
+
+	best := run(lo)
+	bestQPS := lo
+	ok := feasible(best)
+	for i := 0; i < 10; i++ {
+		mid := (lo + hi) / 2
+		r := run(mid)
+		if feasible(r) {
+			lo, best, bestQPS, ok = mid, r, mid, true
+		} else {
+			hi = mid
+		}
+	}
+	return PeakLoad{OfferedQPS: bestQPS, Result: best, Feasible: ok}
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"softsku/internal/rng"
+	"softsku/internal/stats"
+	"softsku/internal/workload"
+)
+
+// ServiceSim is the request-level discrete-event simulation of one
+// server: open-loop Poisson arrivals into a worker thread pool,
+// non-preemptive hardware-thread scheduling, and per-request phases of
+// computing and blocking on downstream microservices. It produces the
+// paper's system-level characterization: request-latency breakdowns
+// (Fig 2), CPU utilization (Fig 3), and context-switch rates (Fig 4).
+type ServiceSim struct {
+	prof    *workload.Profile
+	coreIPS float64 // per-core instruction throughput (SMT-boosted)
+	cores   int
+	smt     int
+	src     *rng.Source
+	eng     *Engine
+
+	slotIPS   float64 // per hardware thread
+	freeSlots int
+	runQueue  []*request // ready, waiting for a hardware thread
+	idleWrk   int
+	waitQueue []*request // arrived, waiting for a worker thread
+
+	measureStart float64
+	busyTime     float64 // hardware-thread busy seconds in the window
+	res          ServiceResult
+}
+
+// request tracks one in-flight query.
+type request struct {
+	arrive   float64
+	workerAt float64 // time a worker picked it up
+	readyAt  float64 // time it last became ready to run
+	segLeft  int
+	segInstr float64
+
+	queueTime float64
+	schedTime float64
+	runTime   float64
+	ioTime    float64
+}
+
+// ServiceResult aggregates the measured system-level behaviour.
+type ServiceResult struct {
+	Duration  float64
+	Offered   float64 // offered QPS
+	Completed uint64
+	QPS       float64
+
+	Latency stats.Histogram // end-to-end request latency, seconds
+
+	// Mean per-request latency components (Fig 2).
+	QueueFrac float64 // waiting for a worker thread
+	SchedFrac float64 // ready but not running (oversubscription)
+	RunFrac   float64 // executing instructions
+	IOFrac    float64 // blocked on downstream microservices
+
+	// CPU accounting (Fig 3).
+	Util       float64 // busy hardware-thread time / capacity
+	UserUtil   float64
+	KernelUtil float64
+
+	// Context switches (Fig 4).
+	CtxSwitches   uint64
+	CtxSwitchRate float64 // per second per busy core
+}
+
+// Blocked returns the non-running fraction of request latency.
+func (r ServiceResult) Blocked() float64 { return 1 - r.RunFrac }
+
+// String summarizes the run.
+func (r ServiceResult) String() string {
+	return fmt.Sprintf("qps=%.0f util=%.0f%% lat{%s} run=%.0f%% queue=%.0f%% sched=%.0f%% io=%.0f%%",
+		r.QPS, r.Util*100, r.Latency.String(),
+		r.RunFrac*100, r.QueueFrac*100, r.SchedFrac*100, r.IOFrac*100)
+}
+
+// NewServiceSim builds a request simulator for a service running on a
+// machine whose microarchitectural operating point supplies the
+// per-core instruction rate.
+func NewServiceSim(prof *workload.Profile, op Operating, cores, smt int, seed uint64) *ServiceSim {
+	s := &ServiceSim{
+		prof:    prof,
+		coreIPS: op.CoreIPS,
+		cores:   cores,
+		smt:     smt,
+		src:     rng.New(seed),
+		eng:     NewEngine(),
+	}
+	s.slotIPS = op.CoreIPS / float64(smt)
+	s.freeSlots = cores * smt
+	s.idleWrk = prof.WorkerThreads
+	return s
+}
+
+// Run simulates offered QPS of Poisson traffic for duration seconds of
+// virtual time (after a 10% warm-up that is excluded from statistics).
+func (s *ServiceSim) Run(offeredQPS, duration float64) ServiceResult {
+	warm := duration * 0.1
+	horizon := warm + duration
+	measureStart := warm
+
+	s.res = ServiceResult{Duration: duration, Offered: offeredQPS}
+	s.measureStart = measureStart
+	s.busyTime = 0
+
+	var arrive func()
+	arrive = func() {
+		now := s.eng.Now()
+		if now < horizon {
+			s.eng.After(s.src.Exp(1/offeredQPS), arrive)
+		}
+		r := &request{arrive: now, segLeft: s.prof.DownstreamCalls + 1}
+		r.segInstr = s.prof.PathLength / float64(r.segLeft)
+		if s.idleWrk > 0 {
+			s.idleWrk--
+			s.startOnWorker(r)
+		} else {
+			s.waitQueue = append(s.waitQueue, r)
+		}
+	}
+
+	s.eng.After(s.src.Exp(1/offeredQPS), arrive)
+	s.eng.Run(horizon)
+
+	res := &s.res
+	res.QPS = float64(res.Completed) / duration
+	capacity := float64(s.cores*s.smt) * duration
+	res.Util = s.busyTime / capacity
+	if res.Util > 1 {
+		res.Util = 1
+	}
+	// Kernel share: the profile's kernel/IO-wait fraction plus direct
+	// context-switch cost.
+	switchTime := float64(res.CtxSwitches) * ctxSwitchCostSec / capacity * float64(s.smt)
+	res.KernelUtil = res.Util*s.prof.KernelFrac + switchTime
+	if res.KernelUtil > res.Util {
+		res.KernelUtil = res.Util
+	}
+	res.UserUtil = res.Util - res.KernelUtil
+	if busyCore := res.Util * float64(s.cores); busyCore > 0 {
+		res.CtxSwitchRate = float64(res.CtxSwitches) / duration / busyCore
+	}
+
+	// Normalize latency component fractions.
+	total := res.QueueFrac + res.SchedFrac + res.RunFrac + res.IOFrac
+	if total > 0 {
+		res.QueueFrac /= total
+		res.SchedFrac /= total
+		res.RunFrac /= total
+		res.IOFrac /= total
+	}
+	return *res
+}
+
+// accountBusy accumulates the in-window portion of a compute segment.
+func (s *ServiceSim) accountBusy(segTime, start float64) {
+	lo, hi := start, start+segTime
+	if lo < s.measureStart {
+		lo = s.measureStart
+	}
+	if hi > lo {
+		s.busyTime += hi - lo
+	}
+}
+
+// startOnWorker begins a request's lifecycle once a worker thread is
+// assigned.
+func (s *ServiceSim) startOnWorker(r *request) {
+	now := s.eng.Now()
+	r.workerAt = now
+	r.queueTime = now - r.arrive
+	s.makeReady(r)
+}
+
+// makeReady puts the request's worker into the run queue or directly
+// onto a free hardware thread.
+func (s *ServiceSim) makeReady(r *request) {
+	r.readyAt = s.eng.Now()
+	if s.freeSlots > 0 {
+		s.freeSlots--
+		s.runSegment(r)
+	} else {
+		s.runQueue = append(s.runQueue, r)
+	}
+}
+
+// runSegment executes the next compute segment on a hardware thread,
+// then blocks on downstream I/O or completes.
+func (s *ServiceSim) runSegment(r *request) {
+	now := s.eng.Now()
+	r.schedTime += now - r.readyAt
+	// Segment compute demand, with modest service-time variability.
+	instr := r.segInstr * (0.7 + 0.6*s.src.Float64())
+	segTime := instr / s.slotIPS
+	s.accountBusy(segTime, now)
+	r.runTime += segTime
+	s.res.CtxSwitches++ // dispatch onto the hardware thread
+	s.eng.After(segTime, func() {
+		r.segLeft--
+		// Release the hardware thread; run the next ready worker.
+		if len(s.runQueue) > 0 {
+			next := s.runQueue[0]
+			s.runQueue = s.runQueue[1:]
+			s.runSegment(next)
+		} else {
+			s.freeSlots++
+		}
+		if r.segLeft <= 0 {
+			s.complete(r)
+			return
+		}
+		// Block on a downstream call (voluntary context switch).
+		// Responses are delivered on network-interrupt coalescing
+		// boundaries, so wakeups arrive in bursts — the source of the
+		// scheduler-latency component in Fig 2(b).
+		io := s.src.Exp(s.prof.DownstreamLatency)
+		const coalesce = 1e-3
+		wake := s.eng.Now() + io
+		wake = math.Ceil(wake/coalesce) * coalesce
+		r.ioTime += wake - s.eng.Now()
+		s.eng.At(wake, func() { s.makeReady(r) })
+	})
+}
+
+// complete finishes the request, frees its worker, and records
+// statistics if past warm-up.
+func (s *ServiceSim) complete(r *request) {
+	now := s.eng.Now()
+	if len(s.waitQueue) > 0 {
+		next := s.waitQueue[0]
+		s.waitQueue = s.waitQueue[1:]
+		s.startOnWorker(next)
+	} else {
+		s.idleWrk++
+	}
+	if r.arrive < s.measureStart {
+		return
+	}
+	s.res.Completed++
+	s.res.Latency.Observe(now - r.arrive)
+	s.res.QueueFrac += r.queueTime
+	s.res.SchedFrac += r.schedTime
+	s.res.RunFrac += r.runTime
+	s.res.IOFrac += r.ioTime
+}

@@ -1,0 +1,310 @@
+// Package stats provides the statistical machinery µSKU relies on:
+// online mean/variance accumulation, Student-t confidence intervals,
+// and Welch's t-test for comparing A/B measurement populations.
+//
+// The paper's A/B tester collects performance-counter samples until a
+// 95% confidence interval is tight enough to resolve single-digit
+// percent effects (§4), declaring "no significant difference" if
+// ~30,000 samples do not suffice. This package implements exactly that
+// decision procedure.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations online using Welford's algorithm, so
+// a million counter samples cost O(1) memory.
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddAll incorporates a slice of observations.
+func (s *Sample) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if s.n < 1 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI returns the half-width of the two-sided confidence interval on the
+// mean at the given confidence level (e.g. 0.95).
+func (s *Sample) CI(level float64) float64 {
+	if s.n < 2 {
+		return math.Inf(1)
+	}
+	t := TQuantile(1-(1-level)/2, float64(s.n-1))
+	return t * s.StdErr()
+}
+
+// RelCI returns CI(level)/Mean — the relative half-width — used by the
+// A/B tester's stop rule. Returns +Inf if the mean is zero or fewer
+// than two observations exist.
+func (s *Sample) RelCI(level float64) float64 {
+	if s.mean == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(s.CI(level) / s.mean)
+}
+
+// String summarizes the sample for logs and design-space maps.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g (95%%)", s.n, s.mean, s.CI(0.95))
+}
+
+// Welch reports Welch's two-sample t-test between a and b.
+type Welch struct {
+	T  float64 // t statistic (mean(a) - mean(b), studentized)
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest compares the means of two samples without assuming equal
+// variances. It returns a zero-value result (P=1) if either sample has
+// fewer than two observations or both variances are zero.
+func WelchTTest(a, b *Sample) Welch {
+	if a.N() < 2 || b.N() < 2 {
+		return Welch{P: 1}
+	}
+	va := a.Variance() / float64(a.N())
+	vb := b.Variance() / float64(b.N())
+	if va+vb == 0 {
+		if a.Mean() == b.Mean() {
+			return Welch{P: 1}
+		}
+		return Welch{T: math.Inf(1), DF: float64(a.N() + b.N() - 2), P: 0}
+	}
+	t := (a.Mean() - b.Mean()) / math.Sqrt(va+vb)
+	df := (va + vb) * (va + vb) /
+		(va*va/float64(a.N()-1) + vb*vb/float64(b.N()-1))
+	p := 2 * (1 - TCDF(math.Abs(t), df))
+	if p < 0 {
+		p = 0
+	}
+	return Welch{T: t, DF: df, P: p}
+}
+
+// Significant reports whether the two samples' means differ at the
+// given significance level alpha (e.g. 0.05 for 95% confidence).
+func Significant(a, b *Sample, alpha float64) bool {
+	return WelchTTest(a, b).P < alpha
+}
+
+// TCDF returns the cumulative distribution function of Student's t
+// distribution with df degrees of freedom, evaluated at t.
+func TCDF(t, df float64) float64 {
+	if df <= 0 {
+		panic("stats: TCDF with non-positive df")
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// TQuantile returns the p-quantile of Student's t distribution with df
+// degrees of freedom (inverse CDF), via bisection on TCDF.
+func TQuantile(p, df float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: TQuantile requires 0 < p < 1")
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// Bracket then bisect; the t quantiles of interest are modest.
+	lo, hi := -1e3, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RegIncBeta returns the regularized incomplete beta function
+// I_x(a, b), computed with the standard continued-fraction expansion.
+func RegIncBeta(a, b, x float64) float64 {
+	if x < 0 || x > 1 {
+		panic("stats: RegIncBeta x out of [0,1]")
+	}
+	if x == 0 {
+		return 0
+	}
+	if x == 1 {
+		return 1
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - math.Exp(b*math.Log(1-x)+a*math.Log(x)-lbeta)*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function (Numerical Recipes' modified Lentz method).
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation. It copies xs and panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// GeoMean returns the geometric mean of xs; all values must be > 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

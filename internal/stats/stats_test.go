@@ -1,0 +1,305 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"softsku/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean=%g", s.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if !almost(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("var=%g", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max=%g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestSampleWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		xs := make([]float64, 100)
+		var s Sample
+		for i := range xs {
+			xs[i] = src.Norm(50, 10)
+			s.Add(xs[i])
+		}
+		mean := Mean(xs)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		variance := varSum / float64(len(xs)-1)
+		return almost(s.Mean(), mean, 1e-9) && almost(s.Variance(), variance, 1e-7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	src := rng.New(1)
+	var small, large Sample
+	for i := 0; i < 20; i++ {
+		small.Add(src.Norm(100, 5))
+	}
+	for i := 0; i < 2000; i++ {
+		large.Add(src.Norm(100, 5))
+	}
+	if large.CI(0.95) >= small.CI(0.95) {
+		t.Fatalf("CI did not shrink: small=%g large=%g", small.CI(0.95), large.CI(0.95))
+	}
+}
+
+func TestCICoverage(t *testing.T) {
+	// ~95% of 95% CIs on a known mean should contain it.
+	src := rng.New(2)
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		var s Sample
+		for j := 0; j < 30; j++ {
+			s.Add(src.Norm(10, 2))
+		}
+		if math.Abs(s.Mean()-10) <= s.CI(0.95) {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("95%% CI coverage %.3f, want ~0.95", frac)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Classic t-table critical values for two-sided 95%.
+	cases := []struct {
+		df   float64
+		want float64
+	}{
+		{1, 12.706}, {5, 2.571}, {10, 2.228}, {30, 2.042}, {1000, 1.962},
+	}
+	for _, c := range cases {
+		got := TQuantile(0.975, c.df)
+		if !almost(got, c.want, 0.01) {
+			t.Errorf("t(0.975, df=%g) = %g, want %g", c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	got := TQuantile(0.025, 7)
+	want := -TQuantile(0.975, 7)
+	if !almost(got, want, 1e-6) {
+		t.Fatalf("asymmetric quantiles: %g vs %g", got, want)
+	}
+}
+
+func TestTCDFRoundTrip(t *testing.T) {
+	for _, df := range []float64{2, 9, 57} {
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.9, 0.975} {
+			q := TQuantile(p, df)
+			if back := TCDF(q, df); !almost(back, p, 1e-6) {
+				t.Errorf("round trip df=%g p=%g got %g", df, p, back)
+			}
+		}
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("edges wrong")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.42, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almost(got, x, 1e-10) {
+			t.Errorf("I_%g(1,1) = %g", x, got)
+		}
+	}
+	// I_x(a,b) + I_{1-x}(b,a) = 1.
+	if got := RegIncBeta(2.5, 4, 0.3) + RegIncBeta(4, 2.5, 0.7); !almost(got, 1, 1e-10) {
+		t.Errorf("complement identity: %g", got)
+	}
+}
+
+func TestWelchDetectsDifference(t *testing.T) {
+	src := rng.New(3)
+	var a, b Sample
+	for i := 0; i < 500; i++ {
+		a.Add(src.Norm(100, 5))
+		b.Add(src.Norm(102, 5)) // 2% shift
+	}
+	res := WelchTTest(&a, &b)
+	if res.P > 0.01 {
+		t.Fatalf("failed to detect 2%% shift: p=%g", res.P)
+	}
+	if res.T > 0 {
+		t.Fatalf("t statistic sign wrong: %g", res.T)
+	}
+}
+
+func TestWelchNoFalsePositiveRate(t *testing.T) {
+	src := rng.New(4)
+	const trials = 300
+	fp := 0
+	for i := 0; i < trials; i++ {
+		var a, b Sample
+		for j := 0; j < 50; j++ {
+			a.Add(src.Norm(100, 5))
+			b.Add(src.Norm(100, 5))
+		}
+		if Significant(&a, &b, 0.05) {
+			fp++
+		}
+	}
+	rate := float64(fp) / trials
+	if rate > 0.10 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	if got := WelchTTest(&a, &b); got.P != 1 {
+		t.Fatalf("tiny samples should be inconclusive, p=%g", got.P)
+	}
+	var c, d Sample
+	c.AddAll([]float64{5, 5, 5})
+	d.AddAll([]float64{5, 5, 5})
+	if got := WelchTTest(&c, &d); got.P != 1 {
+		t.Fatalf("identical constant samples should have p=1, got %g", got.P)
+	}
+	var e Sample
+	e.AddAll([]float64{6, 6, 6})
+	if got := WelchTTest(&c, &e); got.P != 0 {
+		t.Fatalf("distinct constant samples should have p=0, got %g", got.P)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Fatalf("p0=%g", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("p100=%g", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Fatalf("p50=%g", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); !almost(got, 4, 1e-9) {
+		t.Fatalf("geomean=%g", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	src := rng.New(5)
+	for i := 0; i < 100000; i++ {
+		h.Observe(src.Exp(1e-3)) // exponential, mean 1 ms
+	}
+	if !almost(h.Mean(), 1e-3, 5e-5) {
+		t.Fatalf("mean=%g", h.Mean())
+	}
+	// p50 of exp(mean m) is m*ln2; log-bucket resolution is ~20%.
+	p50 := h.Quantile(0.5)
+	if p50 < 0.5e-3 || p50 > 1.1e-3 {
+		t.Fatalf("p50=%g", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 3.5e-3 || p99 > 7e-3 {
+		t.Fatalf("p99=%g", p99)
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(1e-3)
+		b.Observe(2e-3)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("count=%d", a.Count())
+	}
+	if !almost(a.Mean(), 1.5e-3, 1e-9) {
+		t.Fatalf("merged mean=%g", a.Mean())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	f := func(seed uint64) bool {
+		var h Histogram
+		src := rng.New(seed)
+		for i := 0; i < 1000; i++ {
+			h.Observe(src.Pareto(1e-5, 1.2))
+		}
+		prev := 0.0
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTableAligned(t *testing.T) {
+	out := FormatTable([]string{"svc", "ipc"}, [][]string{{"Web", "0.6"}, {"Cache1", "1.0"}})
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("keys=%v", keys)
+	}
+}
+
+func BenchmarkSampleAdd(b *testing.B) {
+	var s Sample
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i & 1023))
+	}
+}
+
+func BenchmarkTQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = TQuantile(0.975, 29)
+	}
+}

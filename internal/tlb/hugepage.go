@@ -1,0 +1,133 @@
+package tlb
+
+import (
+	"fmt"
+
+	"softsku/internal/knob"
+)
+
+// Region describes one mapped memory region of a microservice's
+// address space, with the attributes that decide its huge-page
+// backing.
+type Region struct {
+	Name    string
+	Base    uint64
+	Size    uint64
+	Code    bool // instruction region (JIT code cache, text)
+	Anon    bool // anonymous mapping; only anon memory is THP-eligible
+	Madvise bool // calls madvise(MADV_HUGEPAGE); candidates under THP=madvise
+	SHP     bool // explicitly allocates from the static huge page pool
+}
+
+// AddressSpace resolves virtual addresses to pages under a given
+// huge-page policy. Huge-page backing is decided region by region at
+// construction time, the way the kernel materializes it at service
+// start: SHP-requesting regions draw 2 MiB pages from the boot-time
+// pool first, then THP policy covers eligible anonymous regions.
+type AddressSpace struct {
+	regions []Region
+	// hugeChunks[i] is the number of leading 2 MiB chunks of region i
+	// that are huge-backed; remaining chunks use 4 KiB pages.
+	hugeChunks []uint64
+	wastedSHP  int // reserved SHPs no region consumed (2 MiB each)
+}
+
+// NewAddressSpace lays out regions under the given THP policy and SHP
+// reservation. Regions must not overlap; sizes are rounded up to 2 MiB
+// internally for chunk accounting.
+func NewAddressSpace(regions []Region, thp knob.THPMode, shpCount int) (*AddressSpace, error) {
+	as := &AddressSpace{
+		regions:    append([]Region(nil), regions...),
+		hugeChunks: make([]uint64, len(regions)),
+	}
+	for i, r := range regions {
+		if r.Size == 0 {
+			return nil, fmt.Errorf("tlb: region %q has zero size", r.Name)
+		}
+		for j := 0; j < i; j++ {
+			p := regions[j]
+			if r.Base < p.Base+p.Size && p.Base < r.Base+r.Size {
+				return nil, fmt.Errorf("tlb: regions %q and %q overlap", p.Name, r.Name)
+			}
+		}
+	}
+	// Pass 1: SHP-requesting regions consume the static pool in
+	// declaration order, independent of THP policy (§5(7): SHPs must be
+	// explicitly requested and cannot be repurposed once reserved).
+	remaining := uint64(shpCount)
+	for i, r := range as.regions {
+		if !r.SHP || remaining == 0 {
+			continue
+		}
+		chunks := chunksOf(r.Size)
+		if chunks > remaining {
+			chunks = remaining
+		}
+		as.hugeChunks[i] = chunks
+		remaining -= chunks
+	}
+	as.wastedSHP = int(remaining)
+	// Pass 2: THP policy backs the rest of each eligible region. Only
+	// non-executable anonymous memory is THP-eligible: file-backed text
+	// never is, and the kernel also declines executable anon mappings
+	// (JIT code caches) — which is exactly why HHVM backs its code
+	// cache with static huge pages instead (§5(7)).
+	for i, r := range as.regions {
+		if r.Code {
+			continue
+		}
+		eligible := false
+		switch thp {
+		case knob.THPAlways:
+			eligible = r.Anon
+		case knob.THPMadvise:
+			eligible = r.Anon && r.Madvise
+		case knob.THPNever:
+			eligible = false
+		}
+		if eligible {
+			as.hugeChunks[i] = chunksOf(r.Size)
+		}
+	}
+	return as, nil
+}
+
+func chunksOf(size uint64) uint64 {
+	return (size + PageSize2M - 1) / PageSize2M
+}
+
+// PageOf resolves an address within region idx to its backing page
+// base and size class. Addresses outside the region panic: the
+// workload generator always produces in-region addresses, so this is a
+// programming error.
+func (as *AddressSpace) PageOf(regionIdx int, addr uint64) (pageBase uint64, huge bool) {
+	r := as.regions[regionIdx]
+	if addr < r.Base || addr >= r.Base+r.Size {
+		panic(fmt.Sprintf("tlb: address %#x outside region %q", addr, r.Name))
+	}
+	chunk := (addr - r.Base) >> PageShift2M
+	if chunk < as.hugeChunks[regionIdx] {
+		return addr >> PageShift2M << PageShift2M, true
+	}
+	return addr >> PageShift4K << PageShift4K, false
+}
+
+// HugeFraction returns the fraction of region idx's chunks that are
+// huge-backed, for diagnostics and tests.
+func (as *AddressSpace) HugeFraction(regionIdx int) float64 {
+	total := chunksOf(as.regions[regionIdx].Size)
+	if total == 0 {
+		return 0
+	}
+	return float64(as.hugeChunks[regionIdx]) / float64(total)
+}
+
+// WastedSHPMiB returns memory reserved for SHPs that no region
+// consumed. Reserved-but-unused huge pages cannot be repurposed, so
+// this is memory lost to the service — the cost that creates the SHP
+// sweet spot in Fig 18(b).
+func (as *AddressSpace) WastedSHPMiB() int { return as.wastedSHP * 2 }
+
+// Regions returns the layout (a copy of the slice header; elements are
+// shared and must not be mutated).
+func (as *AddressSpace) Regions() []Region { return as.regions }

@@ -1,0 +1,229 @@
+// Package tlb models instruction and data TLBs with 4 KiB and 2 MiB
+// page support, and the two huge-page knobs µSKU tunes: transparent
+// huge pages (THP policy: madvise/always/never) and statically
+// allocated huge pages (SHP pool reserved at boot) — §5(6–7), Figs 11
+// and 18 of the paper.
+package tlb
+
+import "fmt"
+
+// Page sizes.
+const (
+	PageShift4K = 12
+	PageShift2M = 21
+	PageSize4K  = 1 << PageShift4K
+	PageSize2M  = 1 << PageShift2M
+)
+
+// AccessType distinguishes the DTLB load/store breakdown of Fig 11.
+type AccessType uint8
+
+// Access types.
+const (
+	Fetch AccessType = iota // instruction fetch (ITLB)
+	Load
+	Store
+)
+
+// Stats counts TLB misses by access type.
+type Stats struct {
+	Fetches, FetchMisses uint64
+	Loads, LoadMisses    uint64
+	Stores, StoreMisses  uint64
+	WalkCycles           uint64 // page-walk cycles charged
+}
+
+// MPKI returns misses per kilo-instruction for the given access type.
+func (s Stats) MPKI(t AccessType, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	var m uint64
+	switch t {
+	case Fetch:
+		m = s.FetchMisses
+	case Load:
+		m = s.LoadMisses
+	default:
+		m = s.StoreMisses
+	}
+	return float64(m) / float64(instructions) * 1000
+}
+
+// lru is a set-associative LRU array of page tags (like real TLBs:
+// e.g. Skylake's STLB is 12-way set-associative). Small structures use
+// few sets; lookup cost is O(ways).
+type lru struct {
+	sets   int
+	ways   int
+	tags   []uint64
+	stamps []uint64
+	clock  uint64
+}
+
+// tlbWays picks an associativity for the given entry count, matching
+// typical Intel geometries: small arrays are fully associative, large
+// ones 8–12 way.
+func tlbWays(entries int) int {
+	switch {
+	case entries <= 16:
+		return entries
+	case entries <= 128:
+		return 8
+	default:
+		return 12
+	}
+}
+
+func newLRU(entries int) *lru {
+	if entries < 1 {
+		entries = 1
+	}
+	ways := tlbWays(entries)
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &lru{
+		sets:   sets,
+		ways:   ways,
+		tags:   make([]uint64, sets*ways),
+		stamps: make([]uint64, sets*ways),
+	}
+}
+
+// access returns true on hit; on miss the entry is installed. Tag 0 is
+// reserved as invalid, so callers bias tags by +1.
+func (l *lru) access(tag uint64) bool {
+	l.clock++
+	set := int(tag % uint64(l.sets))
+	base := set * l.ways
+	victim := base
+	for i := base; i < base+l.ways; i++ {
+		if l.tags[i] == tag {
+			l.stamps[i] = l.clock
+			return true
+		}
+		if l.stamps[i] < l.stamps[victim] {
+			victim = i
+		}
+	}
+	l.tags[victim] = tag
+	l.stamps[victim] = l.clock
+	return false
+}
+
+func (l *lru) flush() {
+	for i := range l.tags {
+		l.tags[i], l.stamps[i] = 0, 0
+	}
+}
+
+// TLB is one core's two-level TLB: split first-level ITLB/DTLB with
+// separate 4 KiB and 2 MiB arrays, backed by a unified second-level
+// STLB. Page walks on STLB misses cost walkCycles.
+type TLB struct {
+	itlb4k, itlb2m *lru
+	dtlb4k, dtlb2m *lru
+	stlb           *lru
+	walkCycles     uint64
+	stats          Stats
+}
+
+// Geometry describes TLB sizing (taken from the platform SKU).
+type Geometry struct {
+	ITLB4K, ITLB2M int
+	DTLB4K, DTLB2M int
+	STLB           int
+	WalkCycles     uint64 // cost of a full page walk
+}
+
+// New builds a TLB with the given geometry.
+func New(g Geometry) *TLB {
+	wc := g.WalkCycles
+	if wc == 0 {
+		wc = 30 // typical radix-walk cost with warm paging caches
+	}
+	return &TLB{
+		itlb4k:     newLRU(g.ITLB4K),
+		itlb2m:     newLRU(g.ITLB2M),
+		dtlb4k:     newLRU(g.DTLB4K),
+		dtlb2m:     newLRU(g.DTLB2M),
+		stlb:       newLRU(g.STLB),
+		walkCycles: wc,
+	}
+}
+
+// Access translates a page (already resolved to its base and size by
+// the AddressSpace) for the given access type. It returns true on a
+// first-level hit; misses that also miss the STLB charge a page walk.
+func (t *TLB) Access(pageBase uint64, huge bool, at AccessType) bool {
+	// Index by page number (not byte address) so consecutive pages
+	// spread across sets; bias by 1 so the zero tag never aliases a
+	// real page, and fold the page size in to keep 4K/2M spaces
+	// distinct in the shared STLB.
+	var tag uint64
+	if huge {
+		tag = pageBase>>PageShift2M + 1 | 1<<62
+	} else {
+		tag = pageBase>>PageShift4K + 1
+	}
+	var first *lru
+	switch {
+	case at == Fetch && !huge:
+		first = t.itlb4k
+	case at == Fetch:
+		first = t.itlb2m
+	case !huge:
+		first = t.dtlb4k
+	default:
+		first = t.dtlb2m
+	}
+	switch at {
+	case Fetch:
+		t.stats.Fetches++
+	case Load:
+		t.stats.Loads++
+	default:
+		t.stats.Stores++
+	}
+	if first.access(tag) {
+		return true
+	}
+	// Count misses the way EMON's *_MISSES.MISS_CAUSES_A_WALK events
+	// do: a first-level miss that the STLB absorbs is not a miss.
+	if !t.stlb.access(tag) {
+		switch at {
+		case Fetch:
+			t.stats.FetchMisses++
+		case Load:
+			t.stats.LoadMisses++
+		default:
+			t.stats.StoreMisses++
+		}
+		t.stats.WalkCycles += t.walkCycles
+	}
+	return false
+}
+
+// Flush empties all levels (context switch to a new address space, or
+// reboot).
+func (t *TLB) Flush() {
+	t.itlb4k.flush()
+	t.itlb2m.flush()
+	t.dtlb4k.flush()
+	t.dtlb2m.flush()
+	t.stlb.flush()
+}
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters, keeping entries warm.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// String summarizes the TLB state for diagnostics.
+func (t *TLB) String() string {
+	return fmt.Sprintf("tlb{itlb misses=%d dtlb misses=%d walks=%d cyc}",
+		t.stats.FetchMisses, t.stats.LoadMisses+t.stats.StoreMisses, t.stats.WalkCycles)
+}

@@ -1,0 +1,277 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"softsku/internal/knob"
+	"softsku/internal/rng"
+)
+
+func smallGeom() Geometry {
+	return Geometry{ITLB4K: 8, ITLB2M: 2, DTLB4K: 8, DTLB2M: 4, STLB: 32, WalkCycles: 35}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	tl := New(smallGeom())
+	if tl.Access(0x1000, false, Load) {
+		t.Fatal("cold access must miss")
+	}
+	if !tl.Access(0x1000, false, Load) {
+		t.Fatal("second access must hit")
+	}
+	s := tl.Stats()
+	if s.Loads != 2 || s.LoadMisses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSplitITLBandDTLB(t *testing.T) {
+	tl := New(smallGeom())
+	tl.Access(0x1000, false, Fetch)
+	// Same page via a data access must still miss: split TLBs.
+	if tl.Access(0x1000, false, Load) {
+		t.Fatal("DTLB must not hit on an ITLB-resident page (first level)")
+	}
+}
+
+func TestSTLBCatchesFirstLevelMiss(t *testing.T) {
+	tl := New(smallGeom())
+	tl.Access(0x1000, false, Load) // walk, installs STLB too
+	walks := tl.Stats().WalkCycles
+	// Thrash the 8-entry DTLB 4K array with other pages.
+	for i := 1; i <= 8; i++ {
+		tl.Access(uint64(i)<<PageShift4K<<4, false, Load)
+	}
+	tl.Access(0x1000, false, Load) // first-level miss, STLB hit: no new walk
+	if got := tl.Stats().WalkCycles; got <= walks {
+		t.Skip("STLB large enough to hold all; adjust geometry")
+	}
+}
+
+func TestWalkCyclesCharged(t *testing.T) {
+	tl := New(smallGeom())
+	tl.Access(0x1000, false, Store)
+	if got := tl.Stats().WalkCycles; got != 35 {
+		t.Fatalf("walk cycles = %d, want 35", got)
+	}
+	if s := tl.Stats(); s.Stores != 1 || s.StoreMisses != 1 {
+		t.Fatalf("store stats %+v", s)
+	}
+}
+
+func TestHugePagesExtendReach(t *testing.T) {
+	// A working set spanning 64 MiB: 16384 4K pages thrash any DTLB,
+	// but only 32 2M pages fit in dtlb2m+STLB reach far better.
+	g := Geometry{ITLB4K: 128, ITLB2M: 8, DTLB4K: 64, DTLB2M: 32, STLB: 1536, WalkCycles: 35}
+	run := func(huge bool) float64 {
+		tl := New(g)
+		src := rng.New(1)
+		const span = 64 << 20
+		for i := 0; i < 200000; i++ {
+			addr := uint64(src.Intn(span))
+			var page uint64
+			if huge {
+				page = addr >> PageShift2M << PageShift2M
+			} else {
+				page = addr >> PageShift4K << PageShift4K
+			}
+			tl.Access(page, huge, Load)
+		}
+		s := tl.Stats()
+		return float64(s.LoadMisses) / float64(s.Loads)
+	}
+	small, big := run(false), run(true)
+	if big > small/10 {
+		t.Fatalf("huge pages should slash misses: 4K=%g 2M=%g", small, big)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl := New(smallGeom())
+	tl.Access(0x1000, false, Load)
+	tl.Flush()
+	if tl.Access(0x1000, false, Load) {
+		t.Fatal("flush must invalidate entries")
+	}
+}
+
+func TestResetStatsKeepsEntries(t *testing.T) {
+	tl := New(smallGeom())
+	tl.Access(0x1000, false, Load)
+	tl.ResetStats()
+	if !tl.Access(0x1000, false, Load) {
+		t.Fatal("entries must stay warm across ResetStats")
+	}
+	if s := tl.Stats(); s.Loads != 1 || s.LoadMisses != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestZeroPageNoAlias(t *testing.T) {
+	tl := New(smallGeom())
+	// Page base 0 must not hit against invalid (zeroed) entries.
+	if tl.Access(0, false, Load) {
+		t.Fatal("page 0 must miss on a cold TLB")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	var s Stats
+	s.FetchMisses, s.LoadMisses, s.StoreMisses = 10, 20, 5
+	if got := s.MPKI(Fetch, 10000); got != 1.0 {
+		t.Fatalf("fetch mpki=%g", got)
+	}
+	if got := s.MPKI(Load, 10000); got != 2.0 {
+		t.Fatalf("load mpki=%g", got)
+	}
+	if got := s.MPKI(Store, 10000); got != 0.5 {
+		t.Fatalf("store mpki=%g", got)
+	}
+	if got := s.MPKI(Load, 0); got != 0 {
+		t.Fatalf("zero instructions mpki=%g", got)
+	}
+}
+
+func regions() []Region {
+	return []Region{
+		{Name: "text", Base: 0, Size: 64 << 20, Code: true, Anon: true, SHP: true},
+		{Name: "heap", Base: 1 << 40, Size: 512 << 20, Anon: true, Madvise: true},
+		{Name: "stack", Base: 2 << 40, Size: 8 << 20, Anon: true},
+	}
+}
+
+func TestAddressSpaceTHPNever(t *testing.T) {
+	as, err := NewAddressSpace(regions(), knob.THPNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range regions() {
+		if as.HugeFraction(i) != 0 {
+			t.Fatalf("region %d huge under never+0SHP", i)
+		}
+	}
+	_, huge := as.PageOf(1, 1<<40+4096)
+	if huge {
+		t.Fatal("expected 4K page")
+	}
+}
+
+func TestAddressSpaceTHPMadvise(t *testing.T) {
+	as, err := NewAddressSpace(regions(), knob.THPMadvise, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.HugeFraction(0) != 0 { // text doesn't madvise
+		t.Fatal("text should not be huge under madvise")
+	}
+	if as.HugeFraction(1) != 1 { // heap madvises
+		t.Fatal("heap should be fully huge under madvise")
+	}
+	if as.HugeFraction(2) != 0 {
+		t.Fatal("stack should not be huge under madvise")
+	}
+}
+
+func TestAddressSpaceTHPAlways(t *testing.T) {
+	as, err := NewAddressSpace(regions(), knob.THPAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Executable mappings are never THP-backed (the kernel declines
+	// them; HHVM uses SHPs for its code cache instead).
+	if as.HugeFraction(0) != 0 {
+		t.Fatal("text must not be THP-backed even under always")
+	}
+	for _, i := range []int{1, 2} {
+		if as.HugeFraction(i) != 1 {
+			t.Fatalf("region %d not fully huge under always", i)
+		}
+	}
+}
+
+func TestSHPConsumption(t *testing.T) {
+	// text is 64 MiB = 32 chunks; 16 SHPs cover half of it.
+	as, err := NewAddressSpace(regions(), knob.THPNever, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := as.HugeFraction(0); got != 0.5 {
+		t.Fatalf("SHP coverage = %g, want 0.5", got)
+	}
+	if as.WastedSHPMiB() != 0 {
+		t.Fatalf("wasted=%d", as.WastedSHPMiB())
+	}
+	// Leading chunks are huge, trailing are not.
+	if _, huge := as.PageOf(0, 0); !huge {
+		t.Fatal("first chunk should be SHP-backed")
+	}
+	if _, huge := as.PageOf(0, 63<<20); huge {
+		t.Fatal("last chunk should be 4K-backed")
+	}
+}
+
+func TestSHPOverprovisionWasted(t *testing.T) {
+	// 100 SHPs: text consumes 32, 68 are wasted (136 MiB lost).
+	as, err := NewAddressSpace(regions(), knob.THPNever, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.HugeFraction(0) != 1 {
+		t.Fatal("text should be fully covered")
+	}
+	if got := as.WastedSHPMiB(); got != 136 {
+		t.Fatalf("wasted = %d MiB, want 136", got)
+	}
+}
+
+func TestAddressSpaceRejectsOverlap(t *testing.T) {
+	_, err := NewAddressSpace([]Region{
+		{Name: "a", Base: 0, Size: 4096},
+		{Name: "b", Base: 2048, Size: 4096},
+	}, knob.THPNever, 0)
+	if err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestAddressSpaceRejectsEmptyRegion(t *testing.T) {
+	_, err := NewAddressSpace([]Region{{Name: "a", Base: 0, Size: 0}}, knob.THPNever, 0)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPageOfOutsideRegionPanics(t *testing.T) {
+	as, _ := NewAddressSpace(regions(), knob.THPNever, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	as.PageOf(0, 1<<50)
+}
+
+func TestPageOfAlignmentProperty(t *testing.T) {
+	as, _ := NewAddressSpace(regions(), knob.THPAlways, 0)
+	f := func(off uint32) bool {
+		addr := 1<<40 + uint64(off)%(512<<20)
+		page, huge := as.PageOf(1, addr)
+		if huge {
+			return page%PageSize2M == 0 && addr-page < PageSize2M
+		}
+		return page%PageSize4K == 0 && addr-page < PageSize4K
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTLBAccess(b *testing.B) {
+	tl := New(Geometry{ITLB4K: 128, ITLB2M: 8, DTLB4K: 64, DTLB2M: 32, STLB: 1536})
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Access(uint64(src.Intn(1<<20))<<PageShift4K, false, Load)
+	}
+}

@@ -1,0 +1,383 @@
+package workload
+
+import "fmt"
+
+// The seven production microservices (§2.1), modelled with parameters
+// calibrated against the paper's characterization. Each constructor
+// documents which published observations pin its numbers.
+
+// Web models the HipHop Virtual Machine front end: request-level
+// parallelism over an oversubscribed PHP worker pool, an enormous JIT
+// code footprint (extreme L1I/ITLB/LLC-code misses, ~37% front-end
+// stalls, BTB-aliasing branch mispredictions), frequent blocking calls
+// to other microservices (72% blocked), ms-scale latency, and the
+// fleet's highest CPU utilization.
+func Web() *Profile {
+	return &Profile{
+		Name:     "Web",
+		Domain:   "web",
+		Platform: "Skylake18",
+
+		PathLength:        30e6,
+		RunningFrac:       0.28,
+		DownstreamCalls:   16,
+		DownstreamLatency: 5e-3,
+		WorkerThreads:     114, // oversubscribed until marginal throughput drops (§2.3.2)
+
+		MaxCPUUtil:    0.92,
+		KernelFrac:    0.08,
+		QoSLatencyP99: 0.3,
+
+		CtxSwitchRate: 900,
+
+		Mix:              InstructionMix{Branch: 20, FP: 0, Arith: 36, Load: 27, Store: 17},
+		BranchMispredict: 0.085, // BTB aliasing from the huge footprint (§2.4.1)
+
+		CodeFootprint: 512 << 20, // JIT code cache + hot text
+		CodeHot:       Tier{Frac: 0.62, Bytes: 16 << 10},
+		CodeMid:       Tier{Frac: 0.19, Bytes: 768 << 10},
+		CodeWarm:      Tier{Frac: 0.17, Bytes: 4 << 20},
+		CodeSeqFrac:   0.55,
+		CodePools:     1,
+		JITCode:       true, // anonymous code cache: THP-eligible
+
+		DataFootprint: 2 << 30,
+		DataHot:       Tier{Frac: 0.914, Bytes: 12 << 10},
+		DataMid:       Tier{Frac: 0.039, Bytes: 640 << 10},
+		DataWarm:      Tier{Frac: 0.035, Bytes: 8 << 20},
+		DataSeqFrac:   0.06, // request/response buffer streaming
+		SeqStride:     16,
+		SeqSpan:       120 << 20,
+		PrivateFrac:   0.025,
+		PrivateBytes:  400 << 10,
+		StackFrac:     0.12,
+
+		SHPHeap:     88 << 20, // hot slab: 44 chunks + 256 code-cache chunks = 300
+		HeapMadvise: false,
+		Burstiness:  0.05,
+
+		DepStallCPI:       0.16,
+		BEOverlap:         0.08,
+		IntrospectivePerf: false,
+		RebootTolerant:    true,
+	}
+}
+
+// Feed1 models the News Feed ranking leaf: FP-dominated dense feature
+// vector and model-weight traversal (highest FP mix, Fig 5), leaf
+// behaviour (95% running), high LLC data MPKI (9.3) with *low* DTLB
+// MPKI (5.8) thanks to dense page locality (§2.4.4), ms-scale latency.
+func Feed1() *Profile {
+	return &Profile{
+		Name:     "Feed1",
+		Domain:   "feed",
+		Platform: "Skylake18",
+
+		PathLength:        15e6,
+		RunningFrac:       0.95,
+		DownstreamCalls:   0,
+		DownstreamLatency: 0,
+		WorkerThreads:     40,
+
+		MaxCPUUtil:    0.56,
+		KernelFrac:    0.05,
+		QoSLatencyP99: 0.05,
+
+		CtxSwitchRate: 250,
+
+		Mix:              InstructionMix{Branch: 7, FP: 45, Arith: 14, Load: 26, Store: 8},
+		BranchMispredict: 0.008, // data-crunching loops predict well
+
+		CodeFootprint: 2 << 20,
+		CodeHot:       Tier{Frac: 0.92, Bytes: 16 << 10},
+		CodeMid:       Tier{Frac: 0.07, Bytes: 256 << 10},
+		CodeWarm:      Tier{Frac: 0.008, Bytes: 1 << 20},
+		CodeSeqFrac:   0.90,
+		CodePools:     1,
+
+		DataFootprint: 4 << 30,
+		DataHot:       Tier{Frac: 0.73, Bytes: 12 << 10},
+		DataMid:       Tier{Frac: 0.12, Bytes: 512 << 10},
+		DataWarm:      Tier{Frac: 0.05, Bytes: 4 << 20},
+		DataSeqFrac:   0.70, // dense vectors: sequential, page-local, prefetchable
+		SeqStride:     8,    // FP doubles
+		SeqSpan:       16 << 20,
+		PrivateFrac:   0.02,
+		PrivateBytes:  512 << 10,
+		StackFrac:     0.05,
+
+		SHPHeap:     0,
+		HeapMadvise: true,
+		Burstiness:  0.02,
+
+		DepStallCPI:       0.25, // long FP dependence chains
+		BEOverlap:         0.10, // deep MLP: misses overlap heavily
+		IntrospectivePerf: false,
+		RebootTolerant:    true,
+	}
+}
+
+// Feed2 models the News Feed aggregator: seconds-scale requests that
+// fan out to leaf services and feature extractors (38% blocked),
+// moderate footprints, modest memory bandwidth.
+func Feed2() *Profile {
+	return &Profile{
+		Name:     "Feed2",
+		Domain:   "feed",
+		Platform: "Skylake18",
+
+		PathLength:        400e6,
+		RunningFrac:       0.62,
+		DownstreamCalls:   40,
+		DownstreamLatency: 5e-3,
+		WorkerThreads:     64,
+
+		MaxCPUUtil:    0.72,
+		KernelFrac:    0.07,
+		QoSLatencyP99: 5,
+
+		CtxSwitchRate: 400,
+
+		Mix:              InstructionMix{Branch: 18, FP: 12, Arith: 28, Load: 28, Store: 14},
+		BranchMispredict: 0.02,
+
+		CodeFootprint: 32 << 20,
+		CodeHot:       Tier{Frac: 0.755, Bytes: 20 << 10},
+		CodeMid:       Tier{Frac: 0.16, Bytes: 640 << 10},
+		CodeWarm:      Tier{Frac: 0.08, Bytes: 1536 << 10},
+		CodeSeqFrac:   0.65,
+		CodePools:     1,
+
+		DataFootprint: 2 << 30,
+		DataHot:       Tier{Frac: 0.878, Bytes: 12 << 10},
+		DataMid:       Tier{Frac: 0.06, Bytes: 640 << 10},
+		DataWarm:      Tier{Frac: 0.05, Bytes: 8 << 20},
+		DataSeqFrac:   0.15,
+		SeqStride:     16,
+		SeqSpan:       8 << 20,
+		PrivateFrac:   0.04,
+		PrivateBytes:  512 << 10,
+		StackFrac:     0.10,
+
+		SHPHeap:     0,
+		HeapMadvise: true,
+		Burstiness:  0.05,
+
+		DepStallCPI:       0.15,
+		IntrospectivePerf: false,
+		RebootTolerant:    true,
+	}
+}
+
+// Ads1 models the user-side ads ranker: FP-heavy ranking models whose
+// AVX use trips the power budget's frequency offset (runs at 2.0 GHz,
+// §6.1(1)), bursty memory traffic above the stress-test curve
+// (§2.4.5), high LLC data and DTLB load misses, no SHP API use, and a
+// load-balancing design that cannot tolerate core-count reboots (§6.1(3)).
+func Ads1() *Profile {
+	return &Profile{
+		Name:     "Ads1",
+		Domain:   "ads",
+		Platform: "Skylake18",
+
+		PathLength:        200e6,
+		RunningFrac:       0.62,
+		DownstreamCalls:   8,
+		DownstreamLatency: 14e-3,
+		WorkerThreads:     48,
+
+		MaxCPUUtil:    0.46,
+		KernelFrac:    0.06,
+		QoSLatencyP99: 1.0,
+
+		CtxSwitchRate: 350,
+
+		Mix:              InstructionMix{Branch: 17, FP: 16, Arith: 27, Load: 27, Store: 13},
+		BranchMispredict: 0.018,
+
+		CodeFootprint: 24 << 20,
+		CodeHot:       Tier{Frac: 0.775, Bytes: 20 << 10},
+		CodeMid:       Tier{Frac: 0.17, Bytes: 512 << 10},
+		CodeWarm:      Tier{Frac: 0.05, Bytes: 768 << 10},
+		CodeSeqFrac:   0.62,
+		CodePools:     1,
+
+		DataFootprint: 8 << 30,
+		DataHot:       Tier{Frac: 0.858, Bytes: 12 << 10},
+		DataMid:       Tier{Frac: 0.07, Bytes: 768 << 10},
+		DataWarm:      Tier{Frac: 0.06, Bytes: 10 << 20},
+		DataSeqFrac:   0.08,
+		SeqStride:     16,
+		SeqSpan:       40 << 20,
+		PrivateFrac:   0.05,
+		PrivateBytes:  384 << 10,
+		StackFrac:     0.08,
+
+		SHPHeap:     0, // does not use the SHP allocation APIs (§4)
+		HeapMadvise: true,
+		Burstiness:  0.35,
+
+		DepStallCPI:       0.22,
+		BEOverlap:         0.18,
+		IntrospectivePerf: false,
+		RebootTolerant:    false,
+	}
+}
+
+// Ads2 models the ad-side store: traverses a large sorted ad list
+// (high streaming bandwidth on Skylake20, mostly covered by
+// prefetchers), compute-bound leaf-like behaviour (90% running).
+func Ads2() *Profile {
+	return &Profile{
+		Name:     "Ads2",
+		Domain:   "ads",
+		Platform: "Skylake20",
+
+		PathLength:        120e6,
+		RunningFrac:       0.90,
+		DownstreamCalls:   2,
+		DownstreamLatency: 6e-3,
+		WorkerThreads:     80,
+
+		MaxCPUUtil:    0.48,
+		KernelFrac:    0.06,
+		QoSLatencyP99: 0.5,
+
+		CtxSwitchRate: 300,
+
+		Mix:              InstructionMix{Branch: 18, FP: 12, Arith: 30, Load: 26, Store: 14},
+		BranchMispredict: 0.015,
+
+		CodeFootprint: 12 << 20,
+		CodeHot:       Tier{Frac: 0.805, Bytes: 20 << 10},
+		CodeMid:       Tier{Frac: 0.13, Bytes: 512 << 10},
+		CodeWarm:      Tier{Frac: 0.06, Bytes: 1 << 20},
+		CodeSeqFrac:   0.68,
+		CodePools:     1,
+
+		DataFootprint: 12 << 30,
+		DataHot:       Tier{Frac: 0.885, Bytes: 12 << 10},
+		DataMid:       Tier{Frac: 0.06, Bytes: 768 << 10},
+		DataWarm:      Tier{Frac: 0.04, Bytes: 14 << 20},
+		DataSeqFrac:   0.30, // sorted ad-list traversal
+		SeqStride:     16,
+		SeqSpan:       96 << 20,
+		PrivateFrac:   0.03,
+		PrivateBytes:  1 << 20,
+		StackFrac:     0.06,
+
+		SHPHeap:     0,
+		HeapMadvise: true,
+		Burstiness:  0.30,
+
+		DepStallCPI:       0.14,
+		BEOverlap:         0.12, // streaming traversal: deep MLP
+		IntrospectivePerf: false,
+		RebootTolerant:    true,
+	}
+}
+
+// Cache1 models the inner distributed-memory caching tier: µs-scale
+// requests at 100K+ QPS, extreme context-switch rates (up to 18% of
+// CPU time, §2.3.4) across distinct thread pools whose code thrashes
+// L1I (§2.4.2), low CPU utilization ceilings from strict latency QoS,
+// high kernel time, and performance-introspective code that makes
+// MIPS an unusable metric (§4).
+func Cache1() *Profile {
+	return &Profile{
+		Name:     "Cache1",
+		Domain:   "cache",
+		Platform: "Skylake20",
+
+		PathLength:        150e3,
+		RunningFrac:       0.55,
+		DownstreamCalls:   0,
+		DownstreamLatency: 0,
+		WorkerThreads:     96,
+		ConcurrentPaths:   true,
+
+		MaxCPUUtil:    0.36,
+		KernelFrac:    0.34,
+		QoSLatencyP99: 1e-3,
+
+		CtxSwitchRate: 14000,
+
+		Mix:              InstructionMix{Branch: 16, FP: 0, Arith: 39, Load: 27, Store: 18},
+		BranchMispredict: 0.03,
+
+		CodeFootprint: 6 << 20,
+		CodeHot:       Tier{Frac: 0.40, Bytes: 16 << 10},
+		CodeMid:       Tier{Frac: 0.40, Bytes: 448 << 10},
+		CodeWarm:      Tier{Frac: 0.18, Bytes: 1200 << 10},
+		CodeSeqFrac:   0.45, // parse/marshal control flow: poor fetch locality
+		CodePools:     4,    // distinct thread pools run distinct code (§2.4.2)
+
+		DataFootprint: 16 << 30,
+		DataHot:       Tier{Frac: 0.848, Bytes: 16 << 10},
+		DataMid:       Tier{Frac: 0.08, Bytes: 384 << 10},
+		DataWarm:      Tier{Frac: 0.06, Bytes: 10 << 20},
+		DataSeqFrac:   0.035, // large-value copies stream through DRAM
+		SeqStride:     64,
+		SeqSpan:       256 << 20,
+		PrivateFrac:   0.04,
+		PrivateBytes:  384 << 10,
+		StackFrac:     0.10,
+
+		SHPHeap:     0,
+		HeapMadvise: true,
+		Burstiness:  0.10,
+
+		DepStallCPI:       0.10,
+		BEOverlap:         0.12,
+		IntrospectivePerf: true,
+		RebootTolerant:    false,
+	}
+}
+
+// Cache2 models the client-facing caching tier: like Cache1 but on
+// Skylake18 with a smaller footprint and lower bandwidth demand
+// (Fig 12 places Cache2 low on the Skylake18 curve).
+func Cache2() *Profile {
+	p := Cache1()
+	p.Name = "Cache2"
+	p.Platform = "Skylake18"
+	p.PathLength = 120e3
+	p.MaxCPUUtil = 0.40
+	p.KernelFrac = 0.30
+	p.CtxSwitchRate = 11000
+	p.DataFootprint = 6 << 30
+	p.DataWarm = Tier{Frac: 0.06, Bytes: 8 << 20}
+	p.DataSeqFrac = 0.025
+	p.SeqSpan = 32 << 20
+	p.Mix = InstructionMix{Branch: 19, FP: 0, Arith: 36, Load: 27, Store: 18}
+	return p
+}
+
+// All returns the seven microservices in the paper's presentation
+// order.
+func All() []*Profile {
+	return []*Profile{Web(), Feed1(), Feed2(), Ads1(), Ads2(), Cache1(), Cache2()}
+}
+
+// ByName looks a service up by its paper name.
+func ByName(name string) (*Profile, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown microservice %q", name)
+}
+
+// ForPlatform returns the service profile as deployed on the named
+// platform, applying per-platform production configuration deltas.
+// Web on Broadwell16 provisions a larger SHP-backed hot slab (its
+// production reservation is 488 pages vs Skylake's 200 — §6.1(7)).
+func ForPlatform(p *Profile, platformName string) *Profile {
+	q := *p
+	q.Platform = platformName
+	if p.Name == "Web" && platformName == "Broadwell16" {
+		q.SHPHeap = 288 << 20 // 144 + 256 code chunks = 400-chunk demand
+	}
+	return &q
+}

@@ -1,0 +1,73 @@
+package workload
+
+// SPECRef is reference data for one SPEC CPU2006 benchmark, reproduced
+// from the paper's own comparison measurements (Figs 5–9, 11, measured
+// by the authors on Skylake20). These are *context columns* for the
+// characterization figures, not systems under test; the values are
+// static data, the same way the paper reproduces Google's published
+// numbers.
+type SPECRef struct {
+	Name string
+	Mix  InstructionMix
+	IPC  float64
+
+	L1DataMPKI  float64
+	L1CodeMPKI  float64
+	L2DataMPKI  float64
+	L2CodeMPKI  float64
+	LLCDataMPKI float64
+	LLCCodeMPKI float64
+
+	ITLBMPKI      float64
+	DTLBLoadMPKI  float64
+	DTLBStoreMPKI float64
+}
+
+// SPEC2006 returns the twelve SPECint CPU2006 reference rows used in
+// the paper's comparison figures.
+func SPEC2006() []SPECRef {
+	return []SPECRef{
+		{Name: "400.perlbench", Mix: InstructionMix{Branch: 21, FP: 0, Arith: 38, Load: 27, Store: 13}, IPC: 2.4, L1DataMPKI: 16, L1CodeMPKI: 3, L2DataMPKI: 2.1, L2CodeMPKI: 0.5, LLCDataMPKI: 0.4, LLCCodeMPKI: 0.01, ITLBMPKI: 0.2, DTLBLoadMPKI: 0.3, DTLBStoreMPKI: 0.1},
+		{Name: "401.bzip2", Mix: InstructionMix{Branch: 13, FP: 0, Arith: 43, Load: 30, Store: 10}, IPC: 1.8, L1DataMPKI: 24, L1CodeMPKI: 0.1, L2DataMPKI: 6.5, L2CodeMPKI: 0.02, LLCDataMPKI: 1.8, LLCCodeMPKI: 0, ITLBMPKI: 0.01, DTLBLoadMPKI: 1.6, DTLBStoreMPKI: 0.4},
+		{Name: "403.gcc", Mix: InstructionMix{Branch: 17, FP: 0, Arith: 36, Load: 29, Store: 18}, IPC: 1.4, L1DataMPKI: 28, L1CodeMPKI: 5, L2DataMPKI: 9.0, L2CodeMPKI: 1.2, LLCDataMPKI: 3.2, LLCCodeMPKI: 0.05, ITLBMPKI: 0.4, DTLBLoadMPKI: 2.8, DTLBStoreMPKI: 0.9},
+		{Name: "429.mcf", Mix: InstructionMix{Branch: 24, FP: 0, Arith: 21, Load: 43, Store: 12}, IPC: 0.5, L1DataMPKI: 79, L1CodeMPKI: 0.1, L2DataMPKI: 49, L2CodeMPKI: 0.02, LLCDataMPKI: 26, LLCCodeMPKI: 0, ITLBMPKI: 0.01, DTLBLoadMPKI: 22, DTLBStoreMPKI: 2},
+		{Name: "445.gobmk", Mix: InstructionMix{Branch: 19, FP: 0, Arith: 42, Load: 26, Store: 13}, IPC: 1.3, L1DataMPKI: 13, L1CodeMPKI: 9, L2DataMPKI: 2.4, L2CodeMPKI: 2.0, LLCDataMPKI: 0.6, LLCCodeMPKI: 0.1, ITLBMPKI: 0.7, DTLBLoadMPKI: 0.6, DTLBStoreMPKI: 0.2},
+		{Name: "456.hmmer", Mix: InstructionMix{Branch: 5, FP: 0, Arith: 37, Load: 43, Store: 15}, IPC: 2.6, L1DataMPKI: 7, L1CodeMPKI: 0.1, L2DataMPKI: 1.1, L2CodeMPKI: 0.01, LLCDataMPKI: 0.3, LLCCodeMPKI: 0, ITLBMPKI: 0.01, DTLBLoadMPKI: 0.2, DTLBStoreMPKI: 0.05},
+		{Name: "458.sjeng", Mix: InstructionMix{Branch: 22, FP: 0, Arith: 44, Load: 24, Store: 9}, IPC: 1.7, L1DataMPKI: 5, L1CodeMPKI: 3, L2DataMPKI: 0.9, L2CodeMPKI: 0.6, LLCDataMPKI: 0.4, LLCCodeMPKI: 0.05, ITLBMPKI: 0.2, DTLBLoadMPKI: 0.5, DTLBStoreMPKI: 0.1},
+		{Name: "462.libquantum", Mix: InstructionMix{Branch: 18, FP: 0, Arith: 51, Load: 28, Store: 3}, IPC: 1.1, L1DataMPKI: 33, L1CodeMPKI: 0, L2DataMPKI: 33, L2CodeMPKI: 0, LLCDataMPKI: 27, LLCCodeMPKI: 0, ITLBMPKI: 0, DTLBLoadMPKI: 1.8, DTLBStoreMPKI: 0.1},
+		{Name: "464.h264ref", Mix: InstructionMix{Branch: 9, FP: 0, Arith: 41, Load: 38, Store: 12}, IPC: 2.5, L1DataMPKI: 9, L1CodeMPKI: 1.5, L2DataMPKI: 1.5, L2CodeMPKI: 0.3, LLCDataMPKI: 0.4, LLCCodeMPKI: 0.01, ITLBMPKI: 0.1, DTLBLoadMPKI: 0.3, DTLBStoreMPKI: 0.1},
+		{Name: "471.omnetpp", Mix: InstructionMix{Branch: 24, FP: 0, Arith: 30, Load: 29, Store: 16}, IPC: 0.8, L1DataMPKI: 31, L1CodeMPKI: 4, L2DataMPKI: 13, L2CodeMPKI: 0.8, LLCDataMPKI: 7.5, LLCCodeMPKI: 0.08, ITLBMPKI: 0.3, DTLBLoadMPKI: 6.1, DTLBStoreMPKI: 1.4},
+		{Name: "473.astar", Mix: InstructionMix{Branch: 15, FP: 0, Arith: 34, Load: 38, Store: 11}, IPC: 0.9, L1DataMPKI: 25, L1CodeMPKI: 0.2, L2DataMPKI: 9.8, L2CodeMPKI: 0.05, LLCDataMPKI: 3.8, LLCCodeMPKI: 0, ITLBMPKI: 0.02, DTLBLoadMPKI: 5.2, DTLBStoreMPKI: 0.7},
+		{Name: "483.xalancbmk", Mix: InstructionMix{Branch: 29, FP: 0, Arith: 31, Load: 31, Store: 8}, IPC: 1.6, L1DataMPKI: 22, L1CodeMPKI: 6, L2DataMPKI: 4.6, L2CodeMPKI: 1.5, LLCDataMPKI: 1.6, LLCCodeMPKI: 0.1, ITLBMPKI: 0.9, DTLBLoadMPKI: 2.9, DTLBStoreMPKI: 0.3},
+	}
+}
+
+// GoogleRef is published per-service data from Kanev'15 and Ayers'18
+// (measured on Haswell) that the paper uses as additional context in
+// Figs 6–9.
+type GoogleRef struct {
+	Name        string
+	Source      string // "Kanev15" or "Ayers18"
+	IPC         float64
+	L1DataMPKI  float64
+	L1CodeMPKI  float64
+	L2DataMPKI  float64
+	L2CodeMPKI  float64
+	LLCDataMPKI float64
+	LLCCodeMPKI float64
+}
+
+// GoogleServices returns the published Google comparison rows.
+func GoogleServices() []GoogleRef {
+	return []GoogleRef{
+		{Name: "Search1-Leaf", Source: "Ayers18", IPC: 1.1, L1DataMPKI: 27, L1CodeMPKI: 11, L2DataMPKI: 9, L2CodeMPKI: 4, LLCDataMPKI: 2.5, LLCCodeMPKI: 0.3},
+		{Name: "Ads", Source: "Kanev15", IPC: 1.0},
+		{Name: "Bigtable", Source: "Kanev15", IPC: 0.9},
+		{Name: "Disk", Source: "Kanev15", IPC: 0.8},
+		{Name: "Flight-search", Source: "Kanev15", IPC: 1.2},
+		{Name: "Gmail", Source: "Kanev15", IPC: 0.7},
+		{Name: "Gmail-fe", Source: "Kanev15", IPC: 0.6},
+		{Name: "Video", Source: "Kanev15", IPC: 1.4},
+		{Name: "Search1-Root", Source: "Kanev15", IPC: 1.0},
+	}
+}

@@ -1,0 +1,314 @@
+package workload
+
+import (
+	"softsku/internal/cache"
+	"softsku/internal/rng"
+	"softsku/internal/tlb"
+)
+
+// Access is one memory reference produced by a Stream: the unit the
+// simulator pushes through the cache, TLB, and prefetch models.
+type Access struct {
+	Addr   uint64
+	Region int32 // index into the Layout's regions
+	Kind   cache.Kind
+	Type   tlb.AccessType
+	IP     uint64 // address of the accessing instruction
+}
+
+const (
+	// instrPerFetch is how many instructions one I-cache line access
+	// represents (a 32-byte fetch group of ~4-byte instructions).
+	instrPerFetch = 8
+	lineBytes     = 64
+
+	// dataStreams is the number of strided data streams a thread
+	// rotates between (arrays being walked by different loops).
+	dataStreams = 4
+	// streamRunAccesses bounds a strided run (one inner loop) before
+	// the thread moves to another array.
+	streamRunAccesses = 2048
+)
+
+// MapCodeLine maps a code line index within a text region to its
+// address. JIT code caches scatter hot translations across the whole
+// cache at page granularity (translations are emitted in request
+// order, not heat order), so huge-page coverage of the code cache pays
+// off gradually; linker-laid-out file text stays contiguous.
+func MapCodeLine(p *Profile, l Layout, pool int, line uint64) uint64 {
+	base := l.Regions[l.Text[pool]].Base
+	if l.CodePerm == nil {
+		return base + line*lineBytes
+	}
+	const linesPerPage = tlb.PageSize4K / lineBytes
+	page := line / linesPerPage
+	inPage := line % linesPerPage
+	page = uint64(l.CodePerm[page%uint64(len(l.CodePerm))])
+	return base + page<<tlb.PageShift4K + inPage*lineBytes
+}
+
+// MapDataOffset maps a byte offset within the combined data footprint
+// to its (region, address). Offsets inside [0, SHPHeap) live in the
+// SHP-backed hot slab with page-level scatter; the rest in the heap.
+func MapDataOffset(p *Profile, l Layout, off uint64) (int32, uint64) {
+	var r int32
+	if l.SHPHeap >= 0 && off < p.SHPHeap {
+		r = int32(l.SHPHeap)
+		if l.SlabPerm != nil {
+			page := off >> tlb.PageShift4K
+			inPage := off & (tlb.PageSize4K - 1)
+			page = uint64(l.SlabPerm[page%uint64(len(l.SlabPerm))])
+			off = page<<tlb.PageShift4K | inPage
+		}
+	} else {
+		r = int32(l.Heap)
+		if l.SHPHeap >= 0 {
+			off -= p.SHPHeap
+		}
+	}
+	reg := l.Regions[r]
+	if off+lineBytes > reg.Size {
+		off %= reg.Size - lineBytes
+	}
+	return r, reg.Base + off
+}
+
+// PrivateSpan returns the byte range [base, base+span) of the data
+// footprint holding thread idx's private request state, scaled so that
+// each simulated thread stands in for coreScale real cores.
+func PrivateSpan(p *Profile, idx int, coreScale float64) (base, span uint64) {
+	if p.PrivateBytes == 0 {
+		return 0, 0
+	}
+	if coreScale < 1 {
+		coreScale = 1
+	}
+	span = uint64(float64(p.PrivateBytes) * coreScale)
+	tail := uint64(idx+1) * span
+	if tail < p.DataFootprint {
+		base = p.DataFootprint - tail
+	} else {
+		base = p.DataFootprint / 2
+	}
+	return base, span
+}
+
+// Stream generates one worker thread's instruction and memory
+// reference stream according to a Profile. It is deterministic given
+// its seed. Not safe for concurrent use.
+type Stream struct {
+	prof   *Profile
+	layout Layout
+	src    *rng.Source
+
+	pool      int    // current code pool (context switches rotate it)
+	codeLine  uint64 // current line index within the pool's text
+	codeLines uint64 // lines per text region
+	fetchGap  int    // instructions since last I-fetch
+
+	// Strided stream state: byte cursors over [0, SeqSpan).
+	streams [dataStreams]uint64
+	curStrm int
+	runLeft int
+
+	privBase uint64
+	privSpan uint64
+
+	stackLine uint64
+
+	// Precomputed thresholds from the normalized mix and tier model.
+	pLoad, pStore float64
+	codeHotLines  uint64
+	codeMidLines  uint64
+	codeWarmLines uint64
+	pCodeHot      float64 // cumulative tier thresholds
+	pCodeMid      float64
+	pCodeWarm     float64
+	pDataHot      float64
+	pDataMid      float64
+	pDataWarm     float64
+}
+
+// NewStream builds a thread stream. pool assigns the thread to one of
+// the profile's code pools. coreScale is activeCores/simThreads: each
+// sim thread stands in for that many real cores' private footprints.
+func NewStream(p *Profile, layout Layout, seed uint64, pool int, coreScale float64) *Stream {
+	src := rng.New(seed)
+	mix := p.Mix.Normalize()
+	s := &Stream{
+		prof:      p,
+		layout:    layout,
+		src:       src,
+		pool:      pool % p.CodePools,
+		codeLines: p.CodeFootprint / lineBytes,
+		pLoad:     mix.Load,
+		pStore:    mix.Load + mix.Store,
+	}
+	if s.codeLines == 0 {
+		s.codeLines = 1
+	}
+	s.codeHotLines = max64(p.CodeHot.Bytes/lineBytes, 1)
+	s.codeMidLines = max64(p.CodeMid.Bytes/lineBytes, 1)
+	s.codeWarmLines = max64(p.CodeWarm.Bytes/lineBytes, 1)
+	s.pCodeHot = p.CodeHot.Frac
+	s.pCodeMid = s.pCodeHot + p.CodeMid.Frac
+	s.pCodeWarm = s.pCodeMid + p.CodeWarm.Frac
+	s.pDataHot = p.DataHot.Frac
+	s.pDataMid = s.pDataHot + p.DataMid.Frac
+	s.pDataWarm = s.pDataMid + p.DataWarm.Frac
+
+	s.privBase, s.privSpan = PrivateSpan(p, pool, coreScale)
+	for i := range s.streams {
+		s.streams[i] = s.seqStart()
+	}
+	return s
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (s *Stream) seqStart() uint64 {
+	span := s.prof.SeqSpan
+	if span == 0 {
+		span = s.prof.DataFootprint
+	}
+	return uint64(s.src.Float64() * float64(span))
+}
+
+// Pool returns the thread's current code pool.
+func (s *Stream) Pool() int { return s.pool }
+
+// SwitchPool models a context switch to a thread of a different pool:
+// subsequent code fetches come from different text (the L1I-thrash
+// mechanism behind Cache1/Cache2's front-end stalls, §2.4.2).
+func (s *Stream) SwitchPool() {
+	if s.prof.CodePools > 1 {
+		s.pool = (s.pool + 1) % s.prof.CodePools
+	}
+	// The new thread resumes at an unrelated code location.
+	s.codeLine = s.jumpTarget()
+}
+
+// jumpTarget picks a code line by tier.
+func (s *Stream) jumpTarget() uint64 {
+	u := s.src.Float64()
+	switch {
+	case u < s.pCodeHot:
+		return uint64(s.src.Float64() * float64(s.codeHotLines))
+	case u < s.pCodeMid:
+		return uint64(s.src.Float64() * float64(s.codeMidLines))
+	case u < s.pCodeWarm:
+		return uint64(s.src.Float64() * float64(s.codeWarmLines))
+	default:
+		return uint64(s.src.Float64() * float64(s.codeLines))
+	}
+}
+
+// Generate appends the memory references of the next n instructions to
+// buf and returns it. One I-cache access is produced per fetch group;
+// data accesses follow the profile's instruction mix and tiered
+// locality model.
+func (s *Stream) Generate(buf []Access, n int) []Access {
+	p := s.prof
+	textRegion := int32(s.layout.Text[s.pool])
+	textBase := s.layout.Regions[textRegion].Base
+	for i := 0; i < n; i++ {
+		// Instruction fetch, one line access per fetch group.
+		s.fetchGap++
+		if s.fetchGap >= instrPerFetch {
+			s.fetchGap = 0
+			ip := MapCodeLine(p, s.layout, s.pool, s.codeLine)
+			buf = append(buf, Access{
+				Addr: ip, Region: textRegion,
+				Kind: cache.Code, Type: tlb.Fetch, IP: ip,
+			})
+			if s.src.Float64() < p.CodeSeqFrac {
+				s.codeLine++
+				if s.codeLine >= s.codeLines {
+					s.codeLine = 0
+				}
+			} else {
+				s.codeLine = s.jumpTarget()
+			}
+		}
+		u := s.src.Float64()
+		if u >= s.pStore {
+			continue // non-memory instruction
+		}
+		at := tlb.Load
+		if u >= s.pLoad {
+			at = tlb.Store
+		}
+		buf = append(buf, s.dataAccess(at, textBase))
+	}
+	return buf
+}
+
+// dataAccess produces one load or store: stack, strided stream,
+// private request state, or a tiered shared-heap access.
+func (s *Stream) dataAccess(at tlb.AccessType, textBase uint64) Access {
+	p := s.prof
+	ip := textBase + s.codeLine*lineBytes
+	u := s.src.Float64()
+	if u < p.StackFrac {
+		// Stack: cycle through a few hot lines; near-perfect locality.
+		s.stackLine = (s.stackLine + 1) & 63
+		r := int32(s.layout.Stack)
+		return Access{
+			Addr:   s.layout.Regions[r].Base + s.stackLine*lineBytes,
+			Region: r, Kind: cache.Data, Type: at, IP: ip,
+		}
+	}
+	u = (u - p.StackFrac) / (1 - p.StackFrac) // renormalize
+	if u < p.DataSeqFrac {
+		// Strided stream: one inner loop walks one array SeqStride
+		// bytes at a time; sub-line steps give intra-line reuse and
+		// page locality, and the stable per-stream IP lets the DCU IP
+		// prefetcher lock on.
+		if s.runLeft <= 0 {
+			s.curStrm = (s.curStrm + 1) % dataStreams
+			s.streams[s.curStrm] = s.seqStart()
+			s.runLeft = streamRunAccesses
+		}
+		s.runLeft--
+		k := s.curStrm
+		s.streams[k] += p.SeqStride
+		if s.streams[k] >= p.SeqSpan {
+			s.streams[k] = 0
+		}
+		return s.dataAt(s.streams[k], at, textBase+uint64(k)*4)
+	}
+	u = (u - p.DataSeqFrac) / (1 - p.DataSeqFrac)
+	if u < p.PrivateFrac {
+		// Freshly allocated request state is written before it is read:
+		// most private-span traffic is stores.
+		if s.src.Bool(0.65) {
+			at = tlb.Store
+		}
+		off := s.privBase + uint64(s.src.Float64()*float64(s.privSpan))
+		return s.dataAt(off, at, ip)
+	}
+	// Shared heap, by locality tier.
+	v := s.src.Float64()
+	var off uint64
+	switch {
+	case v < s.pDataHot:
+		off = uint64(s.src.Float64() * float64(p.DataHot.Bytes))
+	case v < s.pDataMid:
+		off = uint64(s.src.Float64() * float64(p.DataMid.Bytes))
+	case v < s.pDataWarm:
+		off = uint64(s.src.Float64() * float64(p.DataWarm.Bytes))
+	default:
+		off = uint64(s.src.Float64() * float64(p.DataFootprint))
+	}
+	return s.dataAt(off, at, ip)
+}
+
+func (s *Stream) dataAt(off uint64, at tlb.AccessType, ip uint64) Access {
+	r, addr := MapDataOffset(s.prof, s.layout, off)
+	return Access{Addr: addr, Region: r, Kind: cache.Data, Type: at, IP: ip}
+}

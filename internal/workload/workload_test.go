@@ -1,0 +1,487 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"softsku/internal/cache"
+	"softsku/internal/knob"
+	"softsku/internal/tlb"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("the paper characterizes 7 microservices, got %d", len(seen))
+	}
+}
+
+func TestPlatformPlacement(t *testing.T) {
+	// §2.2: Web, Feed1, Feed2, Ads1, Cache2 run on Skylake18;
+	// Ads2 and Cache1 on Skylake20.
+	want := map[string]string{
+		"Web": "Skylake18", "Feed1": "Skylake18", "Feed2": "Skylake18",
+		"Ads1": "Skylake18", "Cache2": "Skylake18",
+		"Ads2": "Skylake20", "Cache1": "Skylake20",
+	}
+	for _, p := range All() {
+		if p.Platform != want[p.Name] {
+			t.Errorf("%s on %s, want %s", p.Name, p.Platform, want[p.Name])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("Cache1")
+	if err != nil || p.Name != "Cache1" {
+		t.Fatalf("ByName: %v %v", p, err)
+	}
+	if _, err := ByName("Search"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMixNormalize(t *testing.T) {
+	m := InstructionMix{Branch: 20, FP: 0, Arith: 40, Load: 30, Store: 10}.Normalize()
+	sum := m.Branch + m.FP + m.Arith + m.Load + m.Store
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("normalized sum %g", sum)
+	}
+	if math.Abs(m.MemFrac()-0.4) > 1e-12 {
+		t.Fatalf("mem frac %g", m.MemFrac())
+	}
+}
+
+func TestInstructionMixCharacter(t *testing.T) {
+	// Fig 5: FP present only in ranking services; Feed1 dominated by it.
+	for _, name := range []string{"Web", "Cache1", "Cache2"} {
+		p, _ := ByName(name)
+		if p.Mix.Normalize().FP != 0 {
+			t.Errorf("%s must have no FP instructions", name)
+		}
+	}
+	feed1, _ := ByName("Feed1")
+	for _, name := range []string{"Feed2", "Ads1", "Ads2"} {
+		p, _ := ByName(name)
+		fp := p.Mix.Normalize().FP
+		if fp <= 0 {
+			t.Errorf("%s must include FP", name)
+		}
+		if fp >= feed1.Mix.Normalize().FP {
+			t.Errorf("Feed1 must be the most FP-dominated, %s has %g", name, fp)
+		}
+	}
+}
+
+func TestAVXFrequencyCapOnlyAds1(t *testing.T) {
+	// §6.1(1): Ads1's AVX use trips the power budget offset; Web does not.
+	ads1, _ := ByName("Ads1")
+	if ads1.AVXFrac() < 0.15 {
+		t.Fatalf("Ads1 AVX fraction %g must trip the 0.15 offset threshold", ads1.AVXFrac())
+	}
+	web, _ := ByName("Web")
+	if web.AVXFrac() >= 0.15 {
+		t.Fatalf("Web AVX fraction %g must not trip the offset", web.AVXFrac())
+	}
+}
+
+func TestDiversityOrdering(t *testing.T) {
+	// The axes of diversity the paper leans on (Fig 1, Table 2).
+	web, _ := ByName("Web")
+	feed2, _ := ByName("Feed2")
+	cache1, _ := ByName("Cache1")
+	if !(cache1.PathLength < web.PathLength && web.PathLength < feed2.PathLength) {
+		t.Fatal("path length ordering Cache1 < Web < Feed2 violated")
+	}
+	if cache1.CtxSwitchRate < 10*web.CtxSwitchRate {
+		t.Fatal("Cache must context-switch at least 10x more than Web")
+	}
+	feed1, _ := ByName("Feed1")
+	if feed1.RunningFrac < 0.9 || web.RunningFrac > 0.4 {
+		t.Fatal("Fig 2a: Feed1 is a leaf (~95% running), Web is mostly blocked")
+	}
+	if cache1.MaxCPUUtil > 0.5 || web.MaxCPUUtil < 0.8 {
+		t.Fatal("Fig 3: Cache runs at low utilization, Web at high")
+	}
+}
+
+func TestBuildLayoutRegionsValid(t *testing.T) {
+	for _, p := range All() {
+		l := p.BuildLayout()
+		if _, err := tlb.NewAddressSpace(l.Regions, knob.THPMadvise, 0); err != nil {
+			t.Errorf("%s layout invalid: %v", p.Name, err)
+		}
+		if len(l.Text) != p.CodePools {
+			t.Errorf("%s: %d text regions, want %d pools", p.Name, len(l.Text), p.CodePools)
+		}
+		if (l.SHPHeap >= 0) != (p.SHPHeap > 0) {
+			t.Errorf("%s: SHP heap presence mismatch", p.Name)
+		}
+		for _, ti := range l.Text {
+			if !l.Regions[ti].Code {
+				t.Errorf("%s: text region not marked code", p.Name)
+			}
+		}
+	}
+}
+
+func TestSHPDemand(t *testing.T) {
+	web, _ := ByName("Web")
+	// Web on Skylake: 256 MiB code (128 chunks) + 344 MiB slab (172) = 300.
+	if got := web.SHPDemandChunks(); got != 300 {
+		t.Fatalf("Web SHP demand = %d, want 300 (Fig 18b sweet spot)", got)
+	}
+	bdw := ForPlatform(web, "Broadwell16")
+	if got := bdw.SHPDemandChunks(); got != 400 {
+		t.Fatalf("Web(Broadwell) SHP demand = %d, want 400", got)
+	}
+	ads1, _ := ByName("Ads1")
+	if got := ads1.SHPDemandChunks(); got != 0 {
+		t.Fatalf("Ads1 does not use SHP APIs, demand = %d", got)
+	}
+}
+
+func TestForPlatformDoesNotMutate(t *testing.T) {
+	web := Web()
+	before := web.SHPHeap
+	_ = ForPlatform(web, "Broadwell16")
+	if web.SHPHeap != before {
+		t.Fatal("ForPlatform mutated the source profile")
+	}
+}
+
+func newStream(name string, seed uint64) (*Profile, *Stream) {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p, NewStream(p, p.BuildLayout(), seed, 0, 1)
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	_, s1 := newStream("Web", 42)
+	_, s2 := newStream("Web", 42)
+	a1 := s1.Generate(nil, 5000)
+	a2 := s2.Generate(nil, 5000)
+	if len(a1) != len(a2) {
+		t.Fatalf("lengths differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("access %d differs", i)
+		}
+	}
+}
+
+func TestStreamAccessesInRegions(t *testing.T) {
+	for _, p := range All() {
+		l := p.BuildLayout()
+		as, err := tlb.NewAddressSpace(l.Regions, knob.THPAlways, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewStream(p, l, 7, 0, 1)
+		accs := s.Generate(nil, 20000)
+		for _, a := range accs {
+			r := l.Regions[a.Region]
+			if a.Addr < r.Base || a.Addr >= r.Base+r.Size {
+				t.Fatalf("%s: access %#x outside region %s", p.Name, a.Addr, r.Name)
+			}
+			as.PageOf(int(a.Region), a.Addr) // must not panic
+		}
+	}
+}
+
+func TestStreamFetchRate(t *testing.T) {
+	_, s := newStream("Web", 1)
+	accs := s.Generate(nil, 80000)
+	fetches := 0
+	for _, a := range accs {
+		if a.Type == tlb.Fetch {
+			fetches++
+		}
+	}
+	want := 80000 / instrPerFetch
+	if fetches != want {
+		t.Fatalf("fetches=%d want %d", fetches, want)
+	}
+}
+
+func TestStreamMixMatchesProfile(t *testing.T) {
+	p, s := newStream("Cache1", 3)
+	const n = 200000
+	accs := s.Generate(nil, n)
+	loads, stores := 0, 0
+	for _, a := range accs {
+		switch a.Type {
+		case tlb.Load:
+			loads++
+		case tlb.Store:
+			stores++
+		}
+	}
+	mix := p.Mix.Normalize()
+	if got := float64(loads) / n; math.Abs(got-mix.Load) > 0.01 {
+		t.Fatalf("load frac %g want %g", got, mix.Load)
+	}
+	if got := float64(stores) / n; math.Abs(got-mix.Store) > 0.01 {
+		t.Fatalf("store frac %g want %g", got, mix.Store)
+	}
+}
+
+func TestStreamKindsConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		_, s := newStream("Feed2", seed)
+		for _, a := range s.Generate(nil, 5000) {
+			codeOK := (a.Kind == cache.Code) == (a.Type == tlb.Fetch)
+			if !codeOK {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchPoolRotatesText(t *testing.T) {
+	p, _ := ByName("Cache1")
+	l := p.BuildLayout()
+	s := NewStream(p, l, 5, 0, 1)
+	if s.Pool() != 0 {
+		t.Fatalf("initial pool %d", s.Pool())
+	}
+	s.SwitchPool()
+	if s.Pool() != 1 {
+		t.Fatalf("pool after switch %d", s.Pool())
+	}
+	// Generated code accesses now come from text1.
+	accs := s.Generate(nil, 64)
+	for _, a := range accs {
+		if a.Kind == cache.Code && int(a.Region) != l.Text[1] {
+			t.Fatalf("code access from region %d, want %d", a.Region, l.Text[1])
+		}
+	}
+	// Web has one pool; switching must stay at 0.
+	webP, _ := ByName("Web")
+	ws := NewStream(webP, webP.BuildLayout(), 5, 0, 1)
+	ws.SwitchPool()
+	if ws.Pool() != 0 {
+		t.Fatal("single-pool service must not rotate")
+	}
+}
+
+func TestSequentialityOrdering(t *testing.T) {
+	// Feed1 (dense vectors) must produce far more sequential data
+	// accesses than Cache1 (random keys).
+	seqFrac := func(name string) float64 {
+		_, s := newStream(name, 11)
+		accs := s.Generate(nil, 100000)
+		var last uint64
+		seq, n := 0, 0
+		for _, a := range accs {
+			if a.Kind != cache.Data {
+				continue
+			}
+			n++
+			if a.Addr >= last && a.Addr-last <= 4096 {
+				seq++
+			}
+			last = a.Addr
+		}
+		return float64(seq) / float64(n)
+	}
+	if f1, c1 := seqFrac("Feed1"), seqFrac("Cache1"); f1 < 2*c1 {
+		t.Fatalf("Feed1 seq frac %g should dwarf Cache1's %g", f1, c1)
+	}
+}
+
+func TestSHPHeapHoldsHottestObjects(t *testing.T) {
+	p, s := newStream("Web", 13)
+	l := p.BuildLayout()
+	accs := s.Generate(nil, 200000)
+	shp, heap := 0, 0
+	for _, a := range accs {
+		switch int(a.Region) {
+		case l.SHPHeap:
+			shp++
+		case l.Heap:
+			heap++
+		}
+	}
+	// The SHP slab is ~17% of the data footprint but holds the hottest
+	// Zipf ranks: it must see disproportionate traffic.
+	frac := float64(shp) / float64(shp+heap)
+	if frac < 0.3 {
+		t.Fatalf("SHP slab traffic fraction %g, want the hot share (>0.3)", frac)
+	}
+}
+
+func TestSPECReferenceData(t *testing.T) {
+	specs := SPEC2006()
+	if len(specs) != 12 {
+		t.Fatalf("12 SPECint rows expected, got %d", len(specs))
+	}
+	for _, s := range specs {
+		if s.IPC <= 0 {
+			t.Errorf("%s: non-positive IPC", s.Name)
+		}
+		if s.L1DataMPKI < s.LLCDataMPKI {
+			t.Errorf("%s: LLC MPKI exceeds L1 MPKI", s.Name)
+		}
+		if s.Mix.Normalize().FP != 0 {
+			t.Errorf("%s: SPECint rows have no FP", s.Name)
+		}
+	}
+	if len(GoogleServices()) == 0 {
+		t.Fatal("missing Google reference rows")
+	}
+}
+
+func BenchmarkStreamGenerate(b *testing.B) {
+	_, s := newStream("Web", 1)
+	buf := make([]Access, 0, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.Generate(buf[:0], 1000)
+	}
+}
+
+func TestMapCodeLineStaysInText(t *testing.T) {
+	for _, name := range []string{"Web", "Cache1"} {
+		p, _ := ByName(name)
+		l := p.BuildLayout()
+		f := func(line uint32, pool uint8) bool {
+			pl := int(pool) % p.CodePools
+			addr := MapCodeLine(p, l, pl, uint64(line)%(p.CodeFootprint/64))
+			r := l.Regions[l.Text[pl]]
+			return addr >= r.Base && addr < r.Base+r.Size
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMapCodeLineScatterBijective(t *testing.T) {
+	// The JIT page permutation must not collide: distinct pages map to
+	// distinct pages (footprint is preserved).
+	p, _ := ByName("Web") // JITCode: scattered
+	l := p.BuildLayout()
+	const pages = 4096 // sample of the code cache
+	seen := make(map[uint64]bool, pages)
+	for pg := uint64(0); pg < pages; pg++ {
+		addr := MapCodeLine(p, l, 0, pg*64) // line 0 of each page
+		page := addr >> 12
+		if seen[page] {
+			t.Fatalf("page collision at input page %d", pg)
+		}
+		seen[page] = true
+	}
+}
+
+func TestMapCodeLineContiguousForFileText(t *testing.T) {
+	p, _ := ByName("Cache1") // file-backed text: no scatter
+	l := p.BuildLayout()
+	base := l.Regions[l.Text[0]].Base
+	for line := uint64(0); line < 100; line++ {
+		if got := MapCodeLine(p, l, 0, line); got != base+line*64 {
+			t.Fatalf("file text must be laid out linearly: line %d at %#x", line, got)
+		}
+	}
+}
+
+func TestMapDataOffsetInBounds(t *testing.T) {
+	for _, name := range []string{"Web", "Ads2"} {
+		p, _ := ByName(name)
+		l := p.BuildLayout()
+		f := func(off uint64) bool {
+			r, addr := MapDataOffset(p, l, off%p.DataFootprint)
+			reg := l.Regions[r]
+			return addr >= reg.Base && addr+64 <= reg.Base+reg.Size
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPrivateSpansDisjoint(t *testing.T) {
+	p, _ := ByName("Web")
+	type span struct{ lo, hi uint64 }
+	var spans []span
+	for i := 0; i < 4; i++ {
+		base, size := PrivateSpan(p, i, 4.5)
+		if size == 0 {
+			t.Fatal("Web has private state")
+		}
+		spans = append(spans, span{base, base + size})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("private spans %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestPrivateSpanScalesWithCores(t *testing.T) {
+	p, _ := ByName("Web")
+	_, small := PrivateSpan(p, 0, 1)
+	_, big := PrivateSpan(p, 0, 4.5)
+	if big != uint64(4.5*float64(small)) {
+		t.Fatalf("coreScale must scale the span: %d vs %d", small, big)
+	}
+	none, sz := PrivateSpan(&Profile{}, 0, 2)
+	if none != 0 || sz != 0 {
+		t.Fatal("no private bytes, no span")
+	}
+}
+
+func TestSPECProfilesValid(t *testing.T) {
+	profs := SPECProfiles()
+	if len(profs) != 12 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	for _, p := range profs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		sum := p.DataHot.Frac + p.DataMid.Frac + p.DataWarm.Frac
+		if sum > 1.0001 {
+			t.Errorf("%s: data tier fracs sum to %g", p.Name, sum)
+		}
+	}
+}
+
+func TestSPECProfileInversion(t *testing.T) {
+	// mcf is the memory-hog: its derived cold fraction must dwarf
+	// hmmer's (cache-friendly).
+	byName := map[string]*Profile{}
+	for _, p := range SPECProfiles() {
+		byName[p.Name] = p
+	}
+	mcf, hmmer := byName["429.mcf"], byName["456.hmmer"]
+	mcfCold := 1 - mcf.DataHot.Frac - mcf.DataMid.Frac - mcf.DataWarm.Frac
+	hmmerCold := 1 - hmmer.DataHot.Frac - hmmer.DataMid.Frac - hmmer.DataWarm.Frac
+	if mcfCold < 10*hmmerCold {
+		t.Fatalf("mcf cold %g should dwarf hmmer cold %g", mcfCold, hmmerCold)
+	}
+	// xalancbmk has the big code footprint among SPECint rows.
+	xalan := byName["483.xalancbmk"]
+	if xalan.CodeMid.Frac+xalan.CodeWarm.Frac <= hmmer.CodeMid.Frac+hmmer.CodeWarm.Frac {
+		t.Fatal("xalancbmk must derive more non-hot code than hmmer")
+	}
+}

@@ -1,0 +1,249 @@
+package softsku
+
+import (
+	"fmt"
+
+	"softsku/internal/cache"
+	"softsku/internal/core"
+	"softsku/internal/emon"
+	"softsku/internal/knob"
+	"softsku/internal/loadgen"
+	"softsku/internal/mem"
+	"softsku/internal/platform"
+	"softsku/internal/sim"
+	"softsku/internal/workload"
+)
+
+// Re-exported building blocks. Aliases keep the public API thin while
+// the implementation lives in focused internal packages.
+type (
+	// SKU describes one hardware platform (Table 1).
+	SKU = platform.SKU
+	// Server is a booted, knob-configured instance of a SKU.
+	Server = platform.Server
+	// Config is a complete soft-SKU knob assignment.
+	Config = knob.Config
+	// Service is a synthetic microservice model (§2.1).
+	Service = workload.Profile
+	// Machine simulates one server running one service.
+	Machine = sim.Machine
+	// Operating is a machine's steady-state operating point.
+	Operating = sim.Operating
+	// TuneInput is µSKU's input file (§4).
+	TuneInput = core.Input
+	// TuneResult is a complete µSKU run.
+	TuneResult = core.Result
+	// Tool is a µSKU instance bound to one service/platform pair.
+	Tool = core.Tool
+)
+
+// Platform constructors (Table 1).
+var (
+	Skylake18   = platform.Skylake18
+	Skylake20   = platform.Skylake20
+	Broadwell16 = platform.Broadwell16
+)
+
+// PlatformByName returns one of the three fleet SKUs.
+func PlatformByName(name string) (*SKU, error) { return platform.ByName(name) }
+
+// Platforms returns the three fleet SKUs in Table 1 order.
+func Platforms() []*SKU { return platform.FleetSKUs() }
+
+// Services returns the seven production microservices in the paper's
+// presentation order.
+func Services() []*Service { return workload.All() }
+
+// ServiceByName looks up one of the seven microservices.
+func ServiceByName(name string) (*Service, error) { return workload.ByName(name) }
+
+// ProductionConfig returns the hand-tuned production configuration for
+// a service/platform pair (§6.2).
+func ProductionConfig(sku *SKU, svc *Service) Config { return sim.ProductionConfig(sku, svc) }
+
+// StockConfig returns the off-the-shelf configuration after a fresh
+// server re-install (§6.2).
+func StockConfig(sku *SKU) Config { return sim.StockConfig(sku) }
+
+// NewServer boots a server of the given SKU with the configuration.
+func NewServer(sku *SKU, cfg Config) (*Server, error) { return platform.NewServer(sku, cfg) }
+
+// NewMachine builds the simulator for a server running a service.
+func NewMachine(srv *Server, svc *Service, seed uint64) (*Machine, error) {
+	return sim.NewMachine(srv, workload.ForPlatform(svc, srv.SKU().Name), seed)
+}
+
+// Characterization is the §2-style profile of one microservice at its
+// QoS-limited peak: the counters of Figs 2-12 for one service.
+type Characterization struct {
+	Service  string
+	Platform string
+
+	// Architectural (EMON) view.
+	Counters emon.Counters
+	TopDown  struct{ Retiring, FrontEnd, BadSpec, BackEnd float64 }
+
+	// System-level view at the searched peak load.
+	QPS            float64
+	MeanLatencySec float64
+	P99LatencySec  float64
+	Util           float64
+	UserUtil       float64
+	KernelUtil     float64
+	RunningFrac    float64
+	QueueFrac      float64
+	SchedFrac      float64
+	IOFrac         float64
+	CtxSwitchRate  float64 // per second per busy core
+}
+
+// String renders the characterization compactly.
+func (c Characterization) String() string {
+	return fmt.Sprintf(
+		"%s on %s: IPC=%.2f MIPS=%.0f QPS=%.0f util=%.0f%% lat(mean/p99)=%.3g/%.3gs\n"+
+			"  topdown: retiring=%.0f%% frontend=%.0f%% badspec=%.0f%% backend=%.0f%%\n"+
+			"  MPKI: L1{c=%.1f d=%.1f} L2{c=%.1f d=%.1f} LLC{c=%.2f d=%.2f} ITLB=%.2f DTLB=%.2f/%.2f\n"+
+			"  memory: %.1f GB/s @ %.0f ns; request: run=%.0f%% queue=%.0f%% sched=%.0f%% io=%.0f%%; ctx=%.0f/s/core",
+		c.Service, c.Platform, c.Counters.IPC, c.Counters.MIPS, c.QPS, c.Util*100,
+		c.MeanLatencySec, c.P99LatencySec,
+		c.TopDown.Retiring*100, c.TopDown.FrontEnd*100, c.TopDown.BadSpec*100, c.TopDown.BackEnd*100,
+		c.Counters.L1CodeMPKI, c.Counters.L1DataMPKI, c.Counters.L2CodeMPKI, c.Counters.L2DataMPKI,
+		c.Counters.LLCCodeMPKI, c.Counters.LLCDataMPKI,
+		c.Counters.ITLBMPKI, c.Counters.DTLBLoadMPKI, c.Counters.DTLBStoreMPKI,
+		c.Counters.MemBWGBs, c.Counters.MemLatencyNS,
+		c.RunningFrac*100, c.QueueFrac*100, c.SchedFrac*100, c.IOFrac*100, c.CtxSwitchRate)
+}
+
+// Option configures characterization runs.
+type Option func(*charOpts)
+
+type charOpts struct {
+	seed     uint64
+	platform string
+	config   *Config
+}
+
+// Seed sets the workload seed (default 1).
+func Seed(s uint64) Option { return func(o *charOpts) { o.seed = s } }
+
+// OnPlatform overrides the service's default production platform.
+func OnPlatform(name string) Option { return func(o *charOpts) { o.platform = name } }
+
+// WithConfig overrides the hand-tuned production configuration.
+func WithConfig(cfg Config) Option { return func(o *charOpts) { o.config = &cfg } }
+
+// Characterize profiles one microservice at its QoS-limited peak on
+// production-configured servers, reproducing the paper's §2
+// measurements for that service.
+func Characterize(service string, opts ...Option) (Characterization, error) {
+	o := charOpts{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	base, err := workload.ByName(service)
+	if err != nil {
+		return Characterization{}, err
+	}
+	platName := o.platform
+	if platName == "" {
+		platName = base.Platform
+	}
+	sku, err := platform.ByName(platName)
+	if err != nil {
+		return Characterization{}, err
+	}
+	prof := workload.ForPlatform(base, sku.Name)
+	cfg := sim.ProductionConfig(sku, prof)
+	if o.config != nil {
+		cfg = *o.config
+	}
+	srv, err := platform.NewServer(sku, cfg)
+	if err != nil {
+		return Characterization{}, err
+	}
+	m, err := sim.NewMachine(srv, prof, o.seed)
+	if err != nil {
+		return Characterization{}, err
+	}
+	op := m.SolvePeak()
+	peak := m.FindPeak(o.seed)
+
+	var c Characterization
+	c.Service = prof.Name
+	c.Platform = sku.Name
+	c.Counters = emon.NewSampler(m, loadgen.Flat(), o.seed).ReadCounters(0)
+	c.TopDown.Retiring = op.TopDown.Retiring
+	c.TopDown.FrontEnd = op.TopDown.FrontEnd
+	c.TopDown.BadSpec = op.TopDown.BadSpec
+	c.TopDown.BackEnd = op.TopDown.BackEnd
+	r := peak.Result
+	c.QPS = r.QPS
+	c.MeanLatencySec = r.Latency.Mean()
+	c.P99LatencySec = r.Latency.Quantile(0.99)
+	c.Util, c.UserUtil, c.KernelUtil = r.Util, r.UserUtil, r.KernelUtil
+	c.RunningFrac, c.QueueFrac, c.SchedFrac, c.IOFrac = r.RunFrac, r.QueueFrac, r.SchedFrac, r.IOFrac
+	c.CtxSwitchRate = r.CtxSwitchRate
+	return c, nil
+}
+
+// DefaultTuneInput returns a µSKU input with the prototype's defaults
+// for the given target.
+func DefaultTuneInput(service, platform string) TuneInput {
+	return core.DefaultInput(service, platform)
+}
+
+// ParseTuneInput parses µSKU's input-file format (§4).
+func ParseTuneInput(text string) (TuneInput, error) { return core.ParseInput(text) }
+
+// NewTool builds a µSKU tool from an input.
+func NewTool(in TuneInput) (*Tool, error) { return core.New(in) }
+
+// NewToolForService builds a µSKU tool for a user-defined microservice
+// profile — the extension point for tuning services beyond the
+// paper's seven.
+func NewToolForService(in TuneInput, svc *Service, sku *SKU) (*Tool, error) {
+	return core.NewForService(in, svc, sku)
+}
+
+// Tune runs µSKU end to end: sweep the design space, compose the soft
+// SKU, and validate it against production and stock configurations.
+func Tune(in TuneInput) (*TuneResult, error) {
+	tool, err := core.New(in)
+	if err != nil {
+		return nil, err
+	}
+	return tool.Run()
+}
+
+// FormatTuneMap renders a tuning run's design-space map as a table.
+func FormatTuneMap(res *TuneResult) string { return core.FormatMap(res) }
+
+// CoResult is one co-location interference measurement (§7 extension).
+type CoResult = sim.CoResult
+
+// Colocate measures mutual interference between two services sharing a
+// server: the affinity signal a µSKU-aware scheduler would consume
+// (§7 "µSKU and co-location").
+func Colocate(sku *SKU, a, b *Service, seed uint64) (CoResult, error) {
+	return sim.Colocate(sku, a, b, seed)
+}
+
+// StressCurve reproduces the Intel MLC-style loaded-latency experiment
+// behind Fig 12 for one platform: (bandwidth GB/s, latency ns) points.
+func StressCurve(sku *SKU, points int) []mem.Point {
+	return mem.NewModel(sku).StressCurve(points)
+}
+
+// MemoryPoint is one (bandwidth, latency) sample.
+type MemoryPoint = mem.Point
+
+// CacheLevel re-exports hierarchy levels for MPKI queries.
+type CacheLevel = cache.Level
+
+// Cache levels.
+const (
+	L1     = cache.L1
+	L2     = cache.L2
+	LLC    = cache.LLC
+	Memory = cache.Memory
+)

@@ -1,0 +1,118 @@
+package softsku_test
+
+import (
+	"strings"
+	"testing"
+
+	"softsku"
+	"softsku/internal/knob"
+)
+
+func TestPlatformsAndServices(t *testing.T) {
+	if got := len(softsku.Platforms()); got != 3 {
+		t.Fatalf("platforms = %d", got)
+	}
+	if got := len(softsku.Services()); got != 7 {
+		t.Fatalf("services = %d", got)
+	}
+	if _, err := softsku.PlatformByName("Skylake18"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := softsku.ServiceByName("Cache2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := softsku.ServiceByName("Search"); err == nil {
+		t.Fatal("unknown service must error")
+	}
+}
+
+func TestNewServerAndMachine(t *testing.T) {
+	sku := softsku.Skylake18()
+	svc, _ := softsku.ServiceByName("Feed1")
+	srv, err := softsku.NewServer(sku, softsku.ProductionConfig(sku, svc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := softsku.NewMachine(srv, svc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := m.SolvePeak()
+	if op.IPC <= 0 || op.MIPS <= 0 {
+		t.Fatalf("degenerate operating point: %v", op)
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	c, err := softsku.Characterize("Feed2", softsku.Seed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Platform != "Skylake18" {
+		t.Fatalf("default platform = %s", c.Platform)
+	}
+	if c.Counters.IPC <= 0 || c.QPS <= 0 || c.Util <= 0 {
+		t.Fatalf("degenerate characterization: %+v", c)
+	}
+	sum := c.TopDown.Retiring + c.TopDown.FrontEnd + c.TopDown.BadSpec + c.TopDown.BackEnd
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("top-down sum = %g", sum)
+	}
+	out := c.String()
+	for _, want := range []string{"Feed2", "IPC", "topdown", "MPKI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("characterization string missing %q", want)
+		}
+	}
+}
+
+func TestCharacterizeOnPlatformWithConfig(t *testing.T) {
+	sku := softsku.Broadwell16()
+	cfg := softsku.StockConfig(sku)
+	c, err := softsku.Characterize("Web",
+		softsku.OnPlatform("Broadwell16"), softsku.WithConfig(cfg), softsku.Seed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Platform != "Broadwell16" {
+		t.Fatalf("platform = %s", c.Platform)
+	}
+}
+
+func TestTuneRestricted(t *testing.T) {
+	in := softsku.DefaultTuneInput("Web", "Skylake18")
+	in.Knobs = []knob.ID{knob.THP}
+	in.AB.MinSamples = 150
+	in.AB.MaxSamples = 1000
+	res, err := softsku.Tune(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoftSKU.THP != knob.THPAlways {
+		t.Fatalf("THP tuning should pick always: %v", res.SoftSKU)
+	}
+	table := softsku.FormatTuneMap(res)
+	if !strings.Contains(table, "thp") {
+		t.Fatalf("tune map missing knob rows:\n%s", table)
+	}
+}
+
+func TestParseTuneInput(t *testing.T) {
+	in, err := softsku.ParseTuneInput("microservice = Ads1\nsweep = hillclimb\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Microservice != "Ads1" {
+		t.Fatalf("parsed: %+v", in)
+	}
+}
+
+func TestStressCurve(t *testing.T) {
+	curve := softsku.StressCurve(softsku.Skylake20(), 20)
+	if len(curve) != 20 {
+		t.Fatalf("points = %d", len(curve))
+	}
+	if curve[19].LatencyNS <= curve[0].LatencyNS {
+		t.Fatal("stress curve must rise")
+	}
+}
