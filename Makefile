@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full health check: gofmt, vet, build, and tests under -race.
+check:
+	sh scripts/check.sh
+
+# Regenerates every paper table/figure and writes BENCH_telemetry.json
+# with ns/op and sim-seconds/wall-second for the tracked benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	gofmt -w .

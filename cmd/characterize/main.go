@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"softsku/internal/figures"
+	"softsku/internal/telemetry"
 )
 
 func main() {
@@ -26,8 +27,23 @@ func main() {
 		only      = flag.String("only", "", "render a single item, e.g. table2, fig9, fig19, ablationA")
 		tuning    = flag.Bool("tuning", false, "include the µSKU evaluation figures (Figs 14-19)")
 		ablations = flag.Bool("ablations", false, "include the ablation studies")
+		obs       telemetry.CLI
 	)
+	obs.Flags()
 	flag.Parse()
+
+	tracer, err := obs.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := obs.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+		}
+	}()
+	root := tracer.StartSpan("characterize", "characterization")
+	defer root.End()
 
 	ctx := figures.NewContext(*seed)
 	type item struct {
@@ -65,11 +81,17 @@ func main() {
 		{"extensionG", true, func() figures.Table { return figures.ExtensionSPEC(*seed) }},
 	}
 
+	render := func(it item) string {
+		sp := root.StartChild(it.key, "figure")
+		defer sp.End()
+		return it.gen().String()
+	}
+
 	if *only != "" {
 		want := strings.ToLower(*only)
 		for _, it := range items {
 			if strings.ToLower(it.key) == want {
-				fmt.Println(it.gen().String())
+				fmt.Println(render(it))
 				return
 			}
 		}
@@ -85,6 +107,6 @@ func main() {
 		if it.slow && !isAblation && !*tuning {
 			continue
 		}
-		fmt.Println(it.gen().String())
+		fmt.Println(render(it))
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"softsku"
 	"softsku/internal/knob"
+	"softsku/internal/telemetry"
 )
 
 func main() {
@@ -43,7 +44,9 @@ func main() {
 		validate  = flag.Int("validate", 0, "after tuning, validate across N simulated code pushes")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of tables")
+		obs       telemetry.CLI
 	)
+	obs.Flags()
 	flag.Parse()
 
 	in, err := buildInput(*inputPath, *service, *platName, *sweep, *metric, *knobList, *seed)
@@ -57,6 +60,16 @@ func main() {
 	if !*quiet {
 		tool.SetLogger(os.Stderr)
 	}
+	tracer, err := obs.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obs.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "musku:", err)
+		}
+	}()
+	tool.SetTracer(tracer)
 	res, err := tool.Run()
 	if err != nil {
 		fatal(err)

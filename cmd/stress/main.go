@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"softsku"
+	"softsku/internal/telemetry"
 )
 
 func main() {
@@ -24,8 +25,23 @@ func main() {
 		points   = flag.Int("points", 13, "points per stress curve")
 		services = flag.Bool("services", false, "also print each microservice's operating point")
 		seed     = flag.Uint64("seed", 1, "workload seed for -services")
+		obs      telemetry.CLI
 	)
+	obs.Flags()
 	flag.Parse()
+
+	tracer, err := obs.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := obs.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+		}
+	}()
+	root := tracer.StartSpan("stress", "memory")
+	defer root.End()
 
 	var skus []*softsku.SKU
 	if *platName != "" {
@@ -40,6 +56,8 @@ func main() {
 	}
 
 	for _, sku := range skus {
+		sp := root.StartChild("curve."+sku.Name, "memory")
+		sp.Set("points", *points)
 		fmt.Printf("== %s loaded-latency curve (peak %.0f GB/s, unloaded %.0f ns) ==\n",
 			sku.Name, sku.MemPeakGBs, sku.MemUnloadedNS)
 		fmt.Printf("%12s  %12s\n", "GB/s", "latency ns")
@@ -47,17 +65,22 @@ func main() {
 			fmt.Printf("%12.1f  %12.0f\n", p.BandwidthGBs, p.LatencyNS)
 		}
 		fmt.Println()
+		sp.End()
 	}
 
 	if *services {
 		fmt.Println("== microservice operating points (production config, peak load) ==")
 		fmt.Printf("%-8s %-12s %10s %12s\n", "service", "platform", "GB/s", "latency ns")
 		for _, svc := range softsku.Services() {
+			sp := root.StartChild("service."+svc.Name, "memory")
 			c, err := softsku.Characterize(svc.Name, softsku.Seed(*seed))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "stress:", err)
 				os.Exit(1)
 			}
+			sp.Set("bw_gbs", c.Counters.MemBWGBs)
+			sp.Set("latency_ns", c.Counters.MemLatencyNS)
+			sp.End()
 			fmt.Printf("%-8s %-12s %10.1f %12.0f\n",
 				svc.Name, svc.Platform, c.Counters.MemBWGBs, c.Counters.MemLatencyNS)
 		}

@@ -11,6 +11,23 @@ import (
 	"fmt"
 
 	"softsku/internal/stats"
+	"softsku/internal/telemetry"
+)
+
+// Trial telemetry: how many A/B tests ran, how they resolved, and the
+// distributions of p-values and per-arm sample counts — the tuner's
+// equivalent of the paper's per-trial measurement plumbing.
+var (
+	mTrialsStarted = telemetry.Default.Counter("softsku_abtest_trials_started_total",
+		"A/B trials started.")
+	mTrialsAccepted = telemetry.Default.Counter("softsku_abtest_trials_accepted_total",
+		"A/B trials where the treatment was a significant improvement.")
+	mTrialsRejected = telemetry.Default.Counter("softsku_abtest_trials_rejected_total",
+		"A/B trials that were not significant or regressed.")
+	mTrialPValue = telemetry.Default.Histogram("softsku_abtest_p_value",
+		"Final Welch's t-test p-value per trial.")
+	mTrialSamples = telemetry.Default.Histogram("softsku_abtest_samples_per_trial",
+		"Samples collected per arm before each trial resolved.")
 )
 
 // Config tunes the test procedure. The zero value is not valid; use
@@ -83,6 +100,7 @@ func Run(cfg Config, control, treatment Sampler, startSec float64) (Outcome, flo
 	}
 	alpha := 1 - cfg.Confidence
 	t := startSec + cfg.WarmupSec // discard cold-start observations
+	mTrialsStarted.Inc()
 
 	var out Outcome
 	for n := 0; n < cfg.MaxSamples; n++ {
@@ -110,5 +128,12 @@ func Run(cfg Config, control, treatment Sampler, startSec float64) (Outcome, flo
 		out.DeltaPct = (out.Treatment.Mean() - c) / c * 100
 	}
 	out.ElapsedSec = t - startSec
+	if out.Better() {
+		mTrialsAccepted.Inc()
+	} else {
+		mTrialsRejected.Inc()
+	}
+	mTrialPValue.Observe(out.PValue)
+	mTrialSamples.Observe(float64(out.Samples))
 	return out, t
 }

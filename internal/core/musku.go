@@ -11,7 +11,21 @@ import (
 	"softsku/internal/loadgen"
 	"softsku/internal/platform"
 	"softsku/internal/sim"
+	"softsku/internal/telemetry"
 	"softsku/internal/workload"
+)
+
+// Design-space telemetry: how much of the space each tuning run
+// sweeps, tests, and prunes away as unrealizable.
+var (
+	mKnobsSwept = telemetry.Default.Counter("softsku_core_knobs_swept_total",
+		"Knob sweeps performed across tuning runs.")
+	mConfigsValidated = telemetry.Default.Counter("softsku_core_configs_validated_total",
+		"Candidate configurations that passed SKU validation and were measured.")
+	mConfigsPruned = telemetry.Default.Counter("softsku_core_configs_pruned_total",
+		"Candidate configurations pruned as unrealizable on the SKU.")
+	mRuns = telemetry.Default.Counter("softsku_core_runs_total",
+		"Complete µSKU tuning runs.")
 )
 
 // Point is one evaluated knob setting in the design-space map.
@@ -76,6 +90,9 @@ type Tool struct {
 
 	samplers map[string]abtest.Sampler // config-keyed cache
 	seedCtr  uint64
+
+	tracer *telemetry.Tracer // nil disables tracing
+	span   *telemetry.Span   // current parent for trial/machine spans
 }
 
 // New builds a µSKU tool from an input file. It rejects MIPS-metric
@@ -128,6 +145,13 @@ func NewForService(in Input, prof *workload.Profile, sku *platform.SKU) (*Tool, 
 // SetLogger directs progress logging (nil disables it).
 func (t *Tool) SetLogger(w io.Writer) { t.logW = w }
 
+// SetTracer attaches a span tracer to the tool: Run records a root
+// span, one child span per knob sweep, and grandchildren per A/B trial
+// and per simulated-machine build, each annotated with knob settings,
+// sampled means, and confidence-test verdicts. nil disables tracing
+// (the default); every instrumentation site is nil-safe.
+func (t *Tool) SetTracer(tr *telemetry.Tracer) { t.tracer = tr }
+
 func (t *Tool) logf(format string, args ...interface{}) {
 	if t.logW != nil {
 		fmt.Fprintf(t.logW, format+"\n", args...)
@@ -148,6 +172,9 @@ func (t *Tool) sampler(cfg knob.Config) (abtest.Sampler, error) {
 	if s, ok := t.samplers[key]; ok {
 		return s, nil
 	}
+	sp := t.span.StartChild("sim.machine", "sim")
+	sp.Set("config", key)
+	defer sp.End()
 	srv, err := platform.NewServer(t.sku, cfg)
 	if err != nil {
 		return nil, err
@@ -180,21 +207,22 @@ func (t *Tool) sampler(cfg knob.Config) (abtest.Sampler, error) {
 // advancing the shared virtual clock so successive tests face
 // successive production load.
 func (t *Tool) compare(treatment knob.Config) (abtest.Outcome, error) {
-	control, err := t.sampler(t.baseline)
-	if err != nil {
-		return abtest.Outcome{}, err
-	}
-	treat, err := t.sampler(treatment)
-	if err != nil {
-		return abtest.Outcome{}, err
-	}
-	out, end := abtest.Run(t.in.AB, control, treat, t.vclock)
-	t.vclock = end
-	return out, nil
+	return t.compareAgainst(t.baseline, treatment)
 }
 
 // Run executes the configured sweep and composes the soft SKU.
 func (t *Tool) Run() (*Result, error) {
+	mRuns.Inc()
+	root := t.tracer.StartSpan("musku.run", "tuning")
+	root.Set("service", t.prof.Name)
+	root.Set("platform", t.sku.Name)
+	root.Set("sweep", t.in.Sweep.String())
+	root.Set("metric", t.in.Metric.String())
+	t.span = root
+	defer func() {
+		t.span = nil
+		root.End()
+	}()
 	res := &Result{
 		Service:  t.prof.Name,
 		Platform: t.sku.Name,
@@ -242,17 +270,27 @@ func (t *Tool) Run() (*Result, error) {
 	vcfg.SpacingSec = 86400.0 / float64(vcfg.MinSamples)
 	save := t.in.AB
 	t.in.AB = vcfg
+	vspan := root.StartChild("validate.final", "tuning")
+	t.span = vspan
 	if res.VsProduction, err = t.compare(composed); err != nil {
 		t.in.AB = save
+		vspan.End()
 		return nil, err
 	}
 	if out, err := t.compareAgainst(res.Stock, composed); err == nil {
 		res.VsStock = out
 	} else {
 		t.in.AB = save
+		vspan.End()
 		return nil, err
 	}
 	t.in.AB = save
+	t.span = root
+	vspan.Set("vs_production_pct", res.VsProduction.DeltaPct)
+	vspan.Set("vs_stock_pct", res.VsStock.DeltaPct)
+	vspan.End()
+	root.Set("soft_sku", composed.String())
+	root.Set("reboots", t.reboots)
 	res.Reboots = t.reboots
 	t.logf("soft SKU for %s on %s: %s", res.Service, res.Platform, composed)
 	t.logf("  vs production: %s   vs stock: %s", res.VsProduction, res.VsStock)
@@ -260,7 +298,19 @@ func (t *Tool) Run() (*Result, error) {
 }
 
 // compareAgainst A/B-tests treatment against an arbitrary control.
+// Every comparison records a "trial" span (machine builds nest under
+// it) annotated with the configurations, sampled means, and the
+// confidence-test verdict.
 func (t *Tool) compareAgainst(control, treatment knob.Config) (abtest.Outcome, error) {
+	sp := t.span.StartChild("trial", "abtest")
+	sp.Set("control", control.String())
+	sp.Set("treatment", treatment.String())
+	save := t.span
+	t.span = sp
+	defer func() {
+		t.span = save
+		sp.End()
+	}()
 	c, err := t.sampler(control)
 	if err != nil {
 		return abtest.Outcome{}, err
@@ -271,6 +321,13 @@ func (t *Tool) compareAgainst(control, treatment knob.Config) (abtest.Outcome, e
 	}
 	out, end := abtest.Run(t.in.AB, c, tr, t.vclock)
 	t.vclock = end
+	sp.Set("samples_per_arm", out.Samples)
+	sp.Set("control_mean", out.Control.Mean())
+	sp.Set("treatment_mean", out.Treatment.Mean())
+	sp.Set("delta_pct", out.DeltaPct)
+	sp.Set("p_value", out.PValue)
+	sp.Set("significant", out.Significant)
+	sp.Set("virtual_sec", out.ElapsedSec)
 	return out, nil
 }
 
@@ -280,9 +337,16 @@ func (t *Tool) compareAgainst(control, treatment knob.Config) (abtest.Outcome, e
 // performant significant winner of each knob.
 func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 	composed := t.baseline
+	parent := t.span
 	for _, id := range t.space.Knobs() {
 		sweep := KnobSweep{Knob: id, Baseline: t.baseline.Get(id)}
 		t.logf("sweeping %s (%d settings)", id, len(t.space.Values[id]))
+		mKnobsSwept.Inc()
+		ks := parent.StartChild("sweep."+id.String(), "sweep")
+		ks.Set("knob", id.String())
+		ks.Set("baseline", sweep.Baseline.Name)
+		ks.Set("settings", len(t.space.Values[id]))
+		t.span = ks
 		bestIdx, bestDelta := -1, 0.0
 		for _, setting := range t.space.Values[id] {
 			if setting == sweep.Baseline {
@@ -291,13 +355,17 @@ func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 			}
 			cfg := t.baseline.With(id, setting)
 			if err := t.sku.Validate(cfg); err != nil {
+				mConfigsPruned.Inc()
 				continue // unrealizable point; µSKU skips it
 			}
+			mConfigsValidated.Inc()
 			if id.RequiresReboot() {
 				t.reboots++
 			}
 			out, err := t.compare(cfg)
 			if err != nil {
+				ks.End()
+				t.span = parent
 				return composed, err
 			}
 			sweep.Points = append(sweep.Points, Point{Setting: setting, Outcome: out})
@@ -311,9 +379,14 @@ func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 			sweep.Points[bestIdx].Chosen = true
 			composed = composed.With(id, sweep.Points[bestIdx].Setting)
 			t.logf("  -> chose %s (%+.2f%%)", sweep.Points[bestIdx].Setting.Name, bestDelta)
+			ks.Set("chosen", sweep.Points[bestIdx].Setting.Name)
+			ks.Set("delta_pct", bestDelta)
 		} else {
 			t.logf("  -> keeping production %s", sweep.Baseline.Name)
+			ks.Set("chosen", sweep.Baseline.Name+" (kept)")
 		}
+		ks.End()
+		t.span = parent
 		res.Map = append(res.Map, sweep)
 	}
 	return composed, nil
@@ -340,8 +413,10 @@ func (t *Tool) exhaustiveSweep(res *Result) (knob.Config, error) {
 			return true
 		}
 		if err := t.sku.Validate(cfg); err != nil {
+			mConfigsPruned.Inc()
 			return true
 		}
+		mConfigsValidated.Inc()
 		if len(knob.Diff(t.baseline, cfg)) > 0 {
 			for _, id := range knob.Diff(t.baseline, cfg) {
 				if id.RequiresReboot() {

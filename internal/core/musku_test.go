@@ -253,12 +253,29 @@ func TestValidateDeployment(t *testing.T) {
 	if !v.StableAdvantage || v.MeanDeltaPct <= 0 {
 		t.Fatalf("soft SKU advantage should be stable across code pushes: %+v", v.Pushes)
 	}
-	// ODS must hold both series per push.
-	if got := len(v.Store.Names()); got != 6 {
-		t.Fatalf("ODS series = %d, want 6", got)
+	// ODS must hold both QPS series per push, plus the mirrored
+	// telemetry series that share the store.
+	qps, mirrored := 0, 0
+	for _, n := range v.Store.Names() {
+		switch {
+		case strings.HasPrefix(n, "push"):
+			qps++
+		case strings.HasPrefix(n, "telemetry/"):
+			mirrored++
+		}
+	}
+	if qps != 6 {
+		t.Fatalf("QPS series = %d, want 6 (%v)", qps, v.Store.Names())
+	}
+	if mirrored == 0 {
+		t.Fatalf("no telemetry series mirrored into ODS: %v", v.Store.Names())
 	}
 	if v.Store.Len("push0/softsku.qps") != 48 {
 		t.Fatalf("samples per push = %d", v.Store.Len("push0/softsku.qps"))
+	}
+	// Mirrored series carry one point per push.
+	if got := v.Store.Len("telemetry/softsku_sim_events_total"); got != 3 {
+		t.Fatalf("mirrored points = %d, want 3", got)
 	}
 }
 

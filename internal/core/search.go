@@ -13,6 +13,7 @@ import (
 // neighbour wins.
 func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
 	current := t.baseline
+	parent := t.span
 	const maxRounds = 24
 	for round := 0; round < maxRounds; round++ {
 		type move struct {
@@ -22,6 +23,8 @@ func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
 			delta float64
 		}
 		var best *move
+		rs := parent.StartChild(fmt.Sprintf("sweep.round%d", round), "sweep")
+		t.span = rs
 		for _, id := range t.space.Knobs() {
 			values := t.space.Values[id]
 			cur := indexOfSetting(values, current.Get(id))
@@ -31,13 +34,17 @@ func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
 				}
 				cfg := current.With(id, values[ni])
 				if err := t.sku.Validate(cfg); err != nil {
+					mConfigsPruned.Inc()
 					continue
 				}
+				mConfigsValidated.Inc()
 				if id.RequiresReboot() {
 					t.reboots++
 				}
 				out, err := t.compareAgainst(current, cfg)
 				if err != nil {
+					rs.End()
+					t.span = parent
 					return current, err
 				}
 				if out.Better() && (best == nil || out.DeltaPct > best.delta) {
@@ -45,10 +52,16 @@ func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
 				}
 			}
 		}
+		t.span = parent
 		if best == nil {
+			rs.Set("converged", true)
+			rs.End()
 			t.logf("hill climb converged after %d rounds", round)
 			break
 		}
+		rs.Set("move", fmt.Sprintf("%s -> %s", best.id, best.name))
+		rs.Set("delta_pct", best.delta)
+		rs.End()
 		t.logf("hill climb round %d: %s -> %s (%+.2f%%)", round, best.id, best.name, best.delta)
 		current = best.cfg
 		res.ExhaustiveBest += best.delta
@@ -98,6 +111,7 @@ func (t *Tool) BinarySearchSHP(lo, hi, step int) (int, int, error) {
 		if err := t.sku.Validate(cfg); err != nil {
 			return 0, err
 		}
+		mConfigsValidated.Inc()
 		t.reboots++
 		out, err := t.compare(cfg)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"softsku/internal/platform"
 	"softsku/internal/sim"
 	"softsku/internal/stats"
+	"softsku/internal/telemetry"
 )
 
 // PushReport is one code push's soft-SKU-vs-production comparison
@@ -46,8 +47,22 @@ func (t *Tool) Validate(softSKU knob.Config, pushes, samplesPerPush int) (*Valid
 		samplesPerPush = 10
 	}
 	v := &Validation{Store: ods.NewStore(), StableAdvantage: true}
+	root := t.tracer.StartSpan("musku.validate", "validation")
+	root.Set("pushes", pushes)
+	root.Set("soft_sku", softSKU.String())
+	defer root.End()
+	// Mirror live telemetry alongside the QPS series so the validation
+	// store is the one place fleet queries and metrics meet (§2.2's
+	// ODS role). Sim throughput and EMON read volume are sampled at
+	// each push boundary.
+	mirror := telemetry.NewODSMirror(telemetry.Default, v.Store,
+		"softsku_sim_seconds_per_wall_second",
+		"softsku_sim_events_total",
+		"softsku_emon_sample_reads_total",
+		"softsku_abtest_trials_started_total")
 	var deltas []float64
 	for p := 0; p < pushes; p++ {
+		ps := root.StartChild(fmt.Sprintf("push%d", p), "validation")
 		seed := t.in.Seed + uint64(p+1)*7777777
 		build := func(cfg knob.Config, tag uint64) (*emon.Sampler, error) {
 			srv, err := platform.NewServer(t.sku, cfg)
@@ -92,6 +107,13 @@ func (t *Tool) Validate(softSKU knob.Config, pushes, samplesPerPush int) (*Valid
 		})
 		if delta <= 0 {
 			v.StableAdvantage = false
+		}
+		ps.Set("soft_qps", softS.Mean())
+		ps.Set("prod_qps", prodS.Mean())
+		ps.Set("delta_pct", delta)
+		ps.End()
+		if err := mirror.Flush(t.vclock); err != nil {
+			return nil, err
 		}
 		t.logf("push %d: soft SKU QPS %+.2f%% vs production", p, delta)
 	}

@@ -9,6 +9,17 @@ import (
 	"softsku/internal/cache"
 	"softsku/internal/rng"
 	"softsku/internal/sim"
+	"softsku/internal/telemetry"
+)
+
+// Counter-read volume: every EMON sample (single-metric or full
+// multiplexed group) increments one of these, so operators can see how
+// much measurement traffic a tuning run generates (§2.2).
+var (
+	mSampleReads = telemetry.Default.Counter("softsku_emon_sample_reads_total",
+		"Single-metric EMON samples taken (MIPS, QPS, MIPS/W).")
+	mGroupReads = telemetry.Default.Counter("softsku_emon_group_reads_total",
+		"Full multiplexed counter-group snapshots taken.")
 )
 
 // LoadSource supplies the load factor at a virtual time;
@@ -43,6 +54,7 @@ func (s *Sampler) Machine() *sim.Machine { return s.m }
 
 // operating solves the machine at the load-modulated utilization.
 func (s *Sampler) operating(t float64) (sim.Operating, float64) {
+	mSampleReads.Inc()
 	prof := s.m.Profile()
 	factor := 1.0
 	if s.load != nil {
@@ -110,6 +122,7 @@ type Counters struct {
 
 // ReadCounters samples the full counter set at virtual time t.
 func (s *Sampler) ReadCounters(t float64) Counters {
+	mGroupReads.Inc()
 	op, _ := s.operating(t)
 	r := op.Rates
 	l1c, l1d := r.CacheMPKI(cache.L1)

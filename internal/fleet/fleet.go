@@ -14,7 +14,26 @@ import (
 	"softsku/internal/knob"
 	"softsku/internal/platform"
 	"softsku/internal/sim"
+	"softsku/internal/telemetry"
 	"softsku/internal/workload"
+)
+
+// Rollout telemetry: per-machine deployment events, so fleet-scale
+// simulations expose how much reconfiguration churn a soft-SKU
+// rollout generates.
+var (
+	mRollouts = telemetry.Default.Counter("softsku_fleet_rollouts_total",
+		"Soft-SKU rollout operations performed.")
+	mRolloutServers = telemetry.Default.Counter("softsku_fleet_rollout_servers_total",
+		"Servers reconfigured by rollouts.")
+	mRolloutReboots = telemetry.Default.Counter("softsku_fleet_rollout_reboots_total",
+		"Servers rebooted by rollouts.")
+	mRolloutWaves = telemetry.Default.Counter("softsku_fleet_rollout_waves_total",
+		"Deployment waves executed by rollouts.")
+	mRedeploys = telemetry.Default.Counter("softsku_fleet_redeploys_total",
+		"Cross-pool server redeployments.")
+	mRedeployServers = telemetry.Default.Counter("softsku_fleet_redeploy_servers_total",
+		"Servers moved between pools by redeployments.")
 )
 
 // Pool is the set of servers of one SKU dedicated to one microservice,
@@ -133,6 +152,7 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 		r.Waves = 1
 		r.WaveRebooted = []int{0}
 		pool.cfg = cfg
+		recordRollout(r)
 		return r, nil
 	}
 	for start := 0; start < pool.Size(); start += maxUnavailable {
@@ -155,7 +175,17 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 		r.WaveRebooted = append(r.WaveRebooted, rebootedThisWave)
 	}
 	pool.cfg = cfg
+	recordRollout(r)
 	return r, nil
+}
+
+// recordRollout publishes one completed rollout's per-machine event
+// counts to the telemetry registry.
+func recordRollout(r Rollout) {
+	mRollouts.Inc()
+	mRolloutServers.Add(float64(r.Servers))
+	mRolloutReboots.Add(float64(r.Rebooted))
+	mRolloutWaves.Add(float64(r.Waves))
 }
 
 // Redeploy moves n servers from one pool to another, reconfiguring
@@ -194,6 +224,9 @@ func (f *Fleet) Redeploy(from, to string, n int) (Rollout, error) {
 	}
 	r.WaveRebooted = []int{r.Rebooted}
 	dst.servers = append(dst.servers, moved...)
+	mRedeploys.Inc()
+	mRedeployServers.Add(float64(n))
+	mRolloutReboots.Add(float64(r.Rebooted))
 	return r, nil
 }
 

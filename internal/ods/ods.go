@@ -20,16 +20,137 @@ type Point struct {
 	V float64
 }
 
+// series holds one named sample sequence. With max == 0 it is a plain
+// append-only slice; with max > 0 it is a ring buffer that drops the
+// oldest sample when full, bounding memory for long fleet simulations.
+type series struct {
+	pts  []Point
+	head int // index of the oldest live point
+	n    int // live count
+	max  int // 0 = unlimited
+}
+
+// at returns the i-th live point in time order (0 = oldest).
+func (s *series) at(i int) Point {
+	if len(s.pts) == 0 {
+		return Point{}
+	}
+	return s.pts[(s.head+i)%len(s.pts)]
+}
+
+func (s *series) append(p Point) {
+	if s.max > 0 && s.n == s.max {
+		// Ring is full: overwrite the oldest slot.
+		s.pts[s.head] = p
+		s.head = (s.head + 1) % s.max
+		return
+	}
+	s.pts = append(s.pts, p)
+	s.n++
+}
+
+// linearize rewrites the ring into time order starting at index 0, so
+// retention changes can re-slice it.
+func (s *series) linearize() {
+	if s.head == 0 {
+		return
+	}
+	out := make([]Point, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.at(i)
+	}
+	s.pts, s.head = out, 0
+}
+
+// setMax applies a retention cap, dropping the oldest points if the
+// series already exceeds it.
+func (s *series) setMax(max int) {
+	if max < 0 {
+		max = 0
+	}
+	s.linearize()
+	if max > 0 && s.n > max {
+		kept := make([]Point, max)
+		copy(kept, s.pts[s.n-max:])
+		s.pts, s.n = kept, max
+	}
+	s.max = max
+}
+
+// dropOldest removes the k oldest points.
+func (s *series) dropOldest(k int) {
+	if k <= 0 {
+		return
+	}
+	if k >= s.n {
+		s.pts, s.head, s.n = nil, 0, 0
+		return
+	}
+	if s.max > 0 && len(s.pts) == s.max {
+		// Ring mode: advance the head; slots are reused in place.
+		s.head = (s.head + k) % s.max
+		s.n -= k
+		// The ring now has free slots between tail and head; linearize
+		// so append's full-test (n == max) stays correct.
+		s.linearize()
+		s.pts = s.pts[:s.n]
+		return
+	}
+	kept := make([]Point, s.n-k)
+	for i := range kept {
+		kept[i] = s.at(k + i)
+	}
+	s.pts, s.head, s.n = kept, 0, s.n-k
+}
+
 // Store holds named time series. It is safe for concurrent use —
 // every machine in the (simulated) fleet appends to it.
 type Store struct {
-	mu     sync.RWMutex
-	series map[string][]Point
+	mu         sync.RWMutex
+	series     map[string]*series
+	defaultMax int // retention applied to newly created series
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store with unlimited retention.
 func NewStore() *Store {
-	return &Store{series: make(map[string][]Point)}
+	return &Store{series: make(map[string]*series)}
+}
+
+// SetDefaultRetention bounds every series created after this call to
+// maxPoints samples (ring-buffer drop-oldest). 0 restores the default
+// unlimited behaviour. Existing series are not affected; use
+// SetRetention for those.
+func (s *Store) SetDefaultRetention(maxPoints int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if maxPoints < 0 {
+		maxPoints = 0
+	}
+	s.defaultMax = maxPoints
+}
+
+// SetRetention bounds one series to maxPoints samples, dropping the
+// oldest immediately if it already holds more. 0 removes the bound.
+// The series is created if it does not exist yet, so retention can be
+// configured ahead of the first append.
+func (s *Store) SetRetention(name string, maxPoints int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.series[name]
+	if sr == nil {
+		sr = &series{}
+		s.series[name] = sr
+	}
+	sr.setMax(maxPoints)
+}
+
+func (s *Store) get(name string) *series {
+	sr := s.series[name]
+	if sr == nil {
+		sr = &series{max: s.defaultMax}
+		s.series[name] = sr
+	}
+	return sr
 }
 
 // Append records one sample. Samples must be appended in
@@ -38,11 +159,11 @@ func NewStore() *Store {
 func (s *Store) Append(name string, t, v float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	pts := s.series[name]
-	if n := len(pts); n > 0 && pts[n-1].T > t {
-		return fmt.Errorf("ods: out-of-order append to %q: %g after %g", name, t, pts[n-1].T)
+	sr := s.get(name)
+	if sr.n > 0 && sr.at(sr.n-1).T > t {
+		return fmt.Errorf("ods: out-of-order append to %q: %g after %g", name, t, sr.at(sr.n-1).T)
 	}
-	s.series[name] = append(pts, Point{T: t, V: v})
+	sr.append(Point{T: t, V: v})
 	return nil
 }
 
@@ -62,29 +183,40 @@ func (s *Store) Names() []string {
 func (s *Store) Len(name string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.series[name])
+	if sr := s.series[name]; sr != nil {
+		return sr.n
+	}
+	return 0
 }
 
 // Latest returns the most recent sample of a series.
 func (s *Store) Latest(name string) (Point, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	pts := s.series[name]
-	if len(pts) == 0 {
+	sr := s.series[name]
+	if sr == nil || sr.n == 0 {
 		return Point{}, false
 	}
-	return pts[len(pts)-1], true
+	return sr.at(sr.n - 1), true
 }
 
 // Range returns a copy of the samples with t0 <= T < t1.
 func (s *Store) Range(name string, t0, t1 float64) []Point {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	pts := s.series[name]
-	lo := sort.Search(len(pts), func(i int) bool { return pts[i].T >= t0 })
-	hi := sort.Search(len(pts), func(i int) bool { return pts[i].T >= t1 })
+	sr := s.series[name]
+	if sr == nil {
+		return nil
+	}
+	lo := sort.Search(sr.n, func(i int) bool { return sr.at(i).T >= t0 })
+	hi := sort.Search(sr.n, func(i int) bool { return sr.at(i).T >= t1 })
+	if hi < lo { // inverted range (t1 < t0) is empty
+		hi = lo
+	}
 	out := make([]Point, hi-lo)
-	copy(out, pts[lo:hi])
+	for i := range out {
+		out[i] = sr.at(lo + i)
+	}
 	return out
 }
 
@@ -103,7 +235,9 @@ func (s *Store) Mean(name string, t0, t1 float64) float64 {
 	return stats.Mean(s.Values(name, t0, t1))
 }
 
-// Percentile aggregates a range (p in 0..100); returns 0 for empty.
+// Percentile aggregates a range (p in 0..100); returns 0 for an empty
+// range and the sample itself for a single-point range — the tail
+// queries (p99 over a validation window) the paper's fleet checks run.
 func (s *Store) Percentile(name string, t0, t1 float64, p float64) float64 {
 	vs := s.Values(name, t0, t1)
 	if len(vs) == 0 {
@@ -124,13 +258,8 @@ func (s *Store) Sample(name string, t0, t1 float64) *stats.Sample {
 func (s *Store) Prune(keepAfter float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for name, pts := range s.series {
-		lo := sort.Search(len(pts), func(i int) bool { return pts[i].T >= keepAfter })
-		if lo == 0 {
-			continue
-		}
-		kept := make([]Point, len(pts)-lo)
-		copy(kept, pts[lo:])
-		s.series[name] = kept
+	for _, sr := range s.series {
+		lo := sort.Search(sr.n, func(i int) bool { return sr.at(i).T >= keepAfter })
+		sr.dropOldest(lo)
 	}
 }

@@ -74,6 +74,122 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileEmptyRange(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 10; i++ {
+		_ = s.Append("lat", float64(i), float64(i))
+	}
+	// Window entirely between samples / outside the series.
+	if got := s.Percentile("lat", 3.5, 3.9, 99); got != 0 {
+		t.Fatalf("empty in-between range p99 = %g, want 0", got)
+	}
+	if got := s.Percentile("lat", 100, 200, 50); got != 0 {
+		t.Fatalf("out-of-range p50 = %g, want 0", got)
+	}
+	// Inverted range is empty too.
+	if got := s.Percentile("lat", 9, 2, 50); got != 0 {
+		t.Fatalf("inverted range p50 = %g, want 0", got)
+	}
+}
+
+func TestPercentileSinglePoint(t *testing.T) {
+	s := NewStore()
+	_ = s.Append("lat", 5, 42)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile("lat", 5, 6, p); got != 42 {
+			t.Fatalf("single-point p%g = %g, want 42", p, got)
+		}
+	}
+}
+
+func TestRetentionRingDropsOldest(t *testing.T) {
+	s := NewStore()
+	s.SetRetention("x", 10)
+	for i := 0; i < 100; i++ {
+		if err := s.Append("x", float64(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Len("x"); got != 10 {
+		t.Fatalf("len = %d, want 10", got)
+	}
+	pts := s.Range("x", 0, 1000)
+	if len(pts) != 10 || pts[0].T != 90 || pts[9].T != 99 {
+		t.Fatalf("range after wrap = %v", pts)
+	}
+	// Ordering is preserved across the wrap, so binary search works.
+	if got := s.Mean("x", 95, 100); got != 97 {
+		t.Fatalf("mean of last 5 = %g, want 97", got)
+	}
+	// Out-of-order appends are still rejected against the ring's tail.
+	if err := s.Append("x", 50, 0); err == nil {
+		t.Fatal("expected out-of-order error after wrap")
+	}
+	p, ok := s.Latest("x")
+	if !ok || p.T != 99 {
+		t.Fatalf("latest = %v %v", p, ok)
+	}
+}
+
+func TestRetentionAppliedToExistingSeries(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 20; i++ {
+		_ = s.Append("x", float64(i), float64(i))
+	}
+	s.SetRetention("x", 5)
+	if got := s.Len("x"); got != 5 {
+		t.Fatalf("len after cap = %d, want 5", got)
+	}
+	if pts := s.Range("x", 0, 100); pts[0].T != 15 {
+		t.Fatalf("oldest after cap = %g, want 15", pts[0].T)
+	}
+	// Lifting the cap keeps growing without bound again.
+	s.SetRetention("x", 0)
+	for i := 20; i < 40; i++ {
+		_ = s.Append("x", float64(i), float64(i))
+	}
+	if got := s.Len("x"); got != 25 {
+		t.Fatalf("len after uncapping = %d, want 25", got)
+	}
+}
+
+func TestDefaultRetention(t *testing.T) {
+	s := NewStore()
+	s.SetDefaultRetention(4)
+	for i := 0; i < 10; i++ {
+		_ = s.Append("a", float64(i), 1)
+		_ = s.Append("b", float64(i), 1)
+	}
+	if s.Len("a") != 4 || s.Len("b") != 4 {
+		t.Fatalf("default retention not applied: a=%d b=%d", s.Len("a"), s.Len("b"))
+	}
+}
+
+func TestPruneRingSeries(t *testing.T) {
+	s := NewStore()
+	s.SetRetention("x", 8)
+	for i := 0; i < 20; i++ { // ring wrapped; holds t=12..19
+		_ = s.Append("x", float64(i), 1)
+	}
+	s.Prune(15)
+	if got := s.Len("x"); got != 5 {
+		t.Fatalf("after prune len = %d, want 5", got)
+	}
+	if pts := s.Range("x", 0, 100); pts[0].T != 15 {
+		t.Fatalf("oldest after prune = %g", pts[0].T)
+	}
+	// The ring keeps working after a prune.
+	for i := 20; i < 40; i++ {
+		_ = s.Append("x", float64(i), 1)
+	}
+	if got := s.Len("x"); got != 8 {
+		t.Fatalf("refilled len = %d, want 8", got)
+	}
+	if p, _ := s.Latest("x"); p.T != 39 {
+		t.Fatalf("latest after refill = %g", p.T)
+	}
+}
+
 func TestPrune(t *testing.T) {
 	s := NewStore()
 	for i := 0; i < 10; i++ {

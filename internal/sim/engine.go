@@ -1,6 +1,28 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"time"
+
+	"softsku/internal/telemetry"
+)
+
+// Engine hot-path telemetry: events processed, virtual seconds
+// simulated, and the sim-seconds-per-wall-second throughput every perf
+// PR reports against. One atomic add per Run call — not per event —
+// keeps the overhead unmeasurable.
+var (
+	mSimEvents = telemetry.Default.Counter("softsku_sim_events_total",
+		"Discrete events processed by the simulation engine.")
+	mSimRuns = telemetry.Default.Counter("softsku_sim_runs_total",
+		"Engine.Run invocations.")
+	mSimVirtualSec = telemetry.Default.Counter("softsku_sim_virtual_seconds_total",
+		"Virtual seconds simulated.")
+	mSimWallSec = telemetry.Default.Counter("softsku_sim_wall_seconds_total",
+		"Wall seconds spent inside Engine.Run.")
+	mSimThroughput = telemetry.Default.Gauge("softsku_sim_seconds_per_wall_second",
+		"Cumulative simulated seconds per wall second (simulation speedup).")
+)
 
 // event is one scheduled occurrence in virtual time.
 type event struct {
@@ -63,6 +85,9 @@ func (e *Engine) After(delay float64, fn func()) {
 // Run processes events until the queue empties or virtual time reaches
 // until. Events scheduled exactly at the horizon still run.
 func (e *Engine) Run(until float64) {
+	wall := time.Now()
+	simStart := e.now
+	events := 0
 	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.at > until {
@@ -71,9 +96,17 @@ func (e *Engine) Run(until float64) {
 		heap.Pop(&e.queue)
 		e.now = next.at
 		next.fn()
+		events++
 	}
 	if e.now < until {
 		e.now = until
+	}
+	mSimRuns.Inc()
+	mSimEvents.Add(float64(events))
+	mSimVirtualSec.Add(e.now - simStart)
+	mSimWallSec.Add(time.Since(wall).Seconds())
+	if w := mSimWallSec.Value(); w > 0 {
+		mSimThroughput.Set(mSimVirtualSec.Value() / w)
 	}
 }
 

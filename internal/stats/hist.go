@@ -93,6 +93,33 @@ func (h Histogram) Quantile(q float64) float64 {
 	return h.maxv
 }
 
+// Sum returns the sum of all observations.
+func (h Histogram) Sum() float64 { return h.sum }
+
+// Copy returns a deep copy whose bucket storage is independent of h.
+func (h Histogram) Copy() Histogram {
+	c := h
+	if h.counts != nil {
+		c.counts = append([]uint64(nil), h.counts...)
+	}
+	return c
+}
+
+// EachBucket calls f for every non-empty bucket in ascending order of
+// upper bound, including the implicit sub-base bucket. Exporters use
+// this to render cumulative bucket counts without knowing the bucket
+// layout.
+func (h Histogram) EachBucket(f func(upperBound float64, count uint64)) {
+	if h.under > 0 {
+		f(histBase, h.under)
+	}
+	for i, c := range h.counts {
+		if c > 0 {
+			f(histBase*math.Pow(histGrowth, float64(i+1)), c)
+		}
+	}
+}
+
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.total == 0 {

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"softsku/internal/ods"
+)
+
+// TestConcurrentTelemetry hammers the registry and tracer from 8
+// goroutines while an exporter concurrently snapshots both — the
+// satellite requirement that the telemetry layer is -race-clean under
+// the access pattern a sharded fleet simulation will produce.
+func TestConcurrentTelemetry(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+
+	const (
+		writers = 8
+		iters   = 500
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			c := r.Counter("hammer_total", "shared counter")
+			own := r.Counter(fmt.Sprintf("hammer_g%d_total", g), "per-goroutine counter")
+			gauge := r.Gauge("hammer_gauge", "shared gauge")
+			h := r.Histogram("hammer_hist", "shared histogram")
+			root := tr.StartSpan(fmt.Sprintf("worker%d", g), "test")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				own.Inc()
+				gauge.Set(float64(i))
+				h.Observe(float64(i) * 1e-6)
+				sp := root.StartChild("op", "test")
+				sp.Set("i", i)
+				sp.End()
+			}
+			root.End()
+		}(g)
+	}
+
+	// Exporters snapshot concurrently with the writers.
+	var expWG sync.WaitGroup
+	stop := make(chan struct{})
+	for e := 0; e < 2; e++ {
+		expWG.Add(1)
+		go func() {
+			defer expWG.Done()
+			<-start
+			// Each exporter mirrors into its own retention-bounded store,
+			// so the ring buffer is exercised while the writers hammer
+			// the source metrics.
+			store := ods.NewStore()
+			store.SetDefaultRetention(64)
+			mirror := NewODSMirror(r, store, "hammer_total", "hammer_gauge")
+			tick := 0.0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tr.WriteChromeTrace(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				tr.Tree()
+				if err := mirror.Flush(tick); err != nil {
+					t.Error(err)
+					return
+				}
+				tick++
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(stop)
+	expWG.Wait()
+
+	if got := r.Counter("hammer_total", "").Value(); got != writers*iters {
+		t.Fatalf("hammer_total = %g, want %d", got, writers*iters)
+	}
+	for g := 0; g < writers; g++ {
+		if got := r.Counter(fmt.Sprintf("hammer_g%d_total", g), "").Value(); got != iters {
+			t.Fatalf("g%d counter = %g, want %d", g, got, iters)
+		}
+	}
+	if got := r.Histogram("hammer_hist", "").Count(); got != writers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, writers*iters)
+	}
+	// writers roots + writers*iters children
+	if got := tr.SpanCount(); got != writers+writers*iters {
+		t.Fatalf("spans = %d, want %d", got, writers+writers*iters)
+	}
+}

@@ -1,0 +1,358 @@
+// Package telemetry is the reproduction's observability substrate,
+// standing in for the ODS + EMON plumbing the paper's µSKU tool leans
+// on (§2.2, §4): every A/B trial at Facebook is observable because
+// fleet metrics land in ODS and counter reads come from EMON. Here the
+// same roles are filled by a process-wide metrics registry (counters,
+// gauges, histograms with a Prometheus text exporter), a hierarchical
+// span tracer for tuning runs (JSON and Chrome trace_event export),
+// and profiling hooks the CLIs expose as -trace-out / -metrics-out /
+// -pprof.
+//
+// Instrumentation sites increment metrics unconditionally — counters
+// are single atomic adds, cheap enough for the simulator's hot paths —
+// while tracing is nil-gated: a nil *Tracer or *Span no-ops every
+// method, so library code can instrument without checking whether a
+// trace was requested.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"softsku/internal/stats"
+)
+
+// Counter is a monotonically increasing metric (trial counts, events
+// simulated). It is a lock-free float64; Add from any goroutine.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter. Negative deltas are ignored — counters
+// only go up.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a metric that can go up and down (sim-seconds per
+// wall-second, current pool sizes).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a distribution metric (p-values, samples per trial)
+// backed by the same log-bucketed stats.Histogram the simulator uses
+// for request latency.
+type Histogram struct {
+	mu sync.Mutex
+	h  stats.Histogram
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.Observe(v)
+	h.mu.Unlock()
+}
+
+// Snapshot returns a copy of the underlying histogram for reading.
+func (h *Histogram) Snapshot() stats.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Copy()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Count()
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metric struct {
+	name string // full name, possibly with {labels}
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+// Get-or-create lookups are idempotent, so package-level metric vars
+// and repeated registrations share one instance.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+	help    map[string]string // keyed by family (name sans labels)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric), help: make(map[string]string)}
+}
+
+// Default is the process-wide registry the instrumented packages
+// (sim, abtest, core, fleet, emon) register into; the CLIs export it
+// via -metrics-out.
+var Default = NewRegistry()
+
+// family strips the {label} suffix: the Prometheus metric family name
+// HELP/TYPE comments apply to.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Labels formats a labelled metric name: Labels("x_total", "svc",
+// "Web") -> `x_total{svc="Web"}`. Pairs are sorted by key so the same
+// label set always yields the same series.
+func Labels(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) lookup(name string, kind metricKind, help string) *metric {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, m.kind, kind))
+		}
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, m.kind, kind))
+		}
+		return m
+	}
+	m = &metric{name: name, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = &Histogram{}
+	}
+	r.metrics[name] = m
+	if fam := family(name); help != "" && r.help[fam] == "" {
+		r.help[fam] = help
+	}
+	return m
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, kindCounter, help).c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, kindGauge, help).g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.lookup(name, kindHistogram, help).h
+}
+
+// Names returns all registered metric names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Each calls f with every scalar metric (counters and gauges) and its
+// current value, in sorted name order. Histograms are skipped — use
+// the exporter or Snapshot for those.
+func (r *Registry) Each(f func(name string, value float64)) {
+	for _, name := range r.Names() {
+		r.mu.RLock()
+		m := r.metrics[name]
+		r.mu.RUnlock()
+		switch m.kind {
+		case kindCounter:
+			f(name, m.c.Value())
+		case kindGauge:
+			f(name, m.g.Value())
+		}
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE comments per family,
+// cumulative le-buckets plus _sum/_count for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names := r.Names()
+	// Group by family so HELP/TYPE are emitted once per family even
+	// when labels split it into several series.
+	seenFamily := make(map[string]bool)
+	for _, name := range names {
+		r.mu.RLock()
+		m := r.metrics[name]
+		help := r.help[family(name)]
+		r.mu.RUnlock()
+		fam := family(name)
+		if !seenFamily[fam] {
+			seenFamily[fam] = true
+			if help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, m.kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatValue(m.c.Value()))
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatValue(m.g.Value()))
+		case kindHistogram:
+			err = writeHistogram(w, name, m.h.Snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets at
+// each non-empty upper bound, then +Inf, _sum, and _count. Label sets
+// on the metric name are merged with the le label.
+func writeHistogram(w io.Writer, name string, h stats.Histogram) error {
+	fam, labels := splitLabels(name)
+	var cum uint64
+	var werr error
+	emit := func(format string, args ...interface{}) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, format, args...)
+		}
+	}
+	h.EachBucket(func(upper float64, count uint64) {
+		cum += count
+		emit("%s_bucket{%sle=%q} %d\n", fam, labels, formatValue(upper), cum)
+	})
+	emit("%s_bucket{%sle=\"+Inf\"} %d\n", fam, labels, h.Count())
+	if labels == "" {
+		emit("%s_sum %s\n", fam, formatValue(h.Sum()))
+		emit("%s_count %d\n", fam, h.Count())
+	} else {
+		emit("%s_sum{%s} %s\n", fam, strings.TrimSuffix(labels, ","), formatValue(h.Sum()))
+		emit("%s_count{%s} %d\n", fam, strings.TrimSuffix(labels, ","), h.Count())
+	}
+	return werr
+}
+
+// splitLabels separates `fam{a="b"}` into ("fam", `a="b",`) — the
+// trailing comma lets the caller append the le label.
+func splitLabels(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := strings.TrimSuffix(name[i+1:], "}")
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest float representation.
+func formatValue(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

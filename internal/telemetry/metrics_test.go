@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"softsku/internal/ods"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %g, want 3", got)
+	}
+	if r.Counter("c_total", "") != c {
+		t.Fatal("second lookup should return the same counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %g, want 6", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestLabels(t *testing.T) {
+	got := Labels("qps_total", "platform", "Skylake18", "service", "Web")
+	want := `qps_total{platform="Skylake18",service="Web"}`
+	if got != want {
+		t.Fatalf("Labels = %s, want %s", got, want)
+	}
+	// Key order doesn't matter: same series either way.
+	if Labels("qps_total", "service", "Web", "platform", "Skylake18") != want {
+		t.Fatal("label ordering should be canonical")
+	}
+	if Labels("plain") != "plain" {
+		t.Fatal("no labels should return the bare name")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("softsku_trials_total", "Trials run.").Add(7)
+	r.Gauge("softsku_speedup", "Sim speedup.").Set(1234.5)
+	h := r.Histogram("softsku_pvalue", "P-values.")
+	h.Observe(0.01)
+	h.Observe(0.04)
+	h.Observe(0.9)
+	r.Counter(Labels("softsku_labeled_total", "svc", "Web"), "Labeled.").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, w := range []string{
+		"# HELP softsku_trials_total Trials run.",
+		"# TYPE softsku_trials_total counter",
+		"softsku_trials_total 7",
+		"# TYPE softsku_speedup gauge",
+		"softsku_speedup 1234.5",
+		"# TYPE softsku_pvalue histogram",
+		`softsku_pvalue_bucket{le="+Inf"} 3`,
+		"softsku_pvalue_sum 0.95",
+		"softsku_pvalue_count 3",
+		`softsku_labeled_total{svc="Web"} 1`,
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("exposition missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "")
+	for i := 0; i < 10; i++ {
+		h.Observe(0.001)
+	}
+	h.Observe(1.0)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The +Inf bucket must equal the total count.
+	if !strings.Contains(out, `h_bucket{le="+Inf"} 11`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "h_count 11") {
+		t.Fatalf("missing count:\n%s", out)
+	}
+}
+
+func TestRegistryEachSkipsHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "").Add(1)
+	r.Gauge("b", "").Set(2)
+	r.Histogram("c", "").Observe(3)
+	seen := map[string]float64{}
+	r.Each(func(name string, v float64) { seen[name] = v })
+	if len(seen) != 2 || seen["a"] != 1 || seen["b"] != 2 {
+		t.Fatalf("Each saw %v", seen)
+	}
+}
+
+func TestODSMirror(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("trials_total", "").Add(5)
+	r.Gauge("speedup", "").Set(2.5)
+	r.Counter("ignored_total", "").Add(9)
+
+	store := ods.NewStore()
+	m := NewODSMirror(r, store, "trials_total", "speedup")
+	if err := m.Flush(100); err != nil {
+		t.Fatal(err)
+	}
+	r.Counter("trials_total", "").Add(3)
+	if err := m.Flush(200); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := store.Len("telemetry/trials_total"); got != 2 {
+		t.Fatalf("mirrored points = %d, want 2", got)
+	}
+	if p, ok := store.Latest("telemetry/trials_total"); !ok || p.V != 8 {
+		t.Fatalf("latest mirrored = %v %v", p, ok)
+	}
+	if got := store.Mean("telemetry/speedup", 0, 1000); got != 2.5 {
+		t.Fatalf("mirrored gauge mean = %g", got)
+	}
+	if store.Len("telemetry/ignored_total") != 0 {
+		t.Fatal("unselected metric was mirrored")
+	}
+}
+
+func TestODSMirrorAll(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(1)
+	store := ods.NewStore()
+	if err := NewODSMirror(r, store).Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.Names()) != 2 {
+		t.Fatalf("mirrored series = %v", store.Names())
+	}
+}

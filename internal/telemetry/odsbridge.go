@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"strings"
+
+	"softsku/internal/ods"
+)
+
+// ODSMirror periodically copies selected registry metrics into an
+// ods.Store, so fleet-validation queries (QPS means, percentiles over
+// ranges) and live telemetry share one source of truth — the way the
+// paper's µSKU validates deployed soft SKUs against the same ODS
+// series operators watch (§4).
+type ODSMirror struct {
+	reg    *Registry
+	store  *ods.Store
+	names  []string // empty = every counter and gauge
+	prefix string
+}
+
+// NewODSMirror builds a mirror. names selects which scalar metrics
+// (counters and gauges) to copy; empty means all. Series are written
+// under "telemetry/<metric-name>".
+func NewODSMirror(reg *Registry, store *ods.Store, names ...string) *ODSMirror {
+	return &ODSMirror{reg: reg, store: store, names: names, prefix: "telemetry/"}
+}
+
+// Flush appends the current value of every selected metric to the
+// store at virtual time t. Out-of-order appends (t earlier than the
+// last flush) are reported by the store; the first error wins.
+func (m *ODSMirror) Flush(t float64) error {
+	want := func(string) bool { return true }
+	if len(m.names) > 0 {
+		set := make(map[string]bool, len(m.names))
+		for _, n := range m.names {
+			set[n] = true
+		}
+		want = func(name string) bool { return set[name] || set[family(name)] }
+	}
+	var firstErr error
+	m.reg.Each(func(name string, value float64) {
+		if !want(name) {
+			return
+		}
+		series := m.prefix + strings.ReplaceAll(name, "\"", "")
+		if err := m.store.Append(series, t, value); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// function that stops profiling and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// CLI wires the standard observability flags (-trace-out,
+// -metrics-out, -pprof) into a command. Usage:
+//
+//	var obs telemetry.CLI
+//	obs.Flags()
+//	flag.Parse()
+//	tracer, err := obs.Start()   // nil tracer when -trace-out unset
+//	defer obs.Stop()             // or call explicitly to check the error
+//
+// Start begins CPU profiling when -pprof is set; Stop stops profiling,
+// writes the Chrome trace_event file, and exports the Default registry
+// in Prometheus text format.
+type CLI struct {
+	TraceOut   string // Chrome trace_event JSON output path
+	MetricsOut string // Prometheus text-format output path
+	PprofOut   string // CPU profile output path
+
+	tracer   *Tracer
+	stopProf func() error
+	stopped  bool
+}
+
+// Flags registers the three flags on the default flag set.
+func (c *CLI) Flags() { c.FlagSet(flag.CommandLine) }
+
+// FlagSet registers the three flags on fs.
+func (c *CLI) FlagSet(fs *flag.FlagSet) {
+	fs.StringVar(&c.TraceOut, "trace-out", "", "write a Chrome trace_event JSON of the run (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write telemetry metrics in Prometheus text format on exit")
+	fs.StringVar(&c.PprofOut, "pprof", "", "write a CPU profile of the run (inspect with go tool pprof)")
+}
+
+// Start begins profiling and returns the run's tracer — non-nil only
+// when -trace-out was given, so untraced runs pay no tracing cost.
+func (c *CLI) Start() (*Tracer, error) {
+	if c.PprofOut != "" {
+		stop, err := StartCPUProfile(c.PprofOut)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: -pprof: %w", err)
+		}
+		c.stopProf = stop
+	}
+	if c.TraceOut != "" {
+		c.tracer = NewTracer()
+	}
+	return c.tracer, nil
+}
+
+// Stop finalizes profiling and writes the requested output files. It
+// is idempotent; the first call does the work.
+func (c *CLI) Stop() error {
+	if c.stopped {
+		return nil
+	}
+	c.stopped = true
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.stopProf != nil {
+		keep(c.stopProf())
+	}
+	if c.tracer != nil && c.TraceOut != "" {
+		keep(writeFile(c.TraceOut, c.tracer.WriteChromeTrace))
+	}
+	if c.MetricsOut != "" {
+		keep(writeFile(c.MetricsOut, Default.WritePrometheus))
+	}
+	return firstErr
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIWritesOutputs(t *testing.T) {
+	dir := t.TempDir()
+	var c CLI
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.FlagSet(fs)
+	if err := fs.Parse([]string{
+		"-trace-out", filepath.Join(dir, "t.json"),
+		"-metrics-out", filepath.Join(dir, "m.prom"),
+		"-pprof", filepath.Join(dir, "cpu.out"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tracer, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer == nil {
+		t.Fatal("tracer should be live when -trace-out is set")
+	}
+	sp := tracer.StartSpan("work", "test")
+	Default.Counter("cli_test_total", "CLI test counter.").Inc()
+	sp.End()
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	trace, err := os.ReadFile(filepath.Join(dir, "t.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"traceEvents"`) || !strings.Contains(string(trace), "work") {
+		t.Fatalf("trace file: %s", trace)
+	}
+	prom, err := os.ReadFile(filepath.Join(dir, "m.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "cli_test_total 1") {
+		t.Fatalf("metrics file missing counter: %s", prom)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "cpu.out")); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+}
+
+func TestCLIDisabledByDefault(t *testing.T) {
+	var c CLI
+	tracer, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer != nil {
+		t.Fatal("tracer should be nil without -trace-out")
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records a hierarchical trace of one tuning or
+// characterization run: a root span per µSKU invocation, child spans
+// per knob sweep, per A/B trial, and per sim-engine run, each
+// annotated with knob settings, sampled metrics, and confidence-test
+// verdicts. Durations are wall-clock — the trace answers "where does
+// the run's wall time go", the question the paper answers with
+// production profilers.
+//
+// A nil *Tracer is valid and no-ops everywhere, so instrumentation
+// sites never need to check whether tracing was requested.
+type Tracer struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []*Span
+}
+
+// Span is one timed, annotated region of a trace. A nil *Span no-ops
+// every method (and children of a nil span are nil), letting spans
+// thread through code paths that may run untraced.
+type Span struct {
+	tr     *Tracer
+	id     int
+	parent int // -1 for roots
+	name   string
+	cat    string
+	start  time.Duration
+	dur    time.Duration
+	args   map[string]interface{}
+	open   bool
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{t0: time.Now()}
+}
+
+// StartSpan opens a root span.
+func (t *Tracer) StartSpan(name, category string) *Span {
+	return t.newSpan(name, category, -1)
+}
+
+func (t *Tracer) newSpan(name, category string, parent int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{
+		tr:     t,
+		id:     len(t.spans),
+		parent: parent,
+		name:   name,
+		cat:    category,
+		start:  time.Since(t.t0),
+		open:   true,
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// StartChild opens a child span under s.
+func (s *Span) StartChild(name, category string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, category, s.id)
+}
+
+// Set annotates the span with a key/value argument (knob settings,
+// MIPS means, p-values, verdicts). Values must be JSON-marshalable.
+func (s *Span) Set(key string, value interface{}) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.args == nil {
+		s.args = make(map[string]interface{})
+	}
+	s.args[key] = value
+}
+
+// End closes the span, fixing its duration. Ending twice is harmless.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.open {
+		s.dur = time.Since(s.tr.t0) - s.start
+		s.open = false
+	}
+}
+
+// SpanCount returns the number of spans recorded so far.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// snapshot copies span records under the lock; open spans get a
+// provisional duration up to now.
+type spanRec struct {
+	id, parent int
+	name, cat  string
+	startUS    float64 // microseconds since trace start
+	durUS      float64
+	args       map[string]interface{}
+	open       bool
+}
+
+func (t *Tracer) snapshot() []spanRec {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Since(t.t0)
+	out := make([]spanRec, len(t.spans))
+	for i, s := range t.spans {
+		dur := s.dur
+		if s.open {
+			dur = now - s.start
+		}
+		args := make(map[string]interface{}, len(s.args))
+		for k, v := range s.args {
+			args[k] = v
+		}
+		out[i] = spanRec{
+			id: s.id, parent: s.parent, name: s.name, cat: s.cat,
+			startUS: float64(s.start) / float64(time.Microsecond),
+			durUS:   float64(dur) / float64(time.Microsecond),
+			args:    args, open: s.open,
+		}
+	}
+	return out
+}
+
+// JSONSpan is the hierarchical JSON export shape.
+type JSONSpan struct {
+	Name       string                 `json:"name"`
+	Category   string                 `json:"category,omitempty"`
+	StartUSec  float64                `json:"start_us"`
+	DurUSec    float64                `json:"dur_us"`
+	Args       map[string]interface{} `json:"args,omitempty"`
+	Unfinished bool                   `json:"unfinished,omitempty"`
+	Children   []*JSONSpan            `json:"children,omitempty"`
+}
+
+// Tree returns the trace as a forest of root spans.
+func (t *Tracer) Tree() []*JSONSpan {
+	recs := t.snapshot()
+	nodes := make([]*JSONSpan, len(recs))
+	for i, r := range recs {
+		args := r.args
+		if len(args) == 0 {
+			args = nil
+		}
+		nodes[i] = &JSONSpan{
+			Name: r.name, Category: r.cat,
+			StartUSec: r.startUS, DurUSec: r.durUS,
+			Args: args, Unfinished: r.open,
+		}
+	}
+	var roots []*JSONSpan
+	for i, r := range recs {
+		if r.parent >= 0 {
+			p := nodes[r.parent]
+			p.Children = append(p.Children, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	return roots
+}
+
+// WriteJSON writes the hierarchical trace as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Spans []*JSONSpan `json:"spans"`
+	}{t.Tree()})
+}
+
+// chromeEvent is one trace_event record: a "complete" (ph=X) event
+// with microsecond timestamps, the format chrome://tracing and
+// Perfetto open directly.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace_event JSON format.
+// Span hierarchy is conveyed by timestamp/duration nesting on one
+// thread track, which the viewers reconstruct into the flame shape.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	recs := t.snapshot()
+	events := make([]chromeEvent, 0, len(recs))
+	for _, r := range recs {
+		args := r.args
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, chromeEvent{
+			Name: r.name, Cat: r.cat, Ph: "X",
+			Ts: r.startUS, Dur: r.durUS,
+			Pid: 1, Tid: 1, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"})
+}

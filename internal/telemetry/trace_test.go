@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("root", "x")
+	if sp != nil {
+		t.Fatal("nil tracer should return nil span")
+	}
+	// All of these must be safe on nil.
+	child := sp.StartChild("c", "x")
+	child.Set("k", 1)
+	child.End()
+	sp.Set("k", 1)
+	sp.End()
+	if tr.SpanCount() != 0 {
+		t.Fatal("nil tracer has no spans")
+	}
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("musku.run", "tuning")
+	root.Set("service", "Web")
+	sweep := root.StartChild("sweep.thp", "sweep")
+	trial := sweep.StartChild("trial", "abtest")
+	trial.Set("p_value", 0.01)
+	trial.Set("significant", true)
+	trial.End()
+	sweep.End()
+	root.End()
+
+	roots := tr.Tree()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	r := roots[0]
+	if r.Name != "musku.run" || r.Args["service"] != "Web" {
+		t.Fatalf("root = %+v", r)
+	}
+	if len(r.Children) != 1 || r.Children[0].Name != "sweep.thp" {
+		t.Fatalf("children = %+v", r.Children)
+	}
+	tl := r.Children[0].Children
+	if len(tl) != 1 || tl[0].Name != "trial" || tl[0].Args["significant"] != true {
+		t.Fatalf("trial = %+v", tl)
+	}
+	if tl[0].DurUSec > r.DurUSec {
+		t.Fatalf("child duration %g exceeds root %g", tl[0].DurUSec, r.DurUSec)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("run", "t")
+	root.StartChild("child", "t").End()
+	root.End()
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Spans []struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "run" || len(doc.Spans[0].Children) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("run", "tuning")
+	root.Set("service", "Web")
+	c := root.StartChild("trial", "abtest")
+	c.End()
+	root.End()
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Pid  int                    `json:"pid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "run" || ev.Ph != "X" || ev.Pid != 1 || ev.Args["service"] != "Web" {
+		t.Fatalf("root event = %+v", ev)
+	}
+	// Child must be time-nested within the root for viewers to stack it.
+	child := doc.TraceEvents[1]
+	if child.Ts < ev.Ts || child.Ts+child.Dur > ev.Ts+ev.Dur+1 {
+		t.Fatalf("child [%g,%g] not nested in root [%g,%g]",
+			child.Ts, child.Ts+child.Dur, ev.Ts, ev.Ts+ev.Dur)
+	}
+}
+
+func TestUnfinishedSpanGetsProvisionalDuration(t *testing.T) {
+	tr := NewTracer()
+	tr.StartSpan("open", "x") // never ended
+	roots := tr.Tree()
+	if len(roots) != 1 || !roots[0].Unfinished {
+		t.Fatalf("roots = %+v", roots)
+	}
+	if roots[0].DurUSec < 0 {
+		t.Fatalf("provisional duration negative: %g", roots[0].DurUSec)
+	}
+	// Double End is harmless.
+	sp := tr.StartSpan("twice", "x")
+	sp.End()
+	sp.End()
+}

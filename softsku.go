@@ -11,6 +11,7 @@ import (
 	"softsku/internal/mem"
 	"softsku/internal/platform"
 	"softsku/internal/sim"
+	"softsku/internal/telemetry"
 	"softsku/internal/workload"
 )
 
@@ -35,7 +36,23 @@ type (
 	TuneResult = core.Result
 	// Tool is a µSKU instance bound to one service/platform pair.
 	Tool = core.Tool
+	// Tracer records a hierarchical span trace of tuning runs
+	// (Tool.SetTracer), exportable as JSON or Chrome trace_event.
+	Tracer = telemetry.Tracer
+	// TraceSpan is one timed, annotated region of a trace.
+	TraceSpan = telemetry.Span
+	// MetricsRegistry holds counters/gauges/histograms with a
+	// Prometheus text exporter.
+	MetricsRegistry = telemetry.Registry
 )
+
+// NewTracer returns an empty span tracer for Tool.SetTracer.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// Metrics returns the process-wide telemetry registry every
+// instrumented subsystem (sim engine, A/B tester, tuner, fleet, EMON)
+// reports into. Export it with MetricsRegistry.WritePrometheus.
+func Metrics() *MetricsRegistry { return telemetry.Default }
 
 // Platform constructors (Table 1).
 var (
