@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fmt
+.PHONY: build test check bench fmt chaos
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,9 @@ bench:
 
 fmt:
 	gofmt -w .
+
+# Seeded chaos smoke: a short guardrailed tuning run under the default
+# injected-fault mix. Must complete and print a composed soft SKU;
+# the same -chaos-seed always reproduces the same fault schedule.
+chaos:
+	$(GO) run ./cmd/musku -service Web -knobs thp -chaos -chaos-seed 7 -guardrail-pct 2 -max-samples 1500 -q

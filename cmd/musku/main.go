@@ -9,6 +9,7 @@
 //	musku -input tune.conf
 //	musku -service Web -platform Skylake18 [-sweep independent] [-metric mips]
 //	musku -service Web -validate 3
+//	musku -service Web -chaos -chaos-seed 7 -guardrail-pct 2
 //
 // The input-file format is one "key = value" per line:
 //
@@ -28,34 +29,43 @@ import (
 	"os"
 
 	"softsku"
+	"softsku/internal/chaos"
 	"softsku/internal/knob"
 	"softsku/internal/telemetry"
 )
 
 func main() {
 	var (
-		inputPath = flag.String("input", "", "µSKU input file (overrides the other flags)")
-		service   = flag.String("service", "", "target microservice (Web, Feed1, ..., Cache2)")
-		platName  = flag.String("platform", "", "hardware platform (default: the service's fleet placement)")
-		sweep     = flag.String("sweep", "independent", "sweep mode: independent | exhaustive | hillclimb")
-		metric    = flag.String("metric", "mips", "performance metric: mips | qps")
-		knobList  = flag.String("knobs", "", "comma-separated knob subset (default: all applicable)")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		validate  = flag.Int("validate", 0, "after tuning, validate across N simulated code pushes")
-		quiet     = flag.Bool("q", false, "suppress progress logging")
-		jsonOut   = flag.Bool("json", false, "emit the result as JSON instead of tables")
-		obs       telemetry.CLI
+		inputPath  = flag.String("input", "", "µSKU input file (overrides the other flags)")
+		service    = flag.String("service", "", "target microservice (Web, Feed1, ..., Cache2)")
+		platName   = flag.String("platform", "", "hardware platform (default: the service's fleet placement)")
+		sweep      = flag.String("sweep", "independent", "sweep mode: independent | exhaustive | hillclimb")
+		metric     = flag.String("metric", "mips", "performance metric: mips | qps")
+		knobList   = flag.String("knobs", "", "comma-separated knob subset (default: all applicable)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		maxSamples = flag.Int("max-samples", 0, "per-arm sample cap for A/B trials (0: default 30000)")
+		validate   = flag.Int("validate", 0, "after tuning, validate across N simulated code pushes")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of tables")
+		obs        telemetry.CLI
+		cc         chaos.CLI
 	)
 	obs.Flags()
+	cc.Flags()
 	flag.Parse()
 
-	in, err := buildInput(*inputPath, *service, *platName, *sweep, *metric, *knobList, *seed)
+	in, err := buildInput(*inputPath, *service, *platName, *sweep, *metric, *knobList, *seed, *maxSamples)
 	if err != nil {
 		fatal(err)
 	}
+	in.AB.GuardrailPct = cc.GuardrailPct
 	tool, err := softsku.NewTool(in)
 	if err != nil {
 		fatal(err)
+	}
+	eng := cc.Engine()
+	if eng != nil {
+		tool.SetChaos(eng)
 	}
 	if !*quiet {
 		tool.SetLogger(os.Stderr)
@@ -73,6 +83,11 @@ func main() {
 	res, err := tool.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if eng != nil && !*quiet {
+		fmt.Fprintf(os.Stderr, "chaos: %s\n", eng.Summary())
+		fmt.Fprintf(os.Stderr, "chaos: %d settings skipped, %d guardrail reverts\n",
+			res.Skipped, res.Reverts)
 	}
 
 	if *jsonOut {
@@ -106,7 +121,7 @@ func main() {
 	}
 }
 
-func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64) (softsku.TuneInput, error) {
+func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64, maxSamples int) (softsku.TuneInput, error) {
 	if path != "" {
 		text, err := os.ReadFile(path)
 		if err != nil {
@@ -126,6 +141,9 @@ func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64
 	if knobList != "" {
 		text += "knobs = " + knobList + "\n"
 	}
+	if maxSamples > 0 {
+		text += fmt.Sprintf("max_samples = %d\n", maxSamples)
+	}
 	return softsku.ParseTuneInput(text)
 }
 
@@ -142,6 +160,8 @@ type jsonResult struct {
 	Significant     bool       `json:"significant"`
 	Reboots         int        `json:"reboots"`
 	VirtualHours    float64    `json:"virtual_hours"`
+	Skipped         int        `json:"skipped,omitempty"`
+	Reverts         int        `json:"reverts,omitempty"`
 	Knobs           []jsonKnob `json:"knobs"`
 }
 
@@ -165,6 +185,8 @@ func emitJSON(res *softsku.TuneResult) {
 		Significant:     res.VsProduction.Significant,
 		Reboots:         res.Reboots,
 		VirtualHours:    res.VirtualHours,
+		Skipped:         res.Skipped,
+		Reverts:         res.Reverts,
 	}
 	for _, sweep := range res.Map {
 		k := jsonKnob{Knob: sweep.Knob.String(), Baseline: sweep.Baseline.Name}

@@ -8,6 +8,13 @@
 //	stress                        # curves for all three platforms
 //	stress -platform Skylake18    # one platform
 //	stress -points 25 -services   # finer curve plus service points
+//	stress -chaos -chaos-seed 7   # corrupt latency samples like a faulty prober
+//
+// With -chaos, each latency sample passes through the deterministic
+// fault injector the tuner is hardened against: corrupted readings are
+// printed alongside the true value and marked, showing the outliers
+// µSKU's A/B tester rejects. -guardrail-pct is accepted for flag parity
+// with musku but only affects tuning runs.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"os"
 
 	"softsku"
+	"softsku/internal/chaos"
 	"softsku/internal/telemetry"
 )
 
@@ -26,9 +34,15 @@ func main() {
 		services = flag.Bool("services", false, "also print each microservice's operating point")
 		seed     = flag.Uint64("seed", 1, "workload seed for -services")
 		obs      telemetry.CLI
+		cc       chaos.CLI
 	)
 	obs.Flags()
+	cc.Flags()
 	flag.Parse()
+	var inj softsku.ChaosInjector = softsku.ChaosDisabled
+	if eng := cc.Engine(); eng != nil {
+		inj = eng
+	}
 
 	tracer, err := obs.Start()
 	if err != nil {
@@ -62,6 +76,11 @@ func main() {
 			sku.Name, sku.MemPeakGBs, sku.MemUnloadedNS)
 		fmt.Printf("%12s  %12s\n", "GB/s", "latency ns")
 		for _, p := range softsku.StressCurve(sku, *points) {
+			if v, hit := inj.CorruptSample("latency", p.LatencyNS); hit {
+				fmt.Printf("%12.1f  %12.0f  <- corrupted sample (true %.0f ns)\n",
+					p.BandwidthGBs, v, p.LatencyNS)
+				continue
+			}
 			fmt.Printf("%12.1f  %12.0f\n", p.BandwidthGBs, p.LatencyNS)
 		}
 		fmt.Println()

@@ -1,0 +1,97 @@
+// Chaos-tune demonstrates the robustness layer: a full µSKU tuning run
+// completing correctly while a seeded fault injector fails knob
+// applies, hangs reboots, drops and corrupts A/B samples, and spikes
+// the production load — and a self-healing fleet rollout that aborts
+// on a crashed server and rolls every touched machine back.
+//
+// The injector is deterministic: the same chaos seed always reproduces
+// the same fault schedule, so every run of this example prints the
+// same story.
+//
+// Run with:
+//
+//	go run ./examples/chaos-tune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softsku"
+	"softsku/internal/fleet"
+	"softsku/internal/knob"
+)
+
+func main() {
+	// 1. Guardrailed tuning under the default production fault mix.
+	// CoreFreq is included deliberately: every below-production
+	// frequency regresses hard, so the 2% guardrail aborts those trials
+	// early and reverts the treatment servers instead of letting them
+	// serve a bad config for the full sample budget.
+	in := softsku.DefaultTuneInput("Web", "Skylake18")
+	in.Knobs = []knob.ID{knob.THP, knob.CoreFreq}
+	in.AB.MinSamples = 150
+	in.AB.MaxSamples = 1500
+	in.AB.GuardrailPct = 2
+
+	tool, err := softsku.NewTool(in)
+	must(err)
+	eng := softsku.NewChaos(7, softsku.DefaultChaosConfig())
+	tool.SetChaos(eng)
+	res, err := tool.Run()
+	must(err)
+
+	fmt.Printf("tuning %s on %s under injected faults (chaos seed 7)\n", res.Service, res.Platform)
+	fmt.Printf("  composed soft SKU: %s\n", res.SoftSKU)
+	fmt.Printf("  vs production:     %s\n", res.VsProduction)
+	fmt.Printf("  absorbed faults:   %s\n", eng.Summary())
+	fmt.Printf("  degradation:       %d settings skipped, %d guardrail reverts\n\n",
+		res.Skipped, res.Reverts)
+
+	// 2. Self-healing rollout: SHP changes need reboots, so the rollout
+	// runs in waves with post-wave health checks. A server that crashes
+	// mid-wave comes back on its old config, fails the check, and the
+	// rollout aborts and rolls back — the pool either converges fully or
+	// is left exactly as it was.
+	skl := softsku.Skylake18()
+	web, err := softsku.ServiceByName("Web")
+	must(err)
+	prod := softsku.ProductionConfig(skl, web)
+	soft := prod.With(knob.SHP, knob.IntSetting("300", 300))
+
+	deploy := func(seed uint64) fleet.Rollout {
+		f := fleet.New()
+		must(f.AddPool(web, skl, 60, prod))
+		crashy := softsku.DefaultChaosConfig()
+		crashy.CrashPct = 0.25 // a rough day in the datacenter
+		f.SetChaos(softsku.NewChaos(seed, crashy))
+		r, err := f.Rollout("Web", soft, 10)
+		pool, _ := f.Pool("Web")
+		if err != nil {
+			fmt.Printf("rollout (chaos seed %d): %v\n", seed, err)
+			fmt.Printf("  failed wave %d of a crashing fleet; rolled back: %v; pool still on production config: %v\n",
+				r.FailedWave, r.RolledBack, pool.Config() == prod)
+		} else {
+			fmt.Printf("rollout (chaos seed %d): converged in %d waves, %d reboots\n",
+				seed, r.Waves, r.Rebooted)
+		}
+		return r
+	}
+	r1 := deploy(11)
+	r2 := deploy(11) // same seed: the identical fault schedule replays
+	fmt.Printf("  deterministic: same seed gave identical rollouts: %v\n\n",
+		fmt.Sprint(r1) == fmt.Sprint(r2))
+
+	// 3. With the faults gone (or fixed), the same rollout converges.
+	f := fleet.New()
+	must(f.AddPool(web, skl, 60, prod))
+	r, err := f.Rollout("Web", soft, 10)
+	must(err)
+	fmt.Printf("fault-free retry: converged in %d waves (%d reboots), pool on soft SKU\n", r.Waves, r.Rebooted)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

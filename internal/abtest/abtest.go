@@ -5,11 +5,23 @@
 // until 95% confidence resolves the comparison; if ~30,000 samples do
 // not suffice, the test concludes there is no statistically
 // significant difference.
+//
+// Because the paper's tester runs against live production servers, the
+// procedure is defended against the faults such servers actually
+// produce (injectable via internal/chaos): corrupted counter samples
+// are rejected by a MAD-based outlier filter, sampler dropouts are
+// retried with capped exponential backoff, and a guardrail aborts a
+// trial early when the treatment is regressing beyond a configured
+// threshold — so a bad knob configuration is never left serving
+// traffic for the full sample budget.
 package abtest
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
+	"softsku/internal/chaos"
 	"softsku/internal/stats"
 	"softsku/internal/telemetry"
 )
@@ -28,10 +40,20 @@ var (
 		"Final Welch's t-test p-value per trial.")
 	mTrialSamples = telemetry.Default.Histogram("softsku_abtest_samples_per_trial",
 		"Samples collected per arm before each trial resolved.")
+
+	// Robustness telemetry: how much adversity each trial absorbed.
+	mGuardrailTrips = telemetry.Default.Counter("softsku_guardrail_trips_total",
+		"Trials aborted early because the treatment regressed past the guardrail.")
+	mOutliersRejected = telemetry.Default.Counter("softsku_abtest_outliers_rejected_total",
+		"Sample pairs rejected by the MAD outlier filter.")
+	mSampleRetries = telemetry.Default.Counter("softsku_abtest_sample_retries_total",
+		"Sampler-dropout retries (with backoff) during trials.")
 )
 
-// Config tunes the test procedure. The zero value is not valid; use
-// DefaultConfig.
+// Config tunes the test procedure. The zero value is not valid as a
+// policy, but Run patches every missing field to the prototype's
+// default, so a zero Config degrades to DefaultConfig-like behavior
+// rather than looping forever or dividing by zero.
 type Config struct {
 	Confidence float64 // e.g. 0.95
 	MaxSamples int     // give-up cap per arm (~30,000 in the paper)
@@ -39,10 +61,34 @@ type Config struct {
 	CheckEvery int     // significance re-check interval
 	WarmupSec  float64 // cold-start discard before sampling (§4)
 	SpacingSec float64 // spacing between samples for independence
+
+	// Robustness: defenses for trials on faulty production servers.
+
+	// GuardrailPct aborts the trial early — flagging the outcome so the
+	// caller reverts the treatment arm — once the running delta is a
+	// statistically significant regression beyond this many percent.
+	// 0 disables the guardrail.
+	GuardrailPct float64
+	// OutlierK rejects a sample pair when either arm's value deviates
+	// from its recent median by more than OutlierK times the median
+	// absolute deviation. 0 disables rejection.
+	OutlierK float64
+	// MaxRetries bounds consecutive retry attempts when the sampler
+	// drops a read; exceeding it abandons the trial (Outcome.DroppedOut).
+	MaxRetries int
+	// BackoffSec is the initial virtual-time backoff before a dropout
+	// retry; it doubles per consecutive retry, capped at a minute.
+	BackoffSec float64
+	// Chaos injects sampler faults (dropouts, corrupted reads) into the
+	// trial. nil — the default — runs fault-free and bit-identical to
+	// the pre-chaos tester.
+	Chaos chaos.Injector
 }
 
 // DefaultConfig mirrors the paper's prototype: 95% confidence, 30k
-// sample cap, a few minutes of warm-up, spaced samples.
+// sample cap, a few minutes of warm-up, spaced samples. Outlier
+// rejection is armed at a threshold clean measurement noise cannot
+// reach; the guardrail is off (opt in per run).
 func DefaultConfig() Config {
 	return Config{
 		Confidence: 0.95,
@@ -51,7 +97,46 @@ func DefaultConfig() Config {
 		CheckEvery: 100,
 		WarmupSec:  180,
 		SpacingSec: 0.5,
+		OutlierK:   10,
+		MaxRetries: 5,
+		BackoffSec: 1,
 	}
+}
+
+// withDefaults patches invalid or zero fields to usable values — the
+// zero-value hardening that keeps Run total.
+func (c Config) withDefaults() Config {
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.95
+	}
+	if c.MaxSamples < 1 {
+		c.MaxSamples = 30000
+	}
+	if c.MinSamples < 2 {
+		c.MinSamples = 300
+	}
+	if c.MinSamples > c.MaxSamples {
+		c.MinSamples = c.MaxSamples
+	}
+	if c.CheckEvery < 1 {
+		c.CheckEvery = 100
+	}
+	if c.SpacingSec <= 0 {
+		c.SpacingSec = 0.5
+	}
+	if c.WarmupSec < 0 {
+		c.WarmupSec = 0
+	}
+	if c.OutlierK < 0 {
+		c.OutlierK = 0
+	}
+	if c.MaxRetries < 1 {
+		c.MaxRetries = 5
+	}
+	if c.BackoffSec <= 0 {
+		c.BackoffSec = c.SpacingSec
+	}
+	return c
 }
 
 // Sampler produces one measurement of an arm at a virtual time. The
@@ -64,11 +149,17 @@ type Outcome struct {
 	Control   stats.Sample
 	Treatment stats.Sample
 
-	Samples     int     // per arm
+	Samples     int     // per arm (accepted; outliers excluded)
 	PValue      float64 // Welch's t-test, two-sided
 	Significant bool    // at the configured confidence
 	DeltaPct    float64 // (treatment - control) / control * 100
 	ElapsedSec  float64 // virtual measurement time consumed
+
+	// Robustness record of the trial.
+	GuardrailTripped bool // aborted early: treatment regressed past the guardrail
+	DroppedOut       bool // abandoned: sampler dropouts exhausted the retry budget
+	OutliersRejected int  // sample pairs discarded by the MAD filter
+	Dropouts         int  // sampler dropouts absorbed by retries
 }
 
 // Better reports whether the treatment is a statistically significant
@@ -85,36 +176,193 @@ func (o Outcome) String() string {
 	if o.Significant {
 		sig = fmt.Sprintf("p=%.2g", o.PValue)
 	}
-	return fmt.Sprintf("%+.2f%% (%s, n=%d)", o.DeltaPct, sig, o.Samples)
+	s := fmt.Sprintf("%+.2f%% (%s, n=%d)", o.DeltaPct, sig, o.Samples)
+	if o.GuardrailTripped {
+		s += " [guardrail]"
+	}
+	if o.DroppedOut {
+		s += " [dropped out]"
+	}
+	return s
+}
+
+// madWindow parameters: the filter keeps the last madWindow raw
+// samples per arm (raw, not just accepted, so the estimate tracks
+// genuine level shifts like load spikes instead of rejecting them
+// forever), needs madMinFill values before it engages, and re-derives
+// median/MAD every madRefresh samples.
+const (
+	madWindow  = 128
+	madMinFill = 24
+	madRefresh = 32
+	maxBackoff = 60 // seconds; cap for dropout-retry backoff
+)
+
+// madEstimator is a rolling robust location/scale estimate of one
+// arm's samples. Median-based, so it tolerates the very outliers it
+// exists to catch.
+type madEstimator struct {
+	buf   []float64
+	idx   int
+	since int
+	med   float64
+	mad   float64
+	have  bool
+}
+
+func (m *madEstimator) add(v float64) {
+	if len(m.buf) < madWindow {
+		m.buf = append(m.buf, v)
+	} else {
+		m.buf[m.idx] = v
+		m.idx = (m.idx + 1) % madWindow
+	}
+	m.since++
+	if len(m.buf) >= madMinFill && (!m.have || m.since >= madRefresh) {
+		m.med, m.mad = medianMAD(m.buf)
+		m.have = true
+		m.since = 0
+	}
+}
+
+// outlier reports whether v sits more than k MADs from the median.
+// A zero MAD (constant stream) disables rejection rather than
+// rejecting every deviation.
+func (m *madEstimator) outlier(v, k float64) bool {
+	return m.have && m.mad > 0 && math.Abs(v-m.med) > k*m.mad
+}
+
+func medianMAD(xs []float64) (med, mad float64) {
+	n := len(xs)
+	tmp := make([]float64, n)
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	med = tmp[n/2]
+	if n%2 == 0 {
+		med = (tmp[n/2-1] + tmp[n/2]) / 2
+	}
+	for i, v := range tmp {
+		tmp[i] = math.Abs(v - med)
+	}
+	sort.Float64s(tmp)
+	mad = tmp[n/2]
+	if n%2 == 0 {
+		mad = (tmp[n/2-1] + tmp[n/2]) / 2
+	}
+	return med, mad
+}
+
+// nextSample draws one reading of an arm at *t, absorbing injected
+// sampler dropouts with capped exponential backoff (virtual time
+// advances while the collector recovers). Returns false when
+// MaxRetries consecutive dropouts exhaust the budget.
+func nextSample(cfg *Config, arm string, s Sampler, t *float64, out *Outcome) (float64, bool) {
+	backoff := cfg.BackoffSec
+	for try := 0; ; try++ {
+		if cfg.Chaos != nil && cfg.Chaos.DropSample(arm) {
+			out.Dropouts++
+			if try >= cfg.MaxRetries {
+				return 0, false
+			}
+			mSampleRetries.Inc()
+			*t += backoff
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		v := s(*t)
+		if cfg.Chaos != nil {
+			v, _ = cfg.Chaos.CorruptSample(arm, v)
+		}
+		return v, true
+	}
 }
 
 // Run performs one A/B comparison starting at virtual time startSec,
 // returning the outcome and the virtual time at which sampling ended
 // (so successive knob tests experience successive production load).
+//
+// With cfg.Chaos nil and the guardrail off, Run is bit-identical to
+// the fault-unaware tester: same sampler call sequence, same stop
+// rule, same outcome.
 func Run(cfg Config, control, treatment Sampler, startSec float64) (Outcome, float64) {
-	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
-		cfg.Confidence = 0.95
-	}
-	if cfg.CheckEvery < 1 {
-		cfg.CheckEvery = 100
-	}
+	cfg = cfg.withDefaults()
 	alpha := 1 - cfg.Confidence
 	t := startSec + cfg.WarmupSec // discard cold-start observations
 	mTrialsStarted.Inc()
 
 	var out Outcome
-	for n := 0; n < cfg.MaxSamples; n++ {
-		out.Control.Add(control(t))
-		out.Treatment.Add(treatment(t))
+	var madC, madT *madEstimator
+	if cfg.OutlierK > 0 {
+		madC, madT = &madEstimator{}, &madEstimator{}
+		if cfg.Chaos != nil && cfg.WarmupSec > 0 {
+			// Seed the filters from reads spread across the warm-up
+			// window (observational — never entering the statistics), so
+			// an outlier in the first live samples cannot poison the
+			// running means before rejection engages.
+			step := cfg.WarmupSec / float64(madMinFill+1)
+			for i := 1; i <= madMinFill; i++ {
+				wt := startSec + float64(i)*step
+				madC.add(control(wt))
+				madT.add(treatment(wt))
+			}
+		}
+	}
+
+	// Outlier-rejected pairs consume time but not sample budget; the
+	// attempt cap keeps the trial total even if the filter goes
+	// pathological.
+	maxAttempts := 2*cfg.MaxSamples + 64
+	for attempt := 0; out.Samples < cfg.MaxSamples && attempt < maxAttempts; attempt++ {
+		cv, ok := nextSample(&cfg, "control", control, &t, &out)
+		if !ok {
+			out.DroppedOut = true
+			break
+		}
+		tv, ok := nextSample(&cfg, "treatment", treatment, &t, &out)
+		if !ok {
+			out.DroppedOut = true
+			break
+		}
+		if madC != nil {
+			madC.add(cv)
+			madT.add(tv)
+			// Reject the pair when either arm outlies, keeping the arms
+			// paired in time.
+			if madC.outlier(cv, cfg.OutlierK) || madT.outlier(tv, cfg.OutlierK) {
+				out.OutliersRejected++
+				mOutliersRejected.Inc()
+				t += cfg.SpacingSec
+				continue
+			}
+		}
+		out.Control.Add(cv)
+		out.Treatment.Add(tv)
 		t += cfg.SpacingSec
-		out.Samples = n + 1
-		if out.Samples >= cfg.MinSamples && out.Samples%cfg.CheckEvery == 0 {
+		out.Samples++
+		if out.Samples%cfg.CheckEvery == 0 {
 			w := stats.WelchTTest(&out.Treatment, &out.Control)
+			// Guardrail: a statistically significant regression past the
+			// threshold aborts the trial immediately — the treatment arm
+			// must not keep serving a bad configuration for the rest of
+			// the sample budget.
+			if cfg.GuardrailPct > 0 && out.Samples >= 30 && w.P < alpha {
+				if c := out.Control.Mean(); c != 0 {
+					if delta := (out.Treatment.Mean() - c) / c * 100; delta < -cfg.GuardrailPct {
+						out.GuardrailTripped = true
+						mGuardrailTrips.Inc()
+						break
+					}
+				}
+			}
 			// Early stop only on overwhelming evidence (a stricter
 			// threshold compensates for sequential peeking) with
 			// tightly estimated means; otherwise keep sampling and let
 			// the final test at the cap decide at the nominal level.
-			if w.P < alpha*0.02 &&
+			if out.Samples >= cfg.MinSamples &&
+				w.P < alpha*0.02 &&
 				out.Control.RelCI(cfg.Confidence) < 0.005 &&
 				out.Treatment.RelCI(cfg.Confidence) < 0.005 {
 				break

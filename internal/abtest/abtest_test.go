@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"softsku/internal/chaos"
 	"softsku/internal/rng"
 )
 
@@ -138,5 +139,155 @@ func TestConfigDefaultsGuard(t *testing.T) {
 		noisy(src.Split("t"), 110, 0.01, flatLoad), 0)
 	if !out.Better() {
 		t.Fatalf("guarded defaults should still work: %v", out)
+	}
+}
+
+func TestZeroConfigTerminates(t *testing.T) {
+	// The zero Config must be patched, not trusted: SpacingSec=0 must
+	// not freeze virtual time, MaxSamples=0 must not loop forever, and
+	// Confidence=0 must not make every delta "significant".
+	src := rng.New(9)
+	out, end := Run(Config{}, noisy(src.Split("c"), 100, 0.015, flatLoad),
+		noisy(src.Split("t"), 100, 0.015, flatLoad), 0)
+	if out.Samples < 1 || out.Samples > 30000 {
+		t.Fatalf("zero config sample count out of range: %d", out.Samples)
+	}
+	if math.IsNaN(out.DeltaPct) || math.IsNaN(out.PValue) {
+		t.Fatalf("zero config produced NaN outcome: %v", out)
+	}
+	if end <= 0 || out.ElapsedSec <= 0 {
+		t.Fatalf("zero config must still advance virtual time: end=%g", end)
+	}
+}
+
+// oneArmCorrupt injects occasional multiplicative spikes into the
+// treatment arm only, leaving everything else fault-free.
+type oneArmCorrupt struct {
+	chaos.Injector
+	src  *rng.Source
+	pct  float64
+	mag  float64
+	hits int
+}
+
+func (o *oneArmCorrupt) CorruptSample(arm string, v float64) (float64, bool) {
+	if arm == "treatment" && o.src.Bool(o.pct) {
+		o.hits++
+		return v * o.mag, true
+	}
+	return v, false
+}
+
+func TestOutlierSpikeDoesNotFlipVerdict(t *testing.T) {
+	// A real +2% treatment with 2% of its samples corrupted by large
+	// spikes — in either direction — must still resolve as +~2%.
+	for _, mag := range []float64{4.0, 0.25} {
+		src := rng.New(11)
+		inj := &oneArmCorrupt{Injector: chaos.Disabled, src: src.Split("chaos"), pct: 0.02, mag: mag}
+		cfg := DefaultConfig()
+		cfg.Chaos = inj
+		out, _ := Run(cfg, noisy(src.Split("c"), 100, 0.015, flatLoad),
+			noisy(src.Split("t"), 102, 0.015, flatLoad), 0)
+		if inj.hits == 0 {
+			t.Fatalf("mag %g: injector never fired", mag)
+		}
+		if out.OutliersRejected == 0 {
+			t.Fatalf("mag %g: MAD filter rejected nothing despite %d corruptions", mag, inj.hits)
+		}
+		if !out.Better() {
+			t.Fatalf("mag %g: corrupted samples flipped the verdict: %v", mag, out)
+		}
+		if math.Abs(out.DeltaPct-2) > 0.6 {
+			t.Fatalf("mag %g: delta %.2f%%, want ~2%% despite corruption", mag, out.DeltaPct)
+		}
+	}
+}
+
+func TestGuardrailAbortsRegression(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GuardrailPct = 2
+	src := rng.New(12)
+	out, _ := Run(cfg, noisy(src.Split("c"), 100, 0.015, flatLoad),
+		noisy(src.Split("t"), 90, 0.015, flatLoad), 0) // -10%: way past the rail
+	if !out.GuardrailTripped {
+		t.Fatalf("-10%% regression must trip a 2%% guardrail: %v", out)
+	}
+	if out.Samples >= cfg.MinSamples {
+		t.Fatalf("guardrail must abort before MinSamples, used %d", out.Samples)
+	}
+	if !out.Worse() {
+		t.Fatalf("tripped trial should still report a significant regression: %v", out)
+	}
+}
+
+func TestGuardrailIgnoresImprovement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GuardrailPct = 2
+	src := rng.New(13)
+	out, _ := Run(cfg, noisy(src.Split("c"), 100, 0.015, flatLoad),
+		noisy(src.Split("t"), 105, 0.015, flatLoad), 0)
+	if out.GuardrailTripped {
+		t.Fatalf("guardrail fired on a +5%% improvement: %v", out)
+	}
+	if !out.Better() {
+		t.Fatalf("improvement should resolve normally: %v", out)
+	}
+}
+
+// alwaysDropControl drops every read of the control arm's sampler.
+type alwaysDropControl struct{ chaos.Injector }
+
+func (alwaysDropControl) DropSample(arm string) bool { return arm == "control" }
+
+func TestDropoutExhaustsRetries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chaos = alwaysDropControl{chaos.Disabled}
+	out, end := Run(cfg, func(float64) float64 { return 100 },
+		func(float64) float64 { return 100 }, 0)
+	if !out.DroppedOut {
+		t.Fatalf("permanent dropout must abandon the trial: %v", out)
+	}
+	if out.Samples != 0 {
+		t.Fatalf("no samples should be recorded, got %d", out.Samples)
+	}
+	if out.Dropouts != cfg.MaxRetries+1 {
+		t.Fatalf("dropouts %d, want %d (initial attempt + retries)", out.Dropouts, cfg.MaxRetries+1)
+	}
+	if end <= cfg.WarmupSec {
+		t.Fatal("backoff must advance virtual time")
+	}
+}
+
+func TestDropoutRetriesRecover(t *testing.T) {
+	// Random 20% dropouts: retries absorb them and the trial still
+	// resolves the underlying +10% difference.
+	ccfg := chaos.Config{DropPct: 0.2}
+	cfg := DefaultConfig()
+	cfg.Chaos = chaos.New(21, ccfg)
+	src := rng.New(14)
+	out, _ := Run(cfg, noisy(src.Split("c"), 100, 0.015, flatLoad),
+		noisy(src.Split("t"), 110, 0.015, flatLoad), 0)
+	if out.DroppedOut {
+		t.Fatalf("transient dropouts must not abandon the trial: %v", out)
+	}
+	if out.Dropouts == 0 {
+		t.Fatal("DropPct=0.2 should have produced dropouts")
+	}
+	if !out.Better() {
+		t.Fatalf("trial should still resolve +10%%: %v", out)
+	}
+}
+
+func TestCleanRunRejectsNothing(t *testing.T) {
+	// With no injector, the MAD filter must be invisible: clean
+	// measurement noise never reaches 10 MADs.
+	src := rng.New(15)
+	out, _ := Run(DefaultConfig(), noisy(src.Split("c"), 100, 0.015, flatLoad),
+		noisy(src.Split("t"), 103, 0.015, flatLoad), 0)
+	if out.OutliersRejected != 0 || out.Dropouts != 0 {
+		t.Fatalf("clean run recorded chaos artifacts: %v", out)
+	}
+	if out.GuardrailTripped || out.DroppedOut {
+		t.Fatalf("clean run flagged robustness events: %v", out)
 	}
 }

@@ -1,0 +1,34 @@
+package abtest
+
+import (
+	"testing"
+
+	"softsku/internal/chaos"
+	"softsku/internal/rng"
+)
+
+// The chaos-overhead benchmarks behind BENCH_chaos.json: one full A/B
+// trial (equal arms, so every trial runs to the sample cap) with the
+// injector absent, attached-but-disabled, and fully armed. The first
+// two must be indistinguishable — a disabled injector is near-zero
+// cost — and the armed engine's overhead stays small against the
+// samplers it wraps.
+func benchRun(b *testing.B, inj chaos.Injector) {
+	cfg := DefaultConfig()
+	cfg.MinSamples = 200
+	cfg.MaxSamples = 2000
+	cfg.Chaos = inj
+	src := rng.New(1)
+	control := noisy(src.Split("c"), 100, 0.015, flatLoad)
+	treatment := noisy(src.Split("t"), 100, 0.015, flatLoad)
+	b.ReportAllocs()
+	start := 0.0
+	for i := 0; i < b.N; i++ {
+		_, end := Run(cfg, control, treatment, start)
+		start = end
+	}
+}
+
+func BenchmarkRunChaosOff(b *testing.B)      { benchRun(b, nil) }
+func BenchmarkRunChaosDisabled(b *testing.B) { benchRun(b, chaos.Disabled) }
+func BenchmarkRunChaosOn(b *testing.B)       { benchRun(b, chaos.New(1, chaos.DefaultConfig())) }

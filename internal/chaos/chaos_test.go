@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+// drive exercises every fault class in a fixed sequence and returns
+// the engine, so determinism tests can compare schedules.
+func drive(seed uint64) *Engine {
+	e := New(seed, DefaultConfig())
+	for i := 0; i < 500; i++ {
+		e.ApplyFault("srv")
+		e.StuckReboot("srv")
+		e.DropSample("treatment")
+		e.CorruptSample("control", 100)
+		e.CrashServer("web/3")
+		e.WaveDelay(i)
+		e.LoadSpike(float64(i) * 100)
+	}
+	return e
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	a, b := drive(7), drive(7)
+	ea, eb := a.Events(), b.Events()
+	if len(ea) == 0 {
+		t.Fatal("default config injected nothing over 500 rounds")
+	}
+	if len(ea) != len(eb) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprints differ for equal seeds")
+	}
+}
+
+func TestDifferentSeedsDifferentSchedule(t *testing.T) {
+	if drive(1).Fingerprint() == drive(2).Fingerprint() {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestClassStreamsAreIndependent(t *testing.T) {
+	// Extra draws in one fault class must not perturb another class's
+	// schedule — the property that keeps schedules stable when one
+	// consumer retries more than another.
+	a, b := New(9, DefaultConfig()), New(9, DefaultConfig())
+	for i := 0; i < 200; i++ {
+		b.DropSample("x") // b draws 200 extra dropout decisions first
+	}
+	var sa, sb string
+	for i := 0; i < 300; i++ {
+		if a.ApplyFault("s") != nil {
+			sa += "F"
+		} else {
+			sa += "."
+		}
+		if b.ApplyFault("s") != nil {
+			sb += "F"
+		} else {
+			sb += "."
+		}
+	}
+	if sa != sb {
+		t.Fatalf("apply schedule perturbed by dropout draws:\n%s\n%s", sa, sb)
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	cfg := DefaultConfig()
+	e := New(3, cfg)
+	const n = 20000
+	fails := 0
+	for i := 0; i < n; i++ {
+		if e.ApplyFault("s") != nil {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if math.Abs(got-cfg.ApplyFailPct) > 0.01 {
+		t.Fatalf("apply-fail rate %.3f, configured %.3f", got, cfg.ApplyFailPct)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	e := New(1, Config{})
+	for i := 0; i < 1000; i++ {
+		if e.ApplyFault("s") != nil || e.StuckReboot("s") || e.DropSample("a") ||
+			e.CrashServer("s") || e.WaveDelay(i) != 0 || e.LoadSpike(float64(i)) != 1 {
+			t.Fatal("zero config must inject nothing")
+		}
+		if v, hit := e.CorruptSample("a", 42); hit || v != 42 {
+			t.Fatal("zero config must not corrupt samples")
+		}
+	}
+	if len(e.Events()) != 0 {
+		t.Fatalf("events recorded under zero config: %v", e.Events())
+	}
+}
+
+func TestDisabledInjector(t *testing.T) {
+	d := Disabled
+	if d.ApplyFault("s") != nil || d.StuckReboot("s") || d.DropSample("a") ||
+		d.CrashServer("s") || d.WaveDelay(0) != 0 || d.LoadSpike(0) != 1 {
+		t.Fatal("Disabled must no-op")
+	}
+	if v, hit := d.CorruptSample("a", 7); hit || v != 7 {
+		t.Fatal("Disabled must not corrupt")
+	}
+}
+
+func TestLoadSpikeIsPureInT(t *testing.T) {
+	// Same (seed, t) must give the same factor regardless of call
+	// order or how many other draws happened in between.
+	a := New(11, DefaultConfig())
+	b := drive(11) // b has consumed many class-stream draws
+	for _, tt := range []float64{0, 500, 1234, 7200, 40000, 86400} {
+		if fa, fb := a.LoadSpike(tt), b.LoadSpike(tt); fa != fb {
+			t.Fatalf("LoadSpike(%g) not pure: %g vs %g", tt, fa, fb)
+		}
+	}
+}
+
+func TestLoadSpikeAmplitude(t *testing.T) {
+	cfg := DefaultConfig()
+	e := New(5, cfg)
+	spikes, flats := 0, 0
+	for tt := 0.0; tt < 50*cfg.SpikeWindowSec; tt += 60 {
+		switch f := e.LoadSpike(tt); f {
+		case 1:
+			flats++
+		case 1 + cfg.SpikeMag:
+			spikes++
+		default:
+			t.Fatalf("unexpected spike factor %g", f)
+		}
+	}
+	if spikes == 0 || flats == 0 {
+		t.Fatalf("spike schedule degenerate: %d spikes, %d flats", spikes, flats)
+	}
+}
+
+func TestCorruptSampleMagnitude(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OutlierPct = 1 // corrupt every sample
+	e := New(2, cfg)
+	up, down := 0, 0
+	for i := 0; i < 200; i++ {
+		v, hit := e.CorruptSample("a", 100)
+		if !hit {
+			t.Fatal("OutlierPct=1 must corrupt every sample")
+		}
+		switch {
+		case math.Abs(v-100*cfg.OutlierMag) < 1e-9:
+			up++
+		case math.Abs(v-100/cfg.OutlierMag) < 1e-9:
+			down++
+		default:
+			t.Fatalf("outlier value %g not ±%gx", v, cfg.OutlierMag)
+		}
+	}
+	if up == 0 || down == 0 {
+		t.Fatalf("outliers should go both directions: %d up, %d down", up, down)
+	}
+}
+
+func TestFaultErrorDetection(t *testing.T) {
+	err := &FaultError{Kind: "apply-fail", Target: "srv"}
+	if !IsFault(err) {
+		t.Fatal("FaultError must be detected")
+	}
+	if IsFault(nil) {
+		t.Fatal("nil is not a fault")
+	}
+	wrapped := wrapErr{err}
+	if !IsFault(wrapped) {
+		t.Fatal("wrapped FaultError must be detected")
+	}
+}
+
+type wrapErr struct{ inner error }
+
+func (w wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
+func (w wrapErr) Unwrap() error { return w.inner }
+
+func TestSummaryAndCounts(t *testing.T) {
+	e := New(1, Config{})
+	if got := e.Summary(); got != "no faults injected" {
+		t.Fatalf("empty summary = %q", got)
+	}
+	e2 := drive(4)
+	counts := e2.Counts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(e2.Events()) {
+		t.Fatalf("counts sum %d != events %d", total, len(e2.Events()))
+	}
+}

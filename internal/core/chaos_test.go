@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"softsku/internal/chaos"
+	"softsku/internal/knob"
+	"softsku/internal/platform"
+)
+
+// failFirstN faults the first n knob applies, then heals — a transient
+// deployment outage.
+type failFirstN struct {
+	chaos.Injector
+	n int
+}
+
+func (f *failFirstN) ApplyFault(target string) error {
+	if f.n > 0 {
+		f.n--
+		return &chaos.FaultError{Kind: "apply-failed", Target: target}
+	}
+	return nil
+}
+
+func TestApplyWithRetryAbsorbsTransientFaults(t *testing.T) {
+	tool, err := New(fastInput("Web", "Skylake18", knob.THP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two consecutive failures sit well inside the retry budget.
+	tool.SetChaos(&failFirstN{Injector: chaos.Disabled, n: 2})
+	srv, err := platform.NewServer(tool.sku, tool.baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetChaos(tool.chaos)
+	target := tool.baseline.With(knob.THP, tool.space.Values[knob.THP][0])
+	v0 := tool.vclock
+	if err := tool.applyWithRetry(srv, target); err != nil {
+		t.Fatalf("transient faults must be absorbed: %v", err)
+	}
+	if srv.Config() != target {
+		t.Fatalf("retry succeeded but config not applied: %v", srv.Config())
+	}
+	if tool.vclock <= v0 {
+		t.Fatal("retries must charge backoff to the virtual clock")
+	}
+}
+
+func TestApplyWithRetryGivesUpOnPersistentFault(t *testing.T) {
+	tool, err := New(fastInput("Web", "Skylake18", knob.THP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool.SetChaos(chaos.New(1, chaos.Config{ApplyFailPct: 1}))
+	srv, err := platform.NewServer(tool.sku, tool.baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetChaos(tool.chaos)
+	before := srv.Config()
+	err = tool.applyWithRetry(srv, tool.baseline.With(knob.THP, tool.space.Values[knob.THP][0]))
+	if !chaos.IsFault(err) {
+		t.Fatalf("persistent fault must surface as a chaos fault, got %v", err)
+	}
+	if srv.Config() != before {
+		t.Fatal("failed applies must leave server state untouched")
+	}
+}
+
+func TestSweepSkipsPersistentlyFaultedSetting(t *testing.T) {
+	in := fastInput("Web", "Skylake18", knob.THP)
+	tool, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough failures to exhaust one deployment's retry budget (5
+	// attempts), then one more so the next deployment retries once and
+	// recovers: exactly one candidate is skipped, the sweep continues.
+	tool.SetChaos(&failFirstN{Injector: chaos.Disabled, n: applyRetries + 2})
+	res, err := tool.Run()
+	if err != nil {
+		t.Fatalf("a faulted setting must degrade, not abort the run: %v", err)
+	}
+	if res.Skipped != 1 {
+		t.Fatalf("expected exactly 1 skipped setting, got %d", res.Skipped)
+	}
+	// The untouched knobs must come through uncorrupted.
+	if res.SoftSKU.CoreFreqMHz != 2200 {
+		t.Fatalf("skip must not corrupt other knobs: %v", res.SoftSKU)
+	}
+}
+
+func TestGuardrailRevertRestoresControlConfig(t *testing.T) {
+	// Fig 14: every below-production frequency is a strong regression —
+	// with a guardrail armed, each such trial must abort early and put
+	// the treatment server back on the control configuration.
+	in := fastInput("Web", "Skylake18", knob.CoreFreq)
+	in.AB.GuardrailPct = 1
+	tool, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tool.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reverts == 0 {
+		t.Fatal("regressing frequency settings should have tripped the guardrail")
+	}
+	if res.SoftSKU.CoreFreqMHz != 2200 {
+		t.Fatalf("guardrail must not change the composition: chose %d MHz", res.SoftSKU.CoreFreqMHz)
+	}
+	// Round-trip: every reverted treatment server must decode back to
+	// the control (baseline) configuration, not the config it trialed.
+	reverted := 0
+	for key, srv := range tool.servers {
+		if got := srv.Config(); got.String() != key {
+			if got != tool.baseline {
+				t.Fatalf("server %q reverted to %v, want baseline %v", key, got, tool.baseline)
+			}
+			reverted++
+		}
+	}
+	if reverted == 0 {
+		t.Fatal("no trial server was actually reverted")
+	}
+	if reverted != res.Reverts {
+		t.Fatalf("reverted servers %d != recorded reverts %d", reverted, res.Reverts)
+	}
+}
+
+func TestRunSurvivesDefaultChaos(t *testing.T) {
+	// Acceptance: a full tuning run completes under the default fault
+	// mix, recording its degradation instead of aborting.
+	in := fastInput("Web", "Skylake18", knob.THP, knob.CoreFreq)
+	in.AB.GuardrailPct = 1
+	tool, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := chaos.New(42, chaos.DefaultConfig())
+	tool.SetChaos(eng)
+	res, err := tool.Run()
+	if err != nil {
+		t.Fatalf("run must survive default chaos: %v", err)
+	}
+	if res.SoftSKU.THP != knob.THPAlways || res.SoftSKU.CoreFreqMHz != 2200 {
+		t.Fatalf("chaos must not corrupt the composition: %v", res.SoftSKU)
+	}
+	if res.Reverts == 0 {
+		t.Fatal("guardrail reverts should have been recorded (frequency regressions)")
+	}
+	if len(eng.Events()) == 0 {
+		t.Fatal("default chaos produced no fault events")
+	}
+}
+
+func TestChaosRunsAreDeterministic(t *testing.T) {
+	// Acceptance: same chaos seed ⇒ identical fault schedule AND
+	// identical composed soft SKU.
+	run := func(seed uint64) (string, string, int) {
+		in := fastInput("Web", "Skylake18", knob.THP)
+		in.AB.GuardrailPct = 1
+		tool, err := New(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := chaos.New(seed, chaos.DefaultConfig())
+		tool.SetChaos(eng)
+		res, err := tool.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SoftSKU.String(), eng.Fingerprint(), len(eng.Events())
+	}
+	sku1, fp1, ev1 := run(7)
+	sku2, fp2, ev2 := run(7)
+	if sku1 != sku2 {
+		t.Fatalf("same seed composed different soft SKUs: %s vs %s", sku1, sku2)
+	}
+	if fp1 != fp2 || ev1 != ev2 {
+		t.Fatalf("same seed produced different fault schedules: %s (%d) vs %s (%d)", fp1, ev1, fp2, ev2)
+	}
+	if _, fp3, _ := run(8); fp3 == fp1 {
+		t.Fatal("different seeds should produce different fault schedules")
+	}
+}

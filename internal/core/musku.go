@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"softsku/internal/abtest"
+	"softsku/internal/chaos"
 	"softsku/internal/emon"
 	"softsku/internal/knob"
 	"softsku/internal/loadgen"
@@ -26,6 +27,15 @@ var (
 		"Candidate configurations pruned as unrealizable on the SKU.")
 	mRuns = telemetry.Default.Counter("softsku_core_runs_total",
 		"Complete µSKU tuning runs.")
+
+	// Robustness telemetry: adversity the tuner absorbed while sweeping
+	// a faulty fleet.
+	mApplyRetries = telemetry.Default.Counter("softsku_core_knob_applies_retried_total",
+		"Transient knob-apply failures absorbed by retry with backoff.")
+	mKnobsSkipped = telemetry.Default.Counter("softsku_core_knobs_skipped_total",
+		"Candidate settings skipped after persistent apply faults.")
+	mGuardrailReverts = telemetry.Default.Counter("softsku_guardrail_reverts_total",
+		"Treatment arms reverted to control after a guardrail trip.")
 )
 
 // Point is one evaluated knob setting in the design-space map.
@@ -74,6 +84,12 @@ type Result struct {
 	Reboots        int     // server reboots the sweep required
 	VirtualHours   float64 // virtual measurement time consumed
 	ExhaustiveBest float64 // best mean seen (exhaustive/hillclimb modes)
+
+	// Degradation record when running under fault injection: candidate
+	// settings the sweep skipped after persistent apply faults, and
+	// treatment arms reverted to control by the guardrail.
+	Skipped int
+	Reverts int
 }
 
 // Tool is one µSKU instance bound to a microservice/platform pair.
@@ -88,8 +104,13 @@ type Tool struct {
 	reboots  int
 	logW     io.Writer
 
-	samplers map[string]abtest.Sampler // config-keyed cache
+	samplers map[string]abtest.Sampler   // config-keyed cache
+	servers  map[string]*platform.Server // trial servers behind the samplers
 	seedCtr  uint64
+
+	chaos   chaos.Injector // nil: fault-free tuning
+	skipped int            // settings abandoned after persistent faults
+	reverts int            // guardrail-driven treatment reverts
 
 	tracer *telemetry.Tracer // nil disables tracing
 	span   *telemetry.Span   // current parent for trial/machine spans
@@ -138,8 +159,23 @@ func NewForService(in Input, prof *workload.Profile, sku *platform.SKU) (*Tool, 
 		space:    BuildSpace(sku, prof, in.Knobs),
 		load:     loadgen.NewDiurnal(in.Seed ^ 0x10ad),
 		samplers: make(map[string]abtest.Sampler),
+		servers:  make(map[string]*platform.Server),
 	}
 	return t, nil
+}
+
+// SetChaos attaches a fault injector to the whole tuning run: trial
+// servers can fail knob applies and hang reboots, the A/B sampler can
+// drop and corrupt reads, and the shared load profile grows injected
+// traffic spikes. The tool degrades rather than aborts — applies are
+// retried with capped exponential backoff, persistently faulted
+// settings are skipped (Result.Skipped), and guardrail trips revert
+// the treatment arm (Result.Reverts). nil (the default) runs the
+// fault-free pipeline bit-for-bit.
+func (t *Tool) SetChaos(inj chaos.Injector) {
+	t.chaos = inj
+	t.in.AB.Chaos = inj
+	t.load.SetChaos(inj)
 }
 
 // SetLogger directs progress logging (nil disables it).
@@ -175,10 +211,23 @@ func (t *Tool) sampler(cfg knob.Config) (abtest.Sampler, error) {
 	sp := t.span.StartChild("sim.machine", "sim")
 	sp.Set("config", key)
 	defer sp.End()
-	srv, err := platform.NewServer(t.sku, cfg)
+	var srv *platform.Server
+	var err error
+	if t.chaos != nil {
+		// Trial servers come from the production fleet: boot at the
+		// hand-tuned baseline, then deploy the candidate configuration
+		// through Apply — the path that can fault under injection.
+		if srv, err = platform.NewServer(t.sku, t.baseline); err == nil {
+			srv.SetChaos(t.chaos)
+			err = t.applyWithRetry(srv, cfg)
+		}
+	} else {
+		srv, err = platform.NewServer(t.sku, cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
+	t.servers[key] = srv
 	// Both arms of every A/B pair run the same code on identical
 	// machines — the workload seed is shared; only the configuration
 	// differs (§4: "two identical servers ... that differ only in
@@ -208,6 +257,69 @@ func (t *Tool) sampler(cfg knob.Config) (abtest.Sampler, error) {
 // successive production load.
 func (t *Tool) compare(treatment knob.Config) (abtest.Outcome, error) {
 	return t.compareAgainst(t.baseline, treatment)
+}
+
+// Apply retry policy for trial deployments: transient faults are
+// retried with exponential backoff (charged to the virtual clock),
+// capped per attempt and bounded in count.
+const (
+	applyRetries    = 4
+	applyBackoffSec = 5.0
+	applyBackoffCap = 60.0
+)
+
+// applyWithRetry deploys cfg onto a trial server, absorbing transient
+// injected faults (failed applies, stuck reboots). Validation errors
+// and faults that persist past the retry budget are returned.
+func (t *Tool) applyWithRetry(srv *platform.Server, cfg knob.Config) error {
+	backoff := applyBackoffSec
+	for try := 0; ; try++ {
+		_, err := srv.Apply(cfg)
+		if err == nil {
+			return nil
+		}
+		if !chaos.IsFault(err) || try >= applyRetries {
+			return err
+		}
+		mApplyRetries.Inc()
+		t.vclock += backoff
+		backoff *= 2
+		if backoff > applyBackoffCap {
+			backoff = applyBackoffCap
+		}
+	}
+}
+
+// guardrailRevert restores the control configuration on the treatment
+// arm's server after a tripped guardrail: a regressing configuration
+// must not keep serving production traffic. The revert is break-glass
+// — if injected faults block it past the retry budget, it is forced
+// past the injector.
+func (t *Tool) guardrailRevert(treatment, control knob.Config) {
+	t.reverts++
+	mGuardrailReverts.Inc()
+	t.logf("  guardrail tripped on %s: reverting to control", treatment)
+	srv := t.servers[treatment.String()]
+	if srv == nil {
+		return
+	}
+	if err := t.applyWithRetry(srv, control); err != nil {
+		srv.SetChaos(nil)
+		_, _ = srv.Apply(control)
+		srv.SetChaos(t.chaos)
+	}
+}
+
+// skipFault records a candidate setting abandoned because its trial
+// faulted persistently, and reports whether err was such a fault.
+func (t *Tool) skipFault(err error, what string) bool {
+	if !chaos.IsFault(err) {
+		return false
+	}
+	t.skipped++
+	mKnobsSkipped.Inc()
+	t.logf("  %s skipped: %v", what, err)
+	return true
 }
 
 // Run executes the configured sweep and composes the soft SKU.
@@ -261,6 +373,10 @@ func (t *Tool) Run() (*Result, error) {
 	// a full diurnal cycle rather than minutes at one phase — the
 	// paper's "prolonged durations ... under diurnal load".
 	vcfg := t.in.AB
+	// The sweep's guardrail protects production from regressing trials;
+	// the final deployment validations must instead measure the complete
+	// delta across the diurnal cycle, so they never abort early.
+	vcfg.GuardrailPct = 0
 	if vcfg.MinSamples < 2000 {
 		vcfg.MinSamples = 2000
 	}
@@ -292,6 +408,13 @@ func (t *Tool) Run() (*Result, error) {
 	root.Set("soft_sku", composed.String())
 	root.Set("reboots", t.reboots)
 	res.Reboots = t.reboots
+	res.Skipped = t.skipped
+	res.Reverts = t.reverts
+	if t.skipped > 0 || t.reverts > 0 {
+		root.Set("skipped", t.skipped)
+		root.Set("reverts", t.reverts)
+		t.logf("  degradation: %d settings skipped, %d guardrail reverts", t.skipped, t.reverts)
+	}
 	t.logf("soft SKU for %s on %s: %s", res.Service, res.Platform, composed)
 	t.logf("  vs production: %s   vs stock: %s", res.VsProduction, res.VsStock)
 	return res, nil
@@ -321,6 +444,10 @@ func (t *Tool) compareAgainst(control, treatment knob.Config) (abtest.Outcome, e
 	}
 	out, end := abtest.Run(t.in.AB, c, tr, t.vclock)
 	t.vclock = end
+	if out.GuardrailTripped {
+		sp.Set("guardrail_tripped", true)
+		t.guardrailRevert(treatment, control)
+	}
 	sp.Set("samples_per_arm", out.Samples)
 	sp.Set("control_mean", out.Control.Mean())
 	sp.Set("treatment_mean", out.Treatment.Mean())
@@ -364,6 +491,9 @@ func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 			}
 			out, err := t.compare(cfg)
 			if err != nil {
+				if t.skipFault(err, setting.Name) {
+					continue // degrade: drop the setting, not the sweep
+				}
 				ks.End()
 				t.span = parent
 				return composed, err
@@ -427,6 +557,9 @@ func (t *Tool) exhaustiveSweep(res *Result) (knob.Config, error) {
 		}
 		out, err := t.compare(cfg)
 		if err != nil {
+			if t.skipFault(err, cfg.String()) {
+				return true
+			}
 			sweepErr = err
 			return false
 		}

@@ -43,6 +43,9 @@ func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
 				}
 				out, err := t.compareAgainst(current, cfg)
 				if err != nil {
+					if t.skipFault(err, values[ni].Name) {
+						continue
+					}
 					rs.End()
 					t.span = parent
 					return current, err

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"softsku/internal/chaos"
 	"softsku/internal/knob"
 	"softsku/internal/platform"
 	"softsku/internal/sim"
@@ -34,6 +35,15 @@ var (
 		"Cross-pool server redeployments.")
 	mRedeployServers = telemetry.Default.Counter("softsku_fleet_redeploy_servers_total",
 		"Servers moved between pools by redeployments.")
+
+	// Self-healing telemetry: waves that failed their health check and
+	// the rollbacks that put the pool back on its prior soft SKU.
+	mRollbacks = telemetry.Default.Counter("softsku_rollback_total",
+		"Rollouts aborted and rolled back after a failed wave health check.")
+	mRollbackServers = telemetry.Default.Counter("softsku_rollback_servers_total",
+		"Servers restored to their prior configuration by rollbacks.")
+	mHealthFailures = telemetry.Default.Counter("softsku_fleet_health_check_failures_total",
+		"Servers that failed a post-wave configuration health check.")
 )
 
 // Pool is the set of servers of one SKU dedicated to one microservice,
@@ -64,10 +74,17 @@ func (p *Pool) Reboots() int {
 // Fleet is a collection of service pools.
 type Fleet struct {
 	pools map[string]*Pool
+	chaos chaos.Injector // nil: fault-free rollouts
 }
 
 // New returns an empty fleet.
 func New() *Fleet { return &Fleet{pools: make(map[string]*Pool)} }
+
+// SetChaos attaches a fault injector consulted during rollouts: servers
+// can crash mid-reconfiguration (they come back on their old config and
+// fail the wave's health check, triggering abort + rollback) and waves
+// can run slow. nil (the default) disables injection.
+func (f *Fleet) SetChaos(inj chaos.Injector) { f.chaos = inj }
 
 // AddPool provisions n servers of the SKU for a service at the given
 // configuration.
@@ -113,10 +130,16 @@ func (f *Fleet) Services() []string {
 // Rollout summarizes one deployment wave plan.
 type Rollout struct {
 	Servers      int // servers reconfigured
-	Rebooted     int // servers that needed a reboot
+	Rebooted     int // servers rebooted by the forward deployment
 	Waves        int // deployment waves (bounded unavailability)
 	MaxUnavail   int
 	WaveRebooted []int
+
+	// Self-healing record when a wave fails its health check.
+	Aborted    bool    // remaining waves never ran
+	FailedWave int     // 1-based index of the failing wave (0: none)
+	RolledBack bool    // touched servers restored to the prior config
+	SlowSec    float64 // injected wave slowdowns absorbed
 }
 
 // Rollout applies a soft-SKU configuration to a pool in waves: at most
@@ -124,13 +147,24 @@ type Rollout struct {
 // keeps serving (§3: servers are redeployed to different soft SKUs
 // through reconfiguration and/or reboot). MSR-only changes apply
 // in-place in a single pass.
+//
+// After each wave, every server in the wave must round-trip the new
+// configuration (health check). A failed wave aborts the remaining
+// waves and rolls every touched server back to the pool's prior
+// configuration, so a rollout either converges completely or leaves
+// the pool exactly as it found it; the returned Rollout records the
+// abort alongside the error.
 func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Rollout, error) {
 	pool, err := f.Pool(service)
 	if err != nil {
 		return Rollout{}, err
 	}
+	if pool.Size() == 0 {
+		return Rollout{}, fmt.Errorf("fleet: pool for %s is empty; nothing to roll out", service)
+	}
 	if maxUnavailable < 1 {
-		maxUnavailable = 1
+		return Rollout{}, fmt.Errorf(
+			"fleet: maxUnavailable must be at least 1, got %d (a zero wave would never finish)", maxUnavailable)
 	}
 	if err := pool.SKU.Validate(cfg); err != nil {
 		return Rollout{}, err
@@ -141,30 +175,35 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 			needsReboot = true
 		}
 	}
-	r := Rollout{Servers: pool.Size(), MaxUnavail: maxUnavailable}
+	// MSR-only changes reconfigure live: nothing goes down, so the
+	// whole pool is one wave regardless of the availability bound.
+	waveSize := maxUnavailable
 	if !needsReboot {
-		// Live reconfiguration: one pass, no waves needed.
-		for _, srv := range pool.servers {
-			if _, err := srv.Apply(cfg); err != nil {
-				return r, err
-			}
-		}
-		r.Waves = 1
-		r.WaveRebooted = []int{0}
-		pool.cfg = cfg
-		recordRollout(r)
-		return r, nil
+		waveSize = pool.Size()
 	}
-	for start := 0; start < pool.Size(); start += maxUnavailable {
-		end := start + maxUnavailable
+	r := Rollout{Servers: pool.Size(), MaxUnavail: maxUnavailable}
+	prev := pool.cfg
+	for start := 0; start < pool.Size(); start += waveSize {
+		end := start + waveSize
 		if end > pool.Size() {
 			end = pool.Size()
 		}
+		wave := r.Waves + 1
+		if f.chaos != nil {
+			r.SlowSec += f.chaos.WaveDelay(wave)
+		}
 		rebootedThisWave := 0
-		for _, srv := range pool.servers[start:end] {
+		var cause error
+		for i, srv := range pool.servers[start:end] {
+			if f.chaos != nil && f.chaos.CrashServer(fmt.Sprintf("%s/%d", service, start+i)) {
+				// The server died mid-reconfiguration and came back on its
+				// old configuration; the health check below catches it.
+				continue
+			}
 			rebooted, err := srv.Apply(cfg)
 			if err != nil {
-				return r, err
+				cause = err
+				continue
 			}
 			if rebooted {
 				r.Rebooted++
@@ -173,10 +212,48 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 		}
 		r.Waves++
 		r.WaveRebooted = append(r.WaveRebooted, rebootedThisWave)
+		healthy := true
+		for _, srv := range pool.servers[start:end] {
+			if srv.Config() != cfg {
+				healthy = false
+				mHealthFailures.Inc()
+			}
+		}
+		if !healthy {
+			r.Aborted = true
+			r.FailedWave = wave
+			f.rollback(pool, prev, end, &r)
+			recordRollout(r)
+			err := fmt.Errorf("fleet: rollout of %s aborted at wave %d/%d: health check failed; pool rolled back",
+				service, wave, (pool.Size()+waveSize-1)/waveSize)
+			if cause != nil {
+				err = fmt.Errorf("%w (first failure: %v)", err, cause)
+			}
+			return r, err
+		}
 	}
 	pool.cfg = cfg
 	recordRollout(r)
 	return r, nil
+}
+
+// rollback restores the prior configuration on the first n servers of
+// the pool — everything a failed rollout may have touched. The
+// rollback path is break-glass: it does not consult the fault
+// injector, so the pool always converges back to its prior state.
+func (f *Fleet) rollback(pool *Pool, prev knob.Config, n int, r *Rollout) {
+	mRollbacks.Inc()
+	restored := 0
+	for _, srv := range pool.servers[:n] {
+		if srv.Config() == prev {
+			continue
+		}
+		if _, err := srv.Apply(prev); err == nil {
+			restored++
+		}
+	}
+	r.RolledBack = true
+	mRollbackServers.Add(float64(restored))
 }
 
 // recordRollout publishes one completed rollout's per-machine event

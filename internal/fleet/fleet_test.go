@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
+	"softsku/internal/chaos"
 	"softsku/internal/knob"
 	"softsku/internal/platform"
 	"softsku/internal/sim"
@@ -108,6 +110,128 @@ func TestRolloutInvalidConfig(t *testing.T) {
 	bad.Cores = 999
 	if _, err := f.Rollout("Web", bad, 2); err == nil {
 		t.Fatal("invalid rollout config must error")
+	}
+}
+
+func TestRolloutEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		pool       int
+		maxUnavail int
+		wantErr    bool
+	}{
+		{"zero maxUnavailable", 5, 0, true},
+		{"negative maxUnavailable", 5, -3, true},
+		{"wave larger than pool", 4, 100, false},
+		{"single-server pool", 1, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, cfg := webPool(t, tc.pool)
+			soft := cfg.With(knob.SHP, knob.IntSetting("300", 300))
+			r, err := f.Rollout("Web", soft, tc.maxUnavail)
+			p, _ := f.Pool("Web")
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("rollout must reject the availability bound")
+				}
+				if p.Config() != cfg || p.Reboots() != 0 {
+					t.Fatal("rejected rollout must not touch the pool")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Waves != 1 || r.Rebooted != tc.pool {
+				t.Fatalf("rollout = %+v, want one wave covering all %d servers", r, tc.pool)
+			}
+			if p.Config() != soft {
+				t.Fatal("pool config not applied")
+			}
+		})
+	}
+}
+
+func TestRolloutEmptyPool(t *testing.T) {
+	f, cfg := webPool(t, 1)
+	p, _ := f.Pool("Web")
+	p.servers = nil // a fully drained pool
+	if _, err := f.Rollout("Web", cfg, 2); err == nil {
+		t.Fatal("empty pool must be an explicit error")
+	}
+}
+
+// crashTargets crashes exactly the named servers, leaving every other
+// fault class disabled.
+type crashTargets struct {
+	chaos.Injector
+	targets map[string]bool
+}
+
+func (c crashTargets) CrashServer(target string) bool { return c.targets[target] }
+
+func TestRolloutMidWaveCrashRollsBack(t *testing.T) {
+	// Acceptance: a mid-wave failure aborts the remaining waves and
+	// rolls back, leaving every server on the original configuration.
+	f, cfg := webPool(t, 10)
+	f.SetChaos(crashTargets{chaos.Disabled, map[string]bool{"Web/5": true}})
+	soft := cfg.With(knob.SHP, knob.IntSetting("300", 300))
+	r, err := f.Rollout("Web", soft, 3) // waves: [0-2] [3-5] [6-8] [9]
+	if err == nil {
+		t.Fatal("crashed wave must surface an error")
+	}
+	if !r.Aborted || r.FailedWave != 2 || !r.RolledBack {
+		t.Fatalf("self-healing record wrong: %+v", r)
+	}
+	if r.Waves != 2 {
+		t.Fatalf("later waves must never run, got %d", r.Waves)
+	}
+	p, _ := f.Pool("Web")
+	if p.Config() != cfg {
+		t.Fatal("pool must stay on the original configuration")
+	}
+	for i, srv := range p.servers {
+		if srv.Config() != cfg {
+			t.Fatalf("server %d left on %v after rollback", i, srv.Config())
+		}
+	}
+	// Wave 1 (3 servers) and wave 2's survivors (2) rebooted forward,
+	// then back; the crashed server and waves 3-4 were never touched.
+	if r.Rebooted != 5 {
+		t.Fatalf("forward reboots = %d, want 5", r.Rebooted)
+	}
+	if p.Reboots() != 10 {
+		t.Fatalf("total reboots = %d, want 10 (5 forward + 5 rollback)", p.Reboots())
+	}
+}
+
+func TestRolloutSlowWaves(t *testing.T) {
+	f, cfg := webPool(t, 10)
+	f.SetChaos(chaos.New(5, chaos.Config{SlowWavePct: 1, SlowWaveSec: 30}))
+	soft := cfg.With(knob.SHP, knob.IntSetting("300", 300))
+	r, err := f.Rollout("Web", soft, 5) // 2 waves, both slow
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SlowSec != 60 {
+		t.Fatalf("slow waves absorbed %g s, want 60", r.SlowSec)
+	}
+}
+
+func TestRolloutChaosDeterministic(t *testing.T) {
+	run := func(seed uint64) (string, string, bool) {
+		f, cfg := webPool(t, 40)
+		eng := chaos.New(seed, chaos.DefaultConfig())
+		f.SetChaos(eng)
+		soft := cfg.With(knob.SHP, knob.IntSetting("300", 300))
+		r, err := f.Rollout("Web", soft, 5)
+		return fmt.Sprintf("%+v", r), eng.Fingerprint(), err == nil
+	}
+	r1, f1, ok1 := run(9)
+	r2, f2, ok2 := run(9)
+	if r1 != r2 || f1 != f2 || ok1 != ok2 {
+		t.Fatalf("same seed must reproduce the rollout exactly:\n%s (%s)\n%s (%s)", r1, f1, r2, f2)
 	}
 }
 

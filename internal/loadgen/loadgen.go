@@ -9,6 +9,7 @@ package loadgen
 import (
 	"math"
 
+	"softsku/internal/chaos"
 	"softsku/internal/rng"
 )
 
@@ -28,6 +29,7 @@ type Profile struct {
 	src   *rng.Source
 	walk  float64
 	lastT float64
+	chaos chaos.Injector // nil: no injected spikes
 }
 
 // NewDiurnal builds the default production-like load profile.
@@ -43,6 +45,12 @@ func NewDiurnal(seed uint64) *Profile {
 // Flat returns a constant-load profile (synthetic load tests — the
 // thing the paper warns does not capture production behaviour).
 func Flat() *Profile { return &Profile{Period: 1, Swing: 0, Jitter: 0, src: rng.New(1)} }
+
+// SetChaos attaches a fault injector whose LoadSpike factor multiplies
+// the profile: sudden traffic surges on top of the diurnal cycle, the
+// load drift µSKU's A/B tester must measure through (§4). nil (the
+// default) disables spikes.
+func (p *Profile) SetChaos(inj chaos.Injector) { p.chaos = inj }
 
 // Factor returns the load multiplier at virtual time t. Successive
 // calls should use non-decreasing t; the transient component evolves
@@ -65,6 +73,9 @@ func (p *Profile) Factor(t float64) float64 {
 		p.walk = p.walk*decay + p.src.Norm(0, p.Jitter*math.Sqrt(1-decay*decay))
 	}
 	f := 1 + diurnal + p.walk
+	if p.chaos != nil {
+		f *= p.chaos.LoadSpike(t)
+	}
 	if f < 0.05 {
 		f = 0.05
 	}

@@ -3,6 +3,8 @@ package loadgen
 import (
 	"math"
 	"testing"
+
+	"softsku/internal/chaos"
 )
 
 func TestFlatIsConstant(t *testing.T) {
@@ -77,5 +79,55 @@ func TestArrivalsMean(t *testing.T) {
 	mean := float64(total) / windows
 	if math.Abs(mean-10) > 0.2 {
 		t.Fatalf("arrival mean %g, want ~10", mean)
+	}
+}
+
+func TestChaosLoadSpikes(t *testing.T) {
+	cfg := chaos.DefaultConfig()
+	cfg.SpikePct = 1 // a spike in every window
+	base := NewDiurnal(1)
+	spiky := NewDiurnal(1)
+	spiky.SetChaos(chaos.New(3, cfg))
+	spikes := 0
+	for tm := 0.0; tm < 86400; tm += 60 {
+		b, s := base.Factor(tm), spiky.Factor(tm)
+		if s < b-1e-9 {
+			t.Fatalf("spike must never reduce load: %g < %g at t=%g", s, b, tm)
+		}
+		if s > b+1e-9 {
+			spikes++
+			if math.Abs(s-b*(1+cfg.SpikeMag)) > 1e-9 {
+				t.Fatalf("spike factor %g, want %g", s/b, 1+cfg.SpikeMag)
+			}
+		}
+	}
+	if spikes == 0 {
+		t.Fatal("SpikePct=1 must produce spikes across a day")
+	}
+}
+
+func TestChaosSpikeDeterminism(t *testing.T) {
+	mk := func() *Profile {
+		p := NewDiurnal(1)
+		p.SetChaos(chaos.New(7, chaos.DefaultConfig()))
+		return p
+	}
+	a, b := mk(), mk()
+	for tm := 0.0; tm < 86400; tm += 300 {
+		if fa, fb := a.Factor(tm), b.Factor(tm); fa != fb {
+			t.Fatalf("same seeds must spike identically: %g vs %g at t=%g", fa, fb, tm)
+		}
+	}
+}
+
+func TestNilChaosUnchanged(t *testing.T) {
+	// A profile without an injector must behave exactly as before the
+	// chaos layer existed.
+	a, b := NewDiurnal(5), NewDiurnal(5)
+	b.SetChaos(nil)
+	for tm := 0.0; tm < 7200; tm += 30 {
+		if a.Factor(tm) != b.Factor(tm) {
+			t.Fatal("nil injector must be a no-op")
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"softsku/internal/chaos"
 	"softsku/internal/knob"
 )
 
@@ -273,5 +274,72 @@ func TestPowerModel(t *testing.T) {
 	lowU := stock.With(knob.UncoreFreq, knob.IntSetting("1.4", 1400))
 	if s.PowerWatts(lowU, 2200, 0.5, 40) >= s.PowerWatts(stock, 2200, 0.5, 40) {
 		t.Fatal("slower uncore must reduce power")
+	}
+}
+
+func TestApplyChaosTransientFailure(t *testing.T) {
+	sku := Skylake18()
+	srv, err := NewServer(sku, sku.StockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaos.Config{ApplyFailPct: 1} // every attempt fails
+	srv.SetChaos(chaos.New(1, cfg))
+	before := srv.Config()
+	target := before.With(knob.THP, knob.THPSetting(knob.THPAlways))
+	_, err = srv.Apply(target)
+	if err == nil {
+		t.Fatal("apply under ApplyFailPct=1 must fail")
+	}
+	if !chaos.IsFault(err) {
+		t.Fatalf("injected failure must be recognizable as transient: %v", err)
+	}
+	if srv.Config() != before {
+		t.Fatal("transient apply failure must not change server state")
+	}
+	// Detach the injector: the same apply now succeeds (a retry fixes
+	// a transient fault).
+	srv.SetChaos(nil)
+	if _, err := srv.Apply(target); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Config() != target {
+		t.Fatal("apply after fault cleared must land")
+	}
+}
+
+func TestApplyChaosStuckReboot(t *testing.T) {
+	sku := Skylake18()
+	srv, err := NewServer(sku, sku.StockConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetChaos(chaos.New(1, chaos.Config{StuckRebootPct: 1}))
+	before := srv.Config()
+	rebootCfg := before.With(knob.SHP, knob.IntSetting("300", 300))
+	if _, err := srv.Apply(rebootCfg); err == nil || !chaos.IsFault(err) {
+		t.Fatalf("reboot-requiring apply must hang under StuckRebootPct=1: %v", err)
+	}
+	if srv.Config() != before || srv.Reboots() != 0 {
+		t.Fatal("stuck reboot must leave state and reboot count untouched")
+	}
+	// MSR-only changes don't reboot, so they are immune to stuck
+	// reboots.
+	msrOnly := before.With(knob.THP, knob.THPSetting(knob.THPAlways))
+	if _, err := srv.Apply(msrOnly); err != nil {
+		t.Fatalf("MSR-only apply must not consult the reboot fault: %v", err)
+	}
+}
+
+func TestApplyChaosInvalidStillRejected(t *testing.T) {
+	// Validation errors must surface as permanent, not transient, even
+	// with an injector attached.
+	sku := Skylake18()
+	srv, _ := NewServer(sku, sku.StockConfig())
+	srv.SetChaos(chaos.New(1, chaos.Config{}))
+	bad := srv.Config()
+	bad.CoreFreqMHz = 99999
+	if _, err := srv.Apply(bad); err == nil || chaos.IsFault(err) {
+		t.Fatalf("invalid config must fail permanently: %v", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"softsku/internal/chaos"
 	"softsku/internal/knob"
 )
 
@@ -36,6 +37,7 @@ type Server struct {
 	kernel  map[string]string // kernel config files and boot parameters
 	resctrl knob.CDPConfig
 	reboots int
+	chaos   chaos.Injector // nil: fault-free (the pre-chaos world)
 }
 
 // NewServer boots a server of the given SKU with the given initial
@@ -61,18 +63,34 @@ func (s *Server) SKU() *SKU { return s.sku }
 // on live traffic; µSKU consults this cost when planning sweeps.
 func (s *Server) Reboots() int { return s.reboots }
 
+// SetChaos attaches a fault injector consulted on every Apply: knob
+// applications can transiently fail and required reboots can hang, in
+// both cases leaving server state untouched so the caller can retry.
+// nil (the default) disables injection.
+func (s *Server) SetChaos(inj chaos.Injector) { s.chaos = inj }
+
 // Apply reconfigures the server to cfg, returning whether a reboot was
 // required. Invalid configurations are rejected without any state
-// change.
+// change; under an attached fault injector the attempt may also fail
+// transiently (chaos.IsFault distinguishes those — retrying can fix
+// them, while validation errors are permanent).
 func (s *Server) Apply(cfg knob.Config) (rebooted bool, err error) {
 	if err := s.sku.Validate(cfg); err != nil {
 		return false, err
+	}
+	if s.chaos != nil {
+		if err := s.chaos.ApplyFault(s.sku.Name); err != nil {
+			return false, err
+		}
 	}
 	cur := s.Config()
 	for _, id := range knob.Diff(cur, cfg) {
 		if id.RequiresReboot() {
 			rebooted = true
 		}
+	}
+	if rebooted && s.chaos != nil && s.chaos.StuckReboot(s.sku.Name) {
+		return false, &chaos.FaultError{Kind: "stuck-reboot", Target: s.sku.Name}
 	}
 	s.write(cfg)
 	if rebooted {

@@ -21,6 +21,18 @@ echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+# The race detector is 5-20x slower than a plain run; on small CI
+# boxes the sim package alone can blow go test's default 10m
+# per-package timeout, so give it explicit headroom.
+go test -race -timeout 45m ./...
+
+echo "== chaos smoke =="
+out=$(go run ./cmd/musku -service Web -knobs thp -chaos -chaos-seed 7 -guardrail-pct 2 -max-samples 1500 -q)
+if ! echo "$out" | grep -q "soft SKU:"; then
+	echo "chaos smoke: tuning under injected faults composed no soft SKU" >&2
+	echo "$out" >&2
+	exit 1
+fi
+echo "$out" | grep "soft SKU:"
 
 echo "check: all green"

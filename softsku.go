@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"softsku/internal/cache"
+	"softsku/internal/chaos"
 	"softsku/internal/core"
 	"softsku/internal/emon"
 	"softsku/internal/knob"
@@ -44,7 +45,29 @@ type (
 	// MetricsRegistry holds counters/gauges/histograms with a
 	// Prometheus text exporter.
 	MetricsRegistry = telemetry.Registry
+	// ChaosInjector is the fault-injection interface the platform,
+	// A/B-test, fleet, and load layers consult (Tool.SetChaos).
+	ChaosInjector = chaos.Injector
+	// ChaosEngine is the seeded deterministic injector: the same seed
+	// always reproduces the same fault schedule.
+	ChaosEngine = chaos.Engine
+	// ChaosConfig sets per-fault-class injection rates.
+	ChaosConfig = chaos.Config
 )
+
+// ChaosDisabled is the no-op injector (equivalent to a nil injector).
+var ChaosDisabled = chaos.Disabled
+
+// NewChaos builds a deterministic fault injector from a seed and
+// per-class rates.
+func NewChaos(seed uint64, cfg ChaosConfig) *ChaosEngine { return chaos.New(seed, cfg) }
+
+// DefaultChaosConfig returns the standard production fault mix.
+func DefaultChaosConfig() ChaosConfig { return chaos.DefaultConfig() }
+
+// IsChaosFault reports whether an error is an injected (retryable)
+// fault rather than a permanent validation failure.
+func IsChaosFault(err error) bool { return chaos.IsFault(err) }
 
 // NewTracer returns an empty span tracer for Tool.SetTracer.
 func NewTracer() *Tracer { return telemetry.NewTracer() }
