@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fmt chaos
+.PHONY: build test check bench fmt chaos lint lint-fixtures
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,23 @@ build:
 test:
 	$(GO) test ./...
 
-# Full health check: gofmt, vet, build, and tests under -race.
+# Full health check: gofmt, vet, softskulint, build, and tests under
+# -race with shuffled test order.
 check:
 	sh scripts/check.sh
+
+# Project-specific static analysis (DESIGN.md §9): determinism,
+# metric-name, knob-error, span-pairing, and seed-plumbing invariants.
+# Suppress an intentional finding with
+# "//lint:ignore <analyzer> <reason>" on or above the line.
+lint:
+	$(GO) run ./cmd/softskulint ./...
+
+# Fast iteration loop for analyzer work: just the golden-file tests
+# over internal/analysis/testdata plus the CLI integration tests.
+# Regenerate goldens with: go test ./internal/analysis -run TestGolden -update
+lint-fixtures:
+	$(GO) test -count=1 -run 'TestGolden|TestSuiteSelfClean|TestFixture|TestClean|TestOnly|TestList' ./internal/analysis ./cmd/softskulint
 
 # Regenerates every paper table/figure and writes BENCH_telemetry.json
 # with ns/op and sim-seconds/wall-second for the tracked benchmarks.

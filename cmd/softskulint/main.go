@@ -1,0 +1,109 @@
+// Command softskulint is the repo's project-specific static-analysis
+// gate (DESIGN.md §9): a stdlib-only vet-style multichecker that
+// loads every package in the module and enforces the invariants the
+// A/B measurement pipeline's trustworthiness rests on — seeded
+// determinism, bounded metric cardinality, never-dropped knob-
+// mutation errors, closed trace spans, and caller-controlled
+// randomness.
+//
+// Usage:
+//
+//	softskulint [-only a,b] [-list] [packages]
+//
+// Packages default to ./... . Diagnostics print as
+// "file:line: [analyzer] message" and any finding exits 1; load or
+// type-check failures exit 2. Suppress an intentional finding with
+// a reasoned directive on (or just above) the offending line:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"softsku/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("softskulint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := analysis.All()
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, "softskulint:", err)
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "softskulint:", err)
+		return 2
+	}
+	modRoot, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "softskulint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(stderr, "softskulint:", err)
+		return 2
+	}
+	units, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "softskulint:", err)
+		return 2
+	}
+
+	res := analysis.Run(units, analyzers)
+	for _, d := range res.Findings {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(modRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+	}
+	suffix := ""
+	if res.Suppressed > 0 {
+		suffix = fmt.Sprintf(" (%d suppressed)", res.Suppressed)
+	}
+	fmt.Fprintf(stdout, "softskulint: %d package%s, %d finding%s%s\n",
+		res.Packages, plural(res.Packages), len(res.Findings), plural(len(res.Findings)), suffix)
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+
+	"softsku/internal/analysis"
+)
+
+// The integration tests re-exec this test binary as the real CLI:
+// TestMain routes through run() when the env var is set, so the tests
+// observe the exact exit codes and output format check.sh depends on.
+func TestMain(m *testing.M) {
+	if os.Getenv("SOFTSKULINT_RUN_MAIN") == "1" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+func lint(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "SOFTSKULINT_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec: %v\n%s", err, out)
+	}
+	return string(out), code
+}
+
+var (
+	diagRE    = regexp.MustCompile(`^[^:]+\.go:\d+: \[[a-z]+\] .+$`)
+	summaryRE = regexp.MustCompile(`^softskulint: \d+ packages?, \d+ findings?( \(\d+ suppressed\))?$`)
+)
+
+// TestFixturePackageFindings drives the binary over a dirty fixture
+// package and pins the contract: non-zero exit, every diagnostic in
+// file:line: [analyzer] message form, and a trailing summary line.
+func TestFixturePackageFindings(t *testing.T) {
+	out, code := lint(t, "./internal/analysis/testdata/knoberr/knobs")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings)\n%s", code, out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want diagnostics plus summary, got:\n%s", out)
+	}
+	for _, l := range lines[:len(lines)-1] {
+		if !diagRE.MatchString(l) {
+			t.Errorf("diagnostic line %q does not match %s", l, diagRE)
+		}
+		if !strings.Contains(l, "[knoberr]") {
+			t.Errorf("diagnostic line %q from unexpected analyzer", l)
+		}
+	}
+	last := lines[len(lines)-1]
+	if !summaryRE.MatchString(last) {
+		t.Errorf("summary line %q does not match %s", last, summaryRE)
+	}
+	if !strings.Contains(last, "1 package, 6 findings (1 suppressed)") {
+		t.Errorf("summary %q: want 6 findings with 1 suppressed over 1 package", last)
+	}
+}
+
+// TestCleanPackageExitsZero runs a clean module package.
+func TestCleanPackageExitsZero(t *testing.T) {
+	out, code := lint(t, "./internal/rng")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if want := "softskulint: 1 package, 0 findings\n"; out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+// TestOnlySubset checks analyzer selection and rejection of unknown
+// names.
+func TestOnlySubset(t *testing.T) {
+	out, code := lint(t, "-only", "spanend", "./internal/analysis/testdata/knoberr/knobs")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (knoberr findings filtered out)\n%s", code, out)
+	}
+	if _, code := lint(t, "-only", "bogus", "./internal/rng"); code != 2 {
+		t.Fatalf("unknown analyzer: exit = %d, want 2", code)
+	}
+}
+
+// TestListAnalyzers pins the suite roster.
+func TestListAnalyzers(t *testing.T) {
+	out, code := lint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing %s:\n%s", a.Name, out)
+		}
+	}
+}

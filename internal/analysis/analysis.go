@@ -1,0 +1,206 @@
+// Package analysis is softskulint's stdlib-only static-analysis
+// framework: a vet-style multichecker that loads every package in the
+// module with go/parser + go/types and runs project-specific analyzers
+// enforcing the invariants the A/B pipeline's trustworthiness rests on
+// (DESIGN.md §9). The paper's confidence tests assume the measurement
+// harness itself is reproducible and honest; these analyzers make the
+// repo's equivalents — seeded determinism, bounded metric cardinality,
+// never-dropped knob errors, closed trace spans, caller-controlled
+// randomness — machine-checked instead of conventions.
+//
+// The framework deliberately uses only go/ast, go/parser, go/token,
+// go/types and go/importer so go.mod stays dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. Run inspects a fully
+// type-checked package and returns its findings.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the guarded invariant.
+	Doc string
+	// Run reports findings for one package via Pass.Reportf.
+	Run func(p *Pass)
+}
+
+// Diagnostic is one finding, rendered as "file:line: [analyzer] msg".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Pass is the per-package state handed to each analyzer.
+type Pass struct {
+	Unit *Unit
+	name string
+	out  []Diagnostic
+}
+
+// Fset returns the position table for the package's files.
+func (p *Pass) Fset() *token.FileSet { return p.Unit.Fset }
+
+// Files returns the package's parsed files (including test files;
+// analyzers that only govern production code skip via IsTestFile).
+func (p *Pass) Files() []*ast.File { return p.Unit.Files }
+
+// PkgName returns the package's declared name (not import path), the
+// handle the sim-facing allowlist keys on.
+func (p *Pass) PkgName() string { return p.Unit.Name }
+
+// Info returns the type-checker's fact tables.
+func (p *Pass) Info() *types.Info { return p.Unit.Info }
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool { return p.Unit.Test[f] }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.out = append(p.out, Diagnostic{
+		Pos:      p.Unit.Fset.Position(pos),
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Callee resolves the called function or method of call, or nil for
+// indirect calls (function values, conversions).
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := p.Info().Uses[id].(*types.Func)
+	return f
+}
+
+// simFacing is the set of packages bound by the determinism contract:
+// one -chaos-seed (or workload seed) must reproduce a run
+// byte-for-byte, so nothing in them may consult ambient state.
+var simFacing = map[string]bool{
+	"sim":      true,
+	"abtest":   true,
+	"core":     true,
+	"chaos":    true,
+	"loadgen":  true,
+	"workload": true,
+	"fleet":    true,
+}
+
+// SimFacing reports whether the named package is bound by the seeded
+// determinism contract.
+func SimFacing(pkgName string) bool { return simFacing[pkgName] }
+
+// telemetryPath is the import path whose Registry / Tracer / Span
+// types the metricname and spanend analyzers key on.
+const telemetryPath = "softsku/internal/telemetry"
+
+// rngPath is the import path of the repo's deterministic rng.
+const rngPath = "softsku/internal/rng"
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism,
+		MetricName,
+		KnobErr,
+		SpanEnd,
+		SeedArg,
+	}
+}
+
+// ByName resolves analyzer names (comma-free, exact) to analyzers.
+// Unknown names return an error listing the known set.
+func ByName(names []string) ([]*Analyzer, error) {
+	known := make(map[string]*Analyzer)
+	for _, a := range All() {
+		known[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := known[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", n, KnownNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// KnownNames returns the comma-separated analyzer names.
+func KnownNames() string {
+	var s string
+	for i, a := range All() {
+		if i > 0 {
+			s += ","
+		}
+		s += a.Name
+	}
+	return s
+}
+
+// Result is the outcome of running a suite over a set of packages.
+type Result struct {
+	Findings   []Diagnostic // surviving diagnostics, sorted
+	Suppressed int          // diagnostics silenced by //lint:ignore
+	Packages   int          // packages analyzed
+}
+
+// Run executes analyzers over units, applies //lint:ignore
+// suppressions, and returns the sorted surviving findings. Malformed
+// directives are themselves findings (they cannot be suppressed).
+func Run(units []*Unit, analyzers []*Analyzer) Result {
+	res := Result{}
+	dirs := make(map[string]bool)
+	for _, u := range units {
+		dirs[u.Dir] = true
+		idx, directiveDiags := buildIgnoreIndex(u)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Unit: u, name: a.Name}
+			a.Run(pass)
+			diags = append(diags, pass.out...)
+		}
+		for _, d := range diags {
+			if idx.suppresses(d) {
+				res.Suppressed++
+				continue
+			}
+			res.Findings = append(res.Findings, d)
+		}
+		res.Findings = append(res.Findings, directiveDiags...)
+	}
+	res.Packages = len(dirs)
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return res
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppression directives: a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// silences findings from the named analyzers on the directive's own
+// line (trailing comment) or on the line immediately below (comment
+// on its own line). The reason is mandatory — an unexplained
+// suppression is itself a finding, as is a name no analyzer answers
+// to; neither can be suppressed, so directives cannot rot silently.
+
+const ignorePrefix = "//lint:ignore"
+
+type lineRef struct {
+	file string
+	line int
+}
+
+// ignoreIndex records which (analyzer, file, line) triples are
+// suppressed.
+type ignoreIndex struct {
+	lines map[string]map[lineRef]bool
+}
+
+func buildIgnoreIndex(u *Unit) (*ignoreIndex, []Diagnostic) {
+	idx := &ignoreIndex{lines: make(map[string]map[lineRef]bool)}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var bad []Diagnostic
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "softskulint",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\" (reason is mandatory)",
+					})
+					continue
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						bad = append(bad, Diagnostic{
+							Pos:      pos,
+							Analyzer: "softskulint",
+							Message:  "//lint:ignore names unknown analyzer \"" + name + "\" (known: " + KnownNames() + ")",
+						})
+						continue
+					}
+					idx.add(name, pos.Filename, pos.Line)
+					idx.add(name, pos.Filename, pos.Line+1)
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+func (ix *ignoreIndex) add(analyzer, filename string, line int) {
+	m := ix.lines[analyzer]
+	if m == nil {
+		m = make(map[lineRef]bool)
+		ix.lines[analyzer] = m
+	}
+	m[lineRef{filename, line}] = true
+}
+
+func (ix *ignoreIndex) suppresses(d Diagnostic) bool {
+	return ix.lines[d.Analyzer][lineRef{d.Pos.Filename, d.Pos.Line}]
+}

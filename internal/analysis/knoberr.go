@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// KnobErr guards the mutation paths a soft-SKU verdict depends on.
+// When a knob apply / set / rollback / revert fails and the error is
+// discarded, the server silently keeps its old configuration while
+// the A/B harness measures it as the new one — the verdict is then an
+// artifact, not a result (the paper's §4 trial protocol assumes both
+// arms actually run their assigned configs). Any call to a function
+// or method named Apply, Set, Rollback or Revert whose final result
+// is an error must not drop that error: not as a bare expression
+// statement, not into the blank identifier, not behind go/defer.
+var KnobErr = &Analyzer{
+	Name: "knoberr",
+	Doc:  "errors from Apply/Set/Rollback/Revert mutation calls must not be discarded",
+	Run:  runKnobErr,
+}
+
+var mutationNames = map[string]bool{
+	"Apply": true, "Set": true, "Rollback": true, "Revert": true,
+}
+
+func runKnobErr(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if name, ok := p.mutationErrCall(st.X); ok {
+					p.Reportf(st.Pos(),
+						"error from %s is discarded; a failed apply leaves the server on its old config while the A/B verdict assumes the new one — handle or log it", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := p.mutationErrCall(st.Call); ok {
+					p.Reportf(st.Pos(), "error from %s inside go statement is unobservable; capture it in the goroutine", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := p.mutationErrCall(st.Call); ok {
+					p.Reportf(st.Pos(), "error from deferred %s is discarded; wrap it in a closure that handles the error", name)
+				}
+			case *ast.AssignStmt:
+				p.checkAssignDiscard(st)
+			}
+			return true
+		})
+	}
+}
+
+// checkAssignDiscard flags assignments that route a mutation error to
+// the blank identifier: `_, _ = srv.Apply(cfg)` or `_ = k.Set(v)`.
+func (p *Pass) checkAssignDiscard(st *ast.AssignStmt) {
+	if len(st.Rhs) == 1 {
+		name, ok := p.mutationErrCall(st.Rhs[0])
+		if !ok || len(st.Lhs) == 0 {
+			return
+		}
+		if isBlank(st.Lhs[len(st.Lhs)-1]) {
+			p.Reportf(st.Pos(), "error from %s is assigned to _; a silently failed mutation corrupts the A/B verdict — handle or log it", name)
+		}
+		return
+	}
+	// Parallel assignment: each RHS is a single-valued expression.
+	for i, rhs := range st.Rhs {
+		if name, ok := p.mutationErrCall(rhs); ok && i < len(st.Lhs) && isBlank(st.Lhs[i]) {
+			p.Reportf(st.Pos(), "error from %s is assigned to _; a silently failed mutation corrupts the A/B verdict — handle or log it", name)
+		}
+	}
+}
+
+// mutationErrCall reports whether expr is a call to a mutation-named
+// function or method whose last result is an error, returning a
+// display name like "(*platform.Server).Apply".
+func (p *Pass) mutationErrCall(expr ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := p.Callee(call)
+	if fn == nil || !mutationNames[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	return displayName(fn), true
+}
+
+func displayName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked analysis unit: a package's production
+// files merged with its in-package test files (external _test
+// packages form their own unit). Merging means every file is analyzed
+// exactly once while importers of the package still see the
+// production-only variant.
+type Unit struct {
+	Path  string // import path ("softsku/internal/sim"), synthetic for testdata
+	Dir   string
+	Name  string // declared package name
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Test  map[*ast.File]bool // per-file: is a _test.go file
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-local imports are resolved by recursively
+// type-checking their directories, everything else falls back to
+// go/importer's source importer over GOROOT.
+type Loader struct {
+	ModRoot string
+	ModPath string
+	Fset    *token.FileSet
+	std     types.Importer
+	cache   map[string]*types.Package // production-variant import cache
+}
+
+// NewLoader builds a loader rooted at the directory containing go.mod.
+func NewLoader(modRoot string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", modRoot)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: modRoot,
+		ModPath: modPath,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*types.Package),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module-local paths type-check
+// their directory's production files; all other paths go to the
+// stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		dir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+		files, _, err := l.parseDir(dir, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("analysis: no Go files in %s for import %q", dir, path)
+		}
+		pkg, err := l.check(path, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses a directory's .go files. withTests controls whether
+// _test.go files are included; the returned map marks them.
+func (l *Loader) parseDir(dir string, withTests bool) ([]*ast.File, map[*ast.File]bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	isTest := make(map[*ast.File]bool)
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		test := strings.HasSuffix(name, "_test.go")
+		if test && !withTests {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		isTest[f] = test
+		files = append(files, f)
+	}
+	return files, isTest, nil
+}
+
+func (l *Loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	if info == nil {
+		info = newInfo()
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// importPath maps dir to its import path within the module; synthetic
+// testdata fixtures (outside normal builds) keep a path under the
+// module so fixture imports of module packages still resolve.
+func (l *Loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir type-checks one directory and returns its analysis units:
+// the merged production+in-package-test unit, plus one unit per
+// external _test package if present.
+func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	all, isTest, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	path := l.importPath(dir)
+
+	// Split by package name: the production package (plus in-package
+	// tests) vs external "_test" packages.
+	byName := make(map[string][]*ast.File)
+	var names []string
+	for _, f := range all {
+		n := f.Name.Name
+		if byName[n] == nil {
+			names = append(names, n)
+		}
+		byName[n] = append(byName[n], f)
+	}
+	sort.Strings(names)
+
+	var units []*Unit
+	for _, n := range names {
+		files := byName[n]
+		upath := path
+		if strings.HasSuffix(n, "_test") && byName[strings.TrimSuffix(n, "_test")] != nil {
+			upath = path + "_test"
+		}
+		info := newInfo()
+		pkg, err := l.check(upath, files, info)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{
+			Path: upath, Dir: dir, Name: n,
+			Fset: l.Fset, Files: files, Pkg: pkg, Info: info, Test: isTest,
+		})
+	}
+	return units, nil
+}
+
+// PackageDirs expands a pattern relative to root: "dir/..." walks for
+// every directory holding Go files (skipping testdata, vendor and
+// dot-dirs), anything else names a single directory.
+func PackageDirs(root, pattern string) ([]string, error) {
+	if !strings.HasSuffix(pattern, "...") {
+		dir := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pattern, "./")))
+		return []string{dir}, nil
+	}
+	base := strings.TrimSuffix(pattern, "...")
+	base = strings.TrimSuffix(base, "/")
+	start := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(base, "./")))
+	var dirs []string
+	err := filepath.WalkDir(start, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != start && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasPrefix(d.Name(), ".") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Load expands patterns and type-checks every matched directory.
+func (l *Loader) Load(patterns ...string) ([]*Unit, error) {
+	seen := make(map[string]bool)
+	var units []*Unit
+	for _, pat := range patterns {
+		dirs, err := PackageDirs(l.ModRoot, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range dirs {
+			if seen[dir] {
+				continue
+			}
+			seen[dir] = true
+			us, err := l.LoadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, us...)
+		}
+	}
+	return units, nil
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// MetricName keeps the telemetry registry's namespace bounded and
+// greppable. A metric name built with fmt.Sprintf (or any runtime
+// string) can mint a new time series per call — unbounded cardinality
+// is exactly the failure ODS-style systems guard against — and a name
+// outside softsku_[a-z0-9_]+ escapes the exported namespace every
+// dashboard and BENCH harness scrapes. So Registry.Counter / Gauge /
+// Histogram must get a compile-time constant name matching the
+// pattern; variable parts belong in telemetry.Labels(const, k, v...)
+// label values, never in the family name.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "telemetry metric names must be softsku_-prefixed compile-time constants",
+	Run:  runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^softsku_[a-z0-9_]+$`)
+
+func runMetricName(p *Pass) {
+	for _, f := range p.Files() {
+		if p.IsTestFile(f) {
+			continue // tests exercise registries with throwaway names
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.Callee(call)
+			if fn == nil || len(call.Args) == 0 {
+				return true
+			}
+			switch fn.Name() {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			if !isTelemetryMethod(fn, "Registry") {
+				return true
+			}
+			p.checkMetricNameArg(call.Args[0], fn.Name())
+			return true
+		})
+	}
+}
+
+// checkMetricNameArg validates the name argument: a string constant
+// matching the pattern, or telemetry.Labels(<constant>, ...) whose
+// base family matches.
+func (p *Pass) checkMetricNameArg(arg ast.Expr, method string) {
+	if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+		if fn := p.Callee(inner); fn != nil && fn.Name() == "Labels" &&
+			fn.Pkg() != nil && fn.Pkg().Path() == telemetryPath && len(inner.Args) > 0 {
+			p.checkMetricNameArg(inner.Args[0], method)
+			return
+		}
+	}
+	tv := p.Info().Types[arg]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		p.Reportf(arg.Pos(),
+			"Registry.%s name must be a compile-time string constant — runtime-built names (fmt.Sprintf, concatenated variables) mint unbounded series; put variable parts in telemetry.Labels values", method)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		p.Reportf(arg.Pos(),
+			"metric name %q must match %s so it lands in the exported softsku_ namespace", name, metricNameRE)
+	}
+}
+
+// isTelemetryMethod reports whether fn is a method whose receiver is
+// (a pointer to) the named telemetry type.
+func isTelemetryMethod(fn *types.Func, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == telemetryPath
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondeterminism guards the repo's core reproducibility contract: one
+// seed ⇒ one byte-identical run (DESIGN.md §8). Inside the sim-facing
+// packages, wall-clock reads and ambient randomness silently decouple
+// a run from its seed — the A/B verdicts would stop being replayable
+// and chaos schedules stop being reproducible — so `time` calls that
+// consult the machine clock and every use of math/rand are findings.
+// Authors are pointed at virtual time (sim.Engine.Now), the injected
+// telemetry wall clock (telemetry.Now) for observability-only
+// timing, and softsku/internal/rng (rng.Split for private streams).
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid wall-clock and ambient randomness in sim-facing packages",
+	Run:  runNondeterminism,
+}
+
+// wallClock lists the time-package functions that consult the machine
+// clock. Pure types and constructors (time.Duration, time.Unix) are
+// deterministic and stay allowed.
+var wallClock = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runNondeterminism(p *Pass) {
+	if !SimFacing(p.PkgName()) {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info().Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClock[sel.Sel.Name] {
+					p.Reportf(sel.Pos(),
+						"time.%s reads the wall clock and breaks seeded determinism; use virtual time (sim.Engine.Now) or the injected telemetry clock (telemetry.Now)",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(),
+					"math/rand breaks the one-seed-one-run contract; use softsku/internal/rng (rng.New(seed), rng.Split for private sub-streams)")
+			}
+			return true
+		})
+	}
+}

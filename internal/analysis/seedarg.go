@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedArg keeps randomness caller-controlled in the sim-facing
+// packages. The determinism contract only composes if every stream in
+// a run hangs off the run's seed: an exported constructor that
+// fabricates its own stream (rng.New with a literal or package-level
+// seed) is invisible to -chaos-seed and silently forks the
+// reproduction. Constructors must receive randomness from the caller
+// — a *rng.Source parameter (preferred; pair with rng.Split) or an
+// explicit seed parameter — and every rng.New inside an exported
+// constructor must derive its argument from a parameter.
+var SeedArg = &Analyzer{
+	Name: "seedarg",
+	Doc:  "exported sim-facing constructors must take their randomness from the caller",
+	Run:  runSeedArg,
+}
+
+func runSeedArg(p *Pass) {
+	if !SimFacing(p.PkgName()) {
+		return
+	}
+	for _, f := range p.Files() {
+		if p.IsTestFile(f) {
+			continue // tests pin their own constant seeds by design
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !p.isConstructor(fd) {
+				continue
+			}
+			params := p.paramObjects(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := p.Callee(call)
+				if fn == nil || fn.Name() != "New" || fn.Pkg() == nil || fn.Pkg().Path() != rngPath {
+					return true
+				}
+				if len(call.Args) != 1 || !p.referencesAny(call.Args[0], params) {
+					p.Reportf(call.Pos(),
+						"exported constructor %s fabricates its own rng stream; derive it from a caller-supplied *rng.Source or seed parameter so -chaos-seed reaches every stream", fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isConstructor reports whether fd looks like a constructor: named
+// New* or returning (a pointer to) a named type declared in this
+// package.
+func (p *Pass) isConstructor(fd *ast.FuncDecl) bool {
+	if len(fd.Name.Name) >= 3 && fd.Name.Name[:3] == "New" {
+		return true
+	}
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		t := p.Info().Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg() == p.Unit.Pkg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// paramObjects collects the constructor's parameter objects.
+func (p *Pass) paramObjects(fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := p.Info().Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// referencesAny reports whether expr mentions any of the given
+// objects (e.g. rng.New(seed ^ 0x10ad) references the seed param).
+func (p *Pass) referencesAny(expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if objs[p.Info().Uses[id]] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

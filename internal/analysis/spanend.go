@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd pairs every Tracer.StartSpan / Span.StartChild with an End.
+// An unended span exports with a provisional duration and keeps every
+// descendant's flame attribution wrong — the trace stops answering
+// "where does the tuning run's wall time go", which is the whole
+// reason PR 1 added it. Within each function, a span assigned to a
+// local must have s.End() somewhere in the same function (a deferred
+// call is the idiom); a span whose result is discarded can never be
+// ended and is always a finding. Spans that escape the function —
+// returned, passed along, or stored into a field or another variable
+// — are some other owner's to close and are not flagged.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every started trace span must be ended in its function (or escape to an owner)",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(p *Pass) {
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkSpanFunc(fd)
+		}
+	}
+}
+
+func (p *Pass) checkSpanFunc(fd *ast.FuncDecl) {
+	// One pass with parent links: find span starts, End calls, and
+	// escaping uses of span-holding locals.
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	type start struct {
+		call *ast.CallExpr
+		obj  types.Object // local holding the span; nil if discarded
+	}
+	var starts []start
+	ended := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.Callee(call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case (fn.Name() == "StartSpan" && isTelemetryMethod(fn, "Tracer")) ||
+			(fn.Name() == "StartChild" && isTelemetryMethod(fn, "Span")):
+			starts = append(starts, start{call: call, obj: p.spanDest(call, parents)})
+		case fn.Name() == "End" && isTelemetryMethod(fn, "Span"):
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := p.Info().Uses[id]; obj != nil {
+						ended[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Escape scan: a use of the span local anywhere other than the
+	// defining assignment, an End call receiver, or a plain method
+	// call on the span (Set / StartChild / End chains) hands
+	// ownership elsewhere.
+	tracked := make(map[types.Object]bool)
+	for _, s := range starts {
+		if s.obj != nil && s.obj != escapeMarker && !ended[s.obj] {
+			tracked[s.obj] = true
+		}
+	}
+	if len(tracked) > 0 {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info().Uses[id]
+			if obj == nil || !tracked[obj] {
+				return true
+			}
+			if sel, ok := parents[id].(*ast.SelectorExpr); ok && sel.X == id {
+				if _, ok := parents[sel].(*ast.CallExpr); ok {
+					return true // method call on the span itself
+				}
+			}
+			escaped[obj] = true
+			return true
+		})
+	}
+
+	for _, s := range starts {
+		name := p.Callee(s.call).Name()
+		switch {
+		case s.obj == escapeMarker:
+			// Ownership moved (returned, stored in a field, passed on);
+			// the receiver is responsible for ending it.
+		case s.obj == nil:
+			p.Reportf(s.call.Pos(),
+				"result of %s is discarded, so the span can never be ended; assign it and call End (ideally deferred)", name)
+		case !ended[s.obj] && !escaped[s.obj]:
+			p.Reportf(s.call.Pos(),
+				"span %q from %s is never ended in this function; call %s.End() (ideally deferred) so the trace closes", s.obj.Name(), name, s.obj.Name())
+		}
+	}
+}
+
+// spanDest resolves the local variable a span-start call is assigned
+// to. It returns nil when the result is discarded (expression
+// statement or blank identifier) and escapeMarker when the span goes
+// somewhere untrackable (field store, call argument, return value,
+// method chain).
+func (p *Pass) spanDest(call *ast.CallExpr, parents map[ast.Node]ast.Node) types.Object {
+	parent := parents[call]
+	// Unwrap parenthesized expressions.
+	for {
+		if pe, ok := parent.(*ast.ParenExpr); ok {
+			parent = parents[pe]
+			continue
+		}
+		break
+	}
+	switch pt := parent.(type) {
+	case *ast.ExprStmt:
+		return nil // discarded
+	case *ast.AssignStmt:
+		for i, rhs := range pt.Rhs {
+			if ast.Unparen(rhs) == call && i < len(pt.Lhs) {
+				if id, ok := pt.Lhs[i].(*ast.Ident); ok {
+					if id.Name == "_" {
+						return nil
+					}
+					if obj := p.Info().Defs[id]; obj != nil {
+						return obj
+					}
+					return p.Info().Uses[id]
+				}
+			}
+		}
+		return escapeMarker
+	case *ast.ValueSpec:
+		for i, v := range pt.Values {
+			if ast.Unparen(v) == call && i < len(pt.Names) {
+				if pt.Names[i].Name == "_" {
+					return nil
+				}
+				return p.Info().Defs[pt.Names[i]]
+			}
+		}
+		return escapeMarker
+	default:
+		// Call argument, return value, composite literal, field store,
+		// channel send, method chain — ownership moves elsewhere.
+		return escapeMarker
+	}
+}
+
+// escapeMarker is the sentinel destination for spans whose ownership
+// leaves the function; such starts are never flagged.
+var escapeMarker types.Object = types.NewLabel(0, nil, "span-escapes")

@@ -1,0 +1,13 @@
+// Fixture: malformed suppression directives are findings themselves.
+package bad
+
+//lint:ignore nondeterminism
+func missingReason() {}
+
+//lint:ignore nosuchanalyzer because reasons
+func unknownAnalyzer() {}
+
+var (
+	_ = missingReason
+	_ = unknownAnalyzer
+)

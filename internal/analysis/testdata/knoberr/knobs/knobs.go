@@ -1,0 +1,41 @@
+// Fixture: discarded errors on knob/platform mutation paths.
+package knobs
+
+import "errors"
+
+type Server struct{}
+
+func (s *Server) Apply(cfg string) (bool, error) { return false, errors.New("apply failed") }
+func (s *Server) Rollback() error                { return nil }
+func (s *Server) Revert() error                  { return nil }
+
+type Knob struct{}
+
+func (k *Knob) Set(v int) error { return nil }
+
+// Gauge.Set returns no error: the analyzer must leave it alone even
+// though the method name collides.
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+func demo(s *Server, k *Knob, g *Gauge) {
+	s.Apply("thp")
+	_, _ = s.Apply("thp")
+	_ = k.Set(3)
+	go s.Rollback()
+	defer s.Revert()
+	g.Set(1.5)
+	if _, err := s.Apply("checked"); err != nil {
+		panic(err)
+	}
+	rebooted, _ := s.Apply("partial")
+	_ = rebooted
+	//lint:ignore knoberr fixture exercising suppression
+	_ = k.Set(9)
+	if err := k.Set(4); err != nil {
+		panic(err)
+	}
+}
+
+var _ = demo

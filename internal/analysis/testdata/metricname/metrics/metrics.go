@@ -1,0 +1,26 @@
+// Fixture: metric-name constancy and namespace checks.
+package metrics
+
+import (
+	"fmt"
+
+	"softsku/internal/telemetry"
+)
+
+const good = "softsku_fixture_good_total"
+
+var reg = telemetry.NewRegistry()
+
+func register(service string, n int) {
+	reg.Counter(good, "constant name").Inc()
+	reg.Counter("softsku_fixture_"+"concat_total", "constant concat").Inc()
+	reg.Counter(telemetry.Labels(good, "svc", service), "variability in labels").Inc()
+	reg.Counter(fmt.Sprintf("softsku_%s_total", service), "runtime name").Inc()
+	reg.Gauge("mips_"+service, "runtime name").Set(1)
+	reg.Histogram("SoftSKU_BadCase", "bad pattern").Observe(1)
+	reg.Counter(telemetry.Labels("qps.total", "svc", service), "bad pattern via Labels").Inc()
+	//lint:ignore metricname fixture exercising suppression
+	reg.Counter(fmt.Sprintf("softsku_%d", n), "suppressed").Inc()
+}
+
+var _ = register

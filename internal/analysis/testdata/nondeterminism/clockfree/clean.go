@@ -1,0 +1,12 @@
+// Fixture: the same calls are fine outside the sim-facing package
+// set — observability and CLI code may read the wall clock.
+package clockfree
+
+import "time"
+
+func wallClockAllowedHere() time.Time {
+	time.Sleep(0)
+	return time.Now()
+}
+
+var _ = wallClockAllowedHere

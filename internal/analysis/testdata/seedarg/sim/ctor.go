@@ -1,0 +1,34 @@
+// Fixture: caller-controlled randomness in exported constructors.
+package sim
+
+import "softsku/internal/rng"
+
+type Thing struct{ src *rng.Source }
+
+// NewFromSource is the preferred form: the caller hands the stream in.
+func NewFromSource(src *rng.Source) *Thing { return &Thing{src: src} }
+
+// NewFromSeed derives its stream from an explicit seed parameter.
+func NewFromSeed(seed uint64) *Thing { return &Thing{src: rng.New(seed ^ 0xfab)} }
+
+// Fabricated is a constructor by return type and mints a stream no
+// caller controls.
+func Fabricated() *Thing { return &Thing{src: rng.New(42)} }
+
+// NewIgnoringSeed takes a seed but derives nothing from it.
+func NewIgnoringSeed(seed uint64) *Thing {
+	_ = seed
+	return &Thing{src: rng.New(7)}
+}
+
+// NewSuppressed documents a genuinely intentional constant stream.
+func NewSuppressed() *Thing {
+	//lint:ignore seedarg fixture exercising suppression
+	return &Thing{src: rng.New(1)}
+}
+
+// helper is unexported; private fixed streams are the author's
+// business (and typically zero-value hardening).
+func helper() *Thing { return &Thing{src: rng.New(3)} }
+
+var _ = helper

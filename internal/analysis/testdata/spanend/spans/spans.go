@@ -1,0 +1,65 @@
+// Fixture: StartSpan/StartChild ↔ End pairing.
+package spans
+
+import "softsku/internal/telemetry"
+
+type holder struct{ sp *telemetry.Span }
+
+func leaked(tr *telemetry.Tracer) {
+	sp := tr.StartSpan("tune", "t")
+	sp.Set("k", 1)
+}
+
+func discarded(tr *telemetry.Tracer) {
+	tr.StartSpan("tune", "t")
+}
+
+func leakedChild(tr *telemetry.Tracer) {
+	sp := tr.StartSpan("tune", "t")
+	defer sp.End()
+	child := sp.StartChild("trial", "t")
+	child.Set("k", 2)
+}
+
+func deferred(tr *telemetry.Tracer) {
+	sp := tr.StartSpan("tune", "t")
+	defer sp.End()
+	child := sp.StartChild("trial", "t")
+	child.End()
+}
+
+func closureEnd(tr *telemetry.Tracer) {
+	sp := tr.StartSpan("tune", "t")
+	defer func() { sp.End() }()
+}
+
+func escapesField(tr *telemetry.Tracer, h *holder) {
+	h.sp = tr.StartSpan("tune", "t")
+}
+
+func escapesReturn(tr *telemetry.Tracer) *telemetry.Span {
+	return tr.StartSpan("tune", "t")
+}
+
+func escapesAlias(tr *telemetry.Tracer) *telemetry.Span {
+	sp := tr.StartSpan("tune", "t")
+	out := sp
+	return out
+}
+
+func suppressed(tr *telemetry.Tracer) {
+	//lint:ignore spanend fixture exercising suppression
+	tr.StartSpan("open", "t")
+}
+
+var (
+	_ = leaked
+	_ = discarded
+	_ = leakedChild
+	_ = deferred
+	_ = closureEnd
+	_ = escapesField
+	_ = escapesReturn
+	_ = escapesAlias
+	_ = suppressed
+)

@@ -305,7 +305,12 @@ func (t *Tool) guardrailRevert(treatment, control knob.Config) {
 	}
 	if err := t.applyWithRetry(srv, control); err != nil {
 		srv.SetChaos(nil)
-		_, _ = srv.Apply(control)
+		if _, ferr := srv.Apply(control); ferr != nil {
+			// With the injector detached only validation can fail, and
+			// control is the already-validated baseline — but if it does,
+			// the treatment arm is still live and must be reported.
+			t.logf("  forced revert to control failed: %v", ferr)
+		}
 		srv.SetChaos(t.chaos)
 	}
 }

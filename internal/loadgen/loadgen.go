@@ -43,8 +43,10 @@ func NewDiurnal(seed uint64) *Profile {
 }
 
 // Flat returns a constant-load profile (synthetic load tests — the
-// thing the paper warns does not capture production behaviour).
-func Flat() *Profile { return &Profile{Period: 1, Swing: 0, Jitter: 0, src: rng.New(1)} }
+// thing the paper warns does not capture production behaviour). It
+// consumes no randomness: Factor is constant, and Arrivals hardens a
+// missing source lazily.
+func Flat() *Profile { return &Profile{Period: 1, Swing: 0, Jitter: 0} }
 
 // SetChaos attaches a fault injector whose LoadSpike factor multiplies
 // the profile: sudden traffic surges on top of the diurnal cycle, the

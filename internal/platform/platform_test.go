@@ -193,12 +193,12 @@ func TestRebootSemantics(t *testing.T) {
 	}
 	// SHP change: reboot.
 	cfg = cfg.With(knob.SHP, knob.IntSetting("200", 200))
-	if rebooted, _ = srv.Apply(cfg); !rebooted {
-		t.Fatal("SHP change must reboot")
+	if rebooted, err = srv.Apply(cfg); err != nil || !rebooted {
+		t.Fatalf("SHP change must reboot, got %v err=%v", rebooted, err)
 	}
 	// Re-applying the identical config is free.
-	if rebooted, _ = srv.Apply(cfg); rebooted {
-		t.Fatal("no-op apply must not reboot")
+	if rebooted, err = srv.Apply(cfg); err != nil || rebooted {
+		t.Fatalf("no-op apply must not reboot, got %v err=%v", rebooted, err)
 	}
 	if srv.Reboots() != 2 {
 		t.Fatalf("reboots=%d", srv.Reboots())

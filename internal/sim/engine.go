@@ -2,7 +2,6 @@ package sim
 
 import (
 	"container/heap"
-	"time"
 
 	"softsku/internal/telemetry"
 )
@@ -85,7 +84,10 @@ func (e *Engine) After(delay float64, fn func()) {
 // Run processes events until the queue empties or virtual time reaches
 // until. Events scheduled exactly at the horizon still run.
 func (e *Engine) Run(until float64) {
-	wall := time.Now()
+	// Wall time is observability-only (the speedup gauge); it flows
+	// through the injectable telemetry clock so simulation results can
+	// never depend on it.
+	wall := telemetry.Now()
 	simStart := e.now
 	events := 0
 	for len(e.queue) > 0 {
@@ -104,7 +106,7 @@ func (e *Engine) Run(until float64) {
 	mSimRuns.Inc()
 	mSimEvents.Add(float64(events))
 	mSimVirtualSec.Add(e.now - simStart)
-	mSimWallSec.Add(time.Since(wall).Seconds())
+	mSimWallSec.Add(telemetry.Since(wall).Seconds())
 	if w := mSimWallSec.Value(); w > 0 {
 		mSimThroughput.Set(mSimVirtualSec.Value() / w)
 	}

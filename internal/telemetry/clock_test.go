@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// A frozen/stepped wall clock makes span timing exactly predictable —
+// the property that lets deterministic packages route their
+// observability-only wall reads through telemetry.
+func TestInjectedClockMakesSpansDeterministic(t *testing.T) {
+	cur := time.Unix(1_700_000_000, 0)
+	restore := SetWallClock(func() time.Time { return cur })
+	defer restore()
+
+	tr := NewTracer()
+	root := tr.StartSpan("run", "t")
+	cur = cur.Add(250 * time.Millisecond)
+	child := root.StartChild("trial", "t")
+	cur = cur.Add(50 * time.Millisecond)
+	child.End()
+	cur = cur.Add(700 * time.Millisecond)
+	root.End()
+
+	roots := tr.Tree()
+	if len(roots) != 1 || len(roots[0].Children) != 1 {
+		t.Fatalf("tree shape = %+v", roots)
+	}
+	if got := roots[0].DurUSec; got != 1_000_000 {
+		t.Errorf("root duration = %g µs, want exactly 1000000", got)
+	}
+	c := roots[0].Children[0]
+	if c.StartUSec != 250_000 || c.DurUSec != 50_000 {
+		t.Errorf("child = [%g, +%g] µs, want [250000, +50000]", c.StartUSec, c.DurUSec)
+	}
+}
+
+func TestSetWallClockRestores(t *testing.T) {
+	frozen := time.Unix(42, 0)
+	restore := SetWallClock(func() time.Time { return frozen })
+	if !Now().Equal(frozen) {
+		t.Fatal("injected clock not in effect")
+	}
+	if got := Since(time.Unix(40, 0)); got != 2*time.Second {
+		t.Fatalf("Since on frozen clock = %v, want 2s", got)
+	}
+	restore()
+	if Now().Equal(frozen) {
+		t.Fatal("restore did not reinstate the real clock")
+	}
+}

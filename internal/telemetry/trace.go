@@ -38,9 +38,10 @@ type Span struct {
 	open   bool
 }
 
-// NewTracer returns an empty tracer whose clock starts now.
+// NewTracer returns an empty tracer whose clock starts now (on the
+// injectable telemetry wall clock).
 func NewTracer() *Tracer {
-	return &Tracer{t0: time.Now()}
+	return &Tracer{t0: Now()}
 }
 
 // StartSpan opens a root span.
@@ -60,7 +61,7 @@ func (t *Tracer) newSpan(name, category string, parent int) *Span {
 		parent: parent,
 		name:   name,
 		cat:    category,
-		start:  time.Since(t.t0),
+		start:  Since(t.t0),
 		open:   true,
 	}
 	t.spans = append(t.spans, s)
@@ -97,7 +98,7 @@ func (s *Span) End() {
 	s.tr.mu.Lock()
 	defer s.tr.mu.Unlock()
 	if s.open {
-		s.dur = time.Since(s.tr.t0) - s.start
+		s.dur = Since(s.tr.t0) - s.start
 		s.open = false
 	}
 }
@@ -129,7 +130,7 @@ func (t *Tracer) snapshot() []spanRec {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	now := time.Since(t.t0)
+	now := Since(t.t0)
 	out := make([]spanRec, len(t.spans))
 	for i, s := range t.spans {
 		dur := s.dur

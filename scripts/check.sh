@@ -17,14 +17,24 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== softskulint =="
+# Project-specific invariants (DESIGN.md §9): seeded determinism,
+# constant metric names, never-dropped knob errors, closed trace
+# spans, caller-controlled randomness. Prints a one-line summary so
+# the log shows the gate ran; any finding fails the check.
+go run ./cmd/softskulint ./...
+
 echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
 # The race detector is 5-20x slower than a plain run; on small CI
 # boxes the sim package alone can blow go test's default 10m
-# per-package timeout, so give it explicit headroom.
-go test -race -timeout 45m ./...
+# per-package timeout, so give it explicit headroom. -shuffle=on
+# randomizes test order so hidden inter-test dependencies surface
+# here instead of in a future refactor (the seed is printed on
+# failure for replay with -shuffle=<seed>).
+go test -race -shuffle=on -timeout 45m ./...
 
 echo "== chaos smoke =="
 out=$(go run ./cmd/musku -service Web -knobs thp -chaos -chaos-seed 7 -guardrail-pct 2 -max-samples 1500 -q)
