@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fmt chaos lint lint-fixtures
+.PHONY: build test check bench bench-parallel fmt chaos lint lint-fixtures
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,14 @@ lint-fixtures:
 # with ns/op and sim-seconds/wall-second for the tracked benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Scaling of the deterministic parallel sweep runtime (DESIGN.md §10):
+# one full four-knob tuning run at 1, 4, and 8 workers. Results are
+# bit-identical at every worker count (parallel_test.go proves it);
+# wall-clock speedup is bounded by the host's core count. Medians are
+# recorded in BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -run XXX -bench BenchmarkSweepParallel -benchmem -benchtime 1x -count 3 ./internal/core
 
 fmt:
 	gofmt -w .

@@ -129,7 +129,9 @@ func BenchmarkSimThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	virt := telemetry.Default.Counter("softsku_sim_virtual_seconds_total", "")
-	wall := telemetry.Default.Counter("softsku_sim_wall_seconds_total", "")
+	// Elapsed-since-first-Run gauge: the delta across the benchmark is
+	// the wall time it spanned, immune to engine-overlap double counting.
+	wall := telemetry.Default.Gauge("softsku_sim_wall_seconds", "")
 	events := telemetry.Default.Counter("softsku_sim_events_total", "")
 	v0, w0, e0 := virt.Value(), wall.Value(), events.Value()
 	b.ResetTimer()

@@ -20,6 +20,11 @@
 //	knobs        = cdp, thp, shp    # defaults to every applicable knob
 //	seed         = 1
 //	max_samples  = 30000
+//	parallel     = 4                # trial workers (0 = GOMAXPROCS)
+//
+// Candidate trials run across a bounded worker pool (-parallel);
+// results are merged in design-space order, so output is bit-identical
+// at any worker count for a given seed.
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 		knobList   = flag.String("knobs", "", "comma-separated knob subset (default: all applicable)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		maxSamples = flag.Int("max-samples", 0, "per-arm sample cap for A/B trials (0: default 30000)")
+		parallel   = flag.Int("parallel", 0, "trial worker count; results are seed-deterministic at any value (0: GOMAXPROCS)")
 		validate   = flag.Int("validate", 0, "after tuning, validate across N simulated code pushes")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of tables")
@@ -54,7 +60,7 @@ func main() {
 	cc.Flags()
 	flag.Parse()
 
-	in, err := buildInput(*inputPath, *service, *platName, *sweep, *metric, *knobList, *seed, *maxSamples)
+	in, err := buildInput(*inputPath, *service, *platName, *sweep, *metric, *knobList, *seed, *maxSamples, *parallel)
 	if err != nil {
 		fatal(err)
 	}
@@ -121,7 +127,7 @@ func main() {
 	}
 }
 
-func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64, maxSamples int) (softsku.TuneInput, error) {
+func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64, maxSamples, parallel int) (softsku.TuneInput, error) {
 	if path != "" {
 		text, err := os.ReadFile(path)
 		if err != nil {
@@ -143,6 +149,9 @@ func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64
 	}
 	if maxSamples > 0 {
 		text += fmt.Sprintf("max_samples = %d\n", maxSamples)
+	}
+	if parallel > 0 {
+		text += fmt.Sprintf("parallel = %d\n", parallel)
 	}
 	return softsku.ParseTuneInput(text)
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestBuildInputFromFlags(t *testing.T) {
-	in, err := buildInput("", "Web", "Skylake18", "hillclimb", "qps", "thp,shp", 9, 2500)
+	in, err := buildInput("", "Web", "Skylake18", "hillclimb", "qps", "thp,shp", 9, 2500, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,6 +18,9 @@ func TestBuildInputFromFlags(t *testing.T) {
 	}
 	if in.AB.MaxSamples != 2500 {
 		t.Fatalf("max-samples flag not applied: %d", in.AB.MaxSamples)
+	}
+	if in.Parallel != 4 {
+		t.Fatalf("parallel flag not applied: %d", in.Parallel)
 	}
 	if len(in.Knobs) != 2 || in.Knobs[0] != knob.THP {
 		t.Fatalf("knobs: %v", in.Knobs)
@@ -29,7 +32,7 @@ func TestBuildInputFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("microservice = Ads1\nsweep = exhaustive\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	in, err := buildInput(path, "", "", "", "", "", 0, 0)
+	in, err := buildInput(path, "", "", "", "", "", 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,13 +42,13 @@ func TestBuildInputFromFile(t *testing.T) {
 }
 
 func TestBuildInputErrors(t *testing.T) {
-	if _, err := buildInput("", "", "", "independent", "mips", "", 1, 0); err == nil {
+	if _, err := buildInput("", "", "", "independent", "mips", "", 1, 0, 0); err == nil {
 		t.Fatal("missing service must error")
 	}
-	if _, err := buildInput("/nonexistent/file", "", "", "", "", "", 1, 0); err == nil {
+	if _, err := buildInput("/nonexistent/file", "", "", "", "", "", 1, 0, 0); err == nil {
 		t.Fatal("missing file must error")
 	}
-	if _, err := buildInput("", "Web", "", "bogus", "mips", "", 1, 0); err == nil {
+	if _, err := buildInput("", "Web", "", "bogus", "mips", "", 1, 0, 0); err == nil {
 		t.Fatal("bad sweep must error")
 	}
 }

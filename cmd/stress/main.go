@@ -8,6 +8,7 @@
 //	stress                        # curves for all three platforms
 //	stress -platform Skylake18    # one platform
 //	stress -points 25 -services   # finer curve plus service points
+//	stress -parallel 4            # one worker per platform curve; same output
 //	stress -chaos -chaos-seed 7   # corrupt latency samples like a faulty prober
 //
 // With -chaos, each latency sample passes through the deterministic
@@ -33,6 +34,7 @@ func main() {
 		points   = flag.Int("points", 13, "points per stress curve")
 		services = flag.Bool("services", false, "also print each microservice's operating point")
 		seed     = flag.Uint64("seed", 1, "workload seed for -services")
+		parallel = flag.Int("parallel", 0, "curve workers; output order is fixed (0: GOMAXPROCS)")
 		obs      telemetry.CLI
 		cc       chaos.CLI
 	)
@@ -69,13 +71,20 @@ func main() {
 		skus = softsku.Platforms()
 	}
 
-	for _, sku := range skus {
+	// Curves are pure per platform, so they compute in parallel; the
+	// chaos pass and printing stay serial in platform order, keeping
+	// output (and injected-fault draws) identical at any worker count.
+	curves := make([][]softsku.MemoryPoint, len(skus))
+	softsku.ParallelFor(*parallel, len(skus), func(i int) {
+		curves[i] = softsku.StressCurve(skus[i], *points)
+	})
+	for i, sku := range skus {
 		sp := root.StartChild("curve."+sku.Name, "memory")
 		sp.Set("points", *points)
 		fmt.Printf("== %s loaded-latency curve (peak %.0f GB/s, unloaded %.0f ns) ==\n",
 			sku.Name, sku.MemPeakGBs, sku.MemUnloadedNS)
 		fmt.Printf("%12s  %12s\n", "GB/s", "latency ns")
-		for _, p := range softsku.StressCurve(sku, *points) {
+		for _, p := range curves[i] {
 			if v, hit := inj.CorruptSample("latency", p.LatencyNS); hit {
 				fmt.Printf("%12.1f  %12.0f  <- corrupted sample (true %.0f ns)\n",
 					p.BandwidthGBs, v, p.LatencyNS)

@@ -152,7 +152,7 @@ type Outcome struct {
 	Samples     int     // per arm (accepted; outliers excluded)
 	PValue      float64 // Welch's t-test, two-sided
 	Significant bool    // at the configured confidence
-	DeltaPct    float64 // (treatment - control) / control * 100
+	DeltaPct    float64 // (treatment - control) / control * 100; ±Inf when the control mean is 0 (see deltaPct)
 	ElapsedSec  float64 // virtual measurement time consumed
 
 	// Robustness record of the trial.
@@ -160,6 +160,28 @@ type Outcome struct {
 	DroppedOut       bool // abandoned: sampler dropouts exhausted the retry budget
 	OutliersRejected int  // sample pairs discarded by the MAD filter
 	Dropouts         int  // sampler dropouts absorbed by retries
+}
+
+// deltaPct defines the treatment-vs-control percentage delta,
+// including the zero-control edge the guardrail must survive: the
+// naive (treatment-control)/control*100 is NaN when the control mean
+// is 0, and NaN compares false against every threshold — silently
+// disabling the guardrail and Better()/Worse(). The explicit
+// definition: equal (both zero) is 0, a positive treatment over a
+// zero control is +Inf (infinite relative improvement), a negative
+// one is -Inf (a regression of unbounded relative size, which any
+// armed guardrail must trip on).
+func deltaPct(control, treatment float64) float64 {
+	switch {
+	case control != 0:
+		return (treatment - control) / control * 100
+	case treatment == 0:
+		return 0
+	case treatment > 0:
+		return math.Inf(1)
+	default:
+		return math.Inf(-1)
+	}
 }
 
 // Better reports whether the treatment is a statistically significant
@@ -349,12 +371,10 @@ func Run(cfg Config, control, treatment Sampler, startSec float64) (Outcome, flo
 			// must not keep serving a bad configuration for the rest of
 			// the sample budget.
 			if cfg.GuardrailPct > 0 && out.Samples >= 30 && w.P < alpha {
-				if c := out.Control.Mean(); c != 0 {
-					if delta := (out.Treatment.Mean() - c) / c * 100; delta < -cfg.GuardrailPct {
-						out.GuardrailTripped = true
-						mGuardrailTrips.Inc()
-						break
-					}
+				if delta := deltaPct(out.Control.Mean(), out.Treatment.Mean()); delta < -cfg.GuardrailPct {
+					out.GuardrailTripped = true
+					mGuardrailTrips.Inc()
+					break
 				}
 			}
 			// Early stop only on overwhelming evidence (a stricter
@@ -372,9 +392,7 @@ func Run(cfg Config, control, treatment Sampler, startSec float64) (Outcome, flo
 	w := stats.WelchTTest(&out.Treatment, &out.Control)
 	out.PValue = w.P
 	out.Significant = w.P < alpha
-	if c := out.Control.Mean(); c != 0 {
-		out.DeltaPct = (out.Treatment.Mean() - c) / c * 100
-	}
+	out.DeltaPct = deltaPct(out.Control.Mean(), out.Treatment.Mean())
 	out.ElapsedSec = t - startSec
 	if out.Better() {
 		mTrialsAccepted.Inc()

@@ -291,3 +291,70 @@ func TestCleanRunRejectsNothing(t *testing.T) {
 		t.Fatalf("clean run flagged robustness events: %v", out)
 	}
 }
+
+// TestZeroControlRegressionTripsGuardrail is the regression test for
+// the unguarded DeltaPct at a zero control mean. Pre-fix, the
+// guardrail path skipped the comparison entirely when the control
+// mean was 0 (the final DeltaPct stayed 0), so a treatment regressing
+// against a zero-mean control metric sailed through the full sample
+// budget with the early-abort silently disabled and Worse() false.
+// The fix defines the zero-control delta as -Inf for a negative
+// treatment, which trips any armed guardrail.
+func TestZeroControlRegressionTripsGuardrail(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GuardrailPct = 2
+	cfg.MinSamples = 100
+	cfg.MaxSamples = 2000
+	cfg.OutlierK = 0 // deterministic arms are not outliers
+	// Control: a delta-style metric pinned at exactly 0 (e.g. "change
+	// vs yesterday"), the value whose division the naive DeltaPct
+	// cannot survive. Treatment: clearly regressing, with enough
+	// alternation for a nonzero variance so Welch's test resolves.
+	zero := func(float64) float64 { return 0 }
+	regressing := func() Sampler {
+		n := 0
+		return func(float64) float64 {
+			n++
+			if n%2 == 0 {
+				return -11.0
+			}
+			return -9.0
+		}
+	}
+	out, _ := Run(cfg, zero, regressing(), 0)
+	if !out.GuardrailTripped {
+		t.Fatalf("zero-mean control + regressing treatment must trip the guardrail: %+v", out)
+	}
+	if out.Samples >= cfg.MaxSamples {
+		t.Fatalf("guardrail must abort early, ran %d samples", out.Samples)
+	}
+	if !math.IsInf(out.DeltaPct, -1) {
+		t.Fatalf("DeltaPct = %g, want -Inf for a regression against a zero control", out.DeltaPct)
+	}
+	if !out.Worse() {
+		t.Fatal("a significant regression against a zero control must report Worse()")
+	}
+	if out.Better() {
+		t.Fatal("Better() must be false")
+	}
+}
+
+// TestDeltaPctZeroControlCases pins the explicit zero-control
+// definition.
+func TestDeltaPctZeroControlCases(t *testing.T) {
+	if got := deltaPct(100, 102); got != 2 {
+		t.Fatalf("deltaPct(100,102) = %g", got)
+	}
+	if got := deltaPct(0, 0); got != 0 {
+		t.Fatalf("deltaPct(0,0) = %g, want 0", got)
+	}
+	if got := deltaPct(0, 5); !math.IsInf(got, 1) {
+		t.Fatalf("deltaPct(0,5) = %g, want +Inf", got)
+	}
+	if got := deltaPct(0, -5); !math.IsInf(got, -1) {
+		t.Fatalf("deltaPct(0,-5) = %g, want -Inf", got)
+	}
+	if got := deltaPct(-10, -5); math.IsNaN(got) {
+		t.Fatal("negative control must not produce NaN")
+	}
+}

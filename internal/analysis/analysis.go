@@ -124,6 +124,7 @@ func All() []*Analyzer {
 		KnobErr,
 		SpanEnd,
 		SeedArg,
+		Goroutine,
 	}
 }
 

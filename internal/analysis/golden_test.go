@@ -59,6 +59,7 @@ func TestGolden(t *testing.T) {
 		{KnobErr, "knoberr/knobs"},
 		{SpanEnd, "spanend/spans"},
 		{SeedArg, "seedarg/sim"},
+		{Goroutine, "goroutine/sim"},
 		{Nondeterminism, "directives/bad"},
 	}
 	l := fixtureLoader(t)

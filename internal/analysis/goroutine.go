@@ -1,0 +1,38 @@
+package analysis
+
+import "go/ast"
+
+// Goroutine keeps concurrency in sim-facing packages behind the
+// deterministic fan-out primitive. A bare `go` statement spawns work
+// whose completion order nothing constrains — results folded in from
+// such a goroutine depend on the scheduler, which breaks the
+// bit-identical-at-any-worker-count guarantee the parallel sweep
+// runtime makes (DESIGN.md §10). Production code in those packages
+// must route fan-out through core.ParallelFor, which bounds workers
+// and forces index-ordered merging; a genuinely safe goroutine (the
+// pool's own workers) carries a //lint:ignore goroutine directive
+// explaining why. Test files are exempt — tests may spawn goroutines
+// to provoke the race detector.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "forbid bare go statements in sim-facing packages; use core.ParallelFor",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	if !SimFacing(p.PkgName()) {
+		return
+	}
+	for _, f := range p.Files() {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(),
+					"bare go statement makes completion order scheduler-dependent; fan out through core.ParallelFor and merge results by index")
+			}
+			return true
+		})
+	}
+}

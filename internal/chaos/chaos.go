@@ -173,15 +173,16 @@ type Engine struct {
 	cfg  Config
 	seed uint64
 
-	mu      sync.Mutex
-	apply   *rng.Source
-	reboot  *rng.Source
-	drop    *rng.Source
-	corrupt *rng.Source
-	crash   *rng.Source
-	wave    *rng.Source
-	events  []Event
-	spiked  map[int64]bool // spike windows already recorded
+	mu       sync.Mutex
+	apply    *rng.Source
+	reboot   *rng.Source
+	drop     *rng.Source
+	corrupt  *rng.Source
+	crash    *rng.Source
+	wave     *rng.Source
+	events   []Event
+	spiked   map[int64]bool // spike windows already recorded
+	children []*Engine      // per-trial injectors, in creation order
 }
 
 // New builds an engine dealing faults from cfg at the given seed.
@@ -202,6 +203,26 @@ func New(seed uint64, cfg Config) *Engine {
 
 // Seed returns the engine's fault seed.
 func (e *Engine) Seed() uint64 { return e.seed }
+
+// Split derives a child injector whose per-class fault streams are
+// independent of the parent's and of every sibling's, keyed by label.
+// Parallel trials each draw from their own child, so the number of
+// draws one trial makes never perturbs another trial's schedule — the
+// property that keeps sweep results bit-identical at any worker count.
+// The child keeps the parent's seed for LoadSpike (the spike schedule
+// is fleet-wide, pure in (seed, t)) and reports through the parent:
+// Events, Fingerprint, Counts and Summary cover the whole family, with
+// children appended in creation order. Create children serially (while
+// building trial specs, not inside workers) so that order — and thus
+// the fingerprint — is deterministic.
+func (e *Engine) Split(label string) *Engine {
+	child := New(rng.Derive(e.seed, label), e.cfg)
+	child.seed = e.seed // LoadSpike stays pure in the fleet-wide (seed, t)
+	e.mu.Lock()
+	e.children = append(e.children, child)
+	e.mu.Unlock()
+	return child
+}
 
 func (e *Engine) record(kind, target string) {
 	e.events = append(e.events, Event{Seq: len(e.events), Kind: kind, Target: target})
@@ -317,7 +338,7 @@ func (e *Engine) LoadSpike(t float64) float64 {
 		return 1
 	}
 	win := int64(math.Floor(t / e.cfg.SpikeWindowSec))
-	src := rng.New(e.seed ^ 0x591ce ^ uint64(win)*0x9e3779b97f4a7c15)
+	src := rng.New(rng.Fold(e.seed^0x591ce, uint64(win)))
 	if !src.Bool(e.cfg.SpikePct) {
 		return 1
 	}
@@ -338,11 +359,21 @@ func (e *Engine) LoadSpike(t float64) float64 {
 	return 1 + e.cfg.SpikeMag
 }
 
-// Events returns a copy of every fault injected so far, in order.
+// Events returns a copy of every fault injected so far — the engine's
+// own, then each child's (recursively), in child creation order — with
+// Seq renumbered over the merged view.
 func (e *Engine) Events() []Event {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return append([]Event(nil), e.events...)
+	evs := append([]Event(nil), e.events...)
+	kids := append([]*Engine(nil), e.children...)
+	e.mu.Unlock()
+	for _, c := range kids {
+		evs = append(evs, c.Events()...)
+	}
+	for i := range evs {
+		evs[i].Seq = i
+	}
+	return evs
 }
 
 // Fingerprint renders the fault schedule as one string — the cheap way

@@ -189,6 +189,90 @@ type wrapErr struct{ inner error }
 func (w wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
 func (w wrapErr) Unwrap() error { return w.inner }
 
+func TestSplitChildrenAreDecoupled(t *testing.T) {
+	// Extra draws in one child must not perturb a sibling's schedule,
+	// and the same (parent seed, label) must rebuild the same child —
+	// the two properties parallel trials rely on.
+	mk := func(extraDraws int) (string, string) {
+		parent := New(21, DefaultConfig())
+		a, b := parent.Split("trial/a"), parent.Split("trial/b")
+		for i := 0; i < extraDraws; i++ {
+			a.DropSample("x")
+		}
+		var sa, sb string
+		for i := 0; i < 300; i++ {
+			if a.ApplyFault("s") != nil {
+				sa += "F"
+			} else {
+				sa += "."
+			}
+			if b.ApplyFault("s") != nil {
+				sb += "F"
+			} else {
+				sb += "."
+			}
+		}
+		return sa, sb
+	}
+	a0, b0 := mk(0)
+	a1, b1 := mk(500)
+	if b0 != b1 {
+		t.Fatalf("sibling schedule perturbed by other child's draws:\n%s\n%s", b0, b1)
+	}
+	if a0 != a1 {
+		t.Fatalf("child apply schedule not reproducible:\n%s\n%s", a0, a1)
+	}
+	if a0 == b0 {
+		t.Fatal("differently-labeled children produced identical schedules")
+	}
+}
+
+func TestSplitEventsMergeInCreationOrder(t *testing.T) {
+	parent := New(33, DefaultConfig())
+	kids := []*Engine{parent.Split("t/0"), parent.Split("t/1"), parent.Split("t/2")}
+	// Drive children out of creation order: the merged view must still
+	// come out in creation order, independent of draw interleaving.
+	for _, k := range []*Engine{kids[2], kids[0], kids[1]} {
+		for i := 0; i < 400; i++ {
+			k.ApplyFault("srv")
+			k.DropSample("a")
+		}
+	}
+	parent.ApplyFault("own") // parent's own events come first
+	want := append([]Event(nil), parent.events...)
+	for _, k := range kids {
+		want = append(want, k.Events()...)
+	}
+	got := parent.Events()
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != i {
+			t.Fatalf("event %d has Seq %d; merged view must renumber", i, got[i].Seq)
+		}
+		if got[i].Kind != want[i].Kind || got[i].Target != want[i].Target {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if parent.Fingerprint() == New(33, DefaultConfig()).Fingerprint() {
+		t.Fatal("fingerprint must include children's events")
+	}
+}
+
+func TestSplitSharesLoadSpikeSchedule(t *testing.T) {
+	// LoadSpike is fleet-wide: a child must see the same spike schedule
+	// as its parent and every sibling, at any t.
+	parent := New(11, DefaultConfig())
+	a, b := parent.Split("trial/a"), parent.Split("trial/b")
+	for tt := 0.0; tt < 40*DefaultConfig().SpikeWindowSec; tt += 333 {
+		fp, fa, fb := parent.LoadSpike(tt), a.LoadSpike(tt), b.LoadSpike(tt)
+		if fp != fa || fp != fb {
+			t.Fatalf("LoadSpike(%g) differs across family: parent %g, a %g, b %g", tt, fp, fa, fb)
+		}
+	}
+}
+
 func TestSummaryAndCounts(t *testing.T) {
 	e := New(1, Config{})
 	if got := e.Summary(); got != "no faults injected" {

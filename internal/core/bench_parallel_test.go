@@ -1,0 +1,34 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"softsku/internal/knob"
+)
+
+// benchSweep measures one full tuning run (independent sweep over four
+// knobs plus the two final validation trials, ~20 A/B trials total) at
+// the given worker count. BENCH_parallel.json records the medians; the
+// equivalence tests in parallel_test.go prove every worker count
+// produces the same Result, so this benchmark measures pure wall-clock
+// scaling of the trial phase.
+func benchSweep(b *testing.B, par int) {
+	in := fastInput("Web", "Skylake18", knob.THP, knob.SHP, knob.CoreFreq, knob.Prefetch)
+	in.Parallel = par
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tool, err := New(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tool.SetLogger(io.Discard)
+		if _, err := tool.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepParallel1(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepParallel4(b *testing.B) { benchSweep(b, 4) }
+func BenchmarkSweepParallel8(b *testing.B) { benchSweep(b, 8) }

@@ -36,15 +36,15 @@ func TestApplyWithRetryAbsorbsTransientFaults(t *testing.T) {
 	}
 	srv.SetChaos(tool.chaos)
 	target := tool.baseline.With(knob.THP, tool.space.Values[knob.THP][0])
-	v0 := tool.vclock
-	if err := tool.applyWithRetry(srv, target); err != nil {
+	clock := 0.0
+	if err := tool.applyWithRetry(srv, target, &clock); err != nil {
 		t.Fatalf("transient faults must be absorbed: %v", err)
 	}
 	if srv.Config() != target {
 		t.Fatalf("retry succeeded but config not applied: %v", srv.Config())
 	}
-	if tool.vclock <= v0 {
-		t.Fatal("retries must charge backoff to the virtual clock")
+	if clock <= 0 {
+		t.Fatal("retries must charge backoff to the caller's virtual clock")
 	}
 }
 
@@ -60,7 +60,8 @@ func TestApplyWithRetryGivesUpOnPersistentFault(t *testing.T) {
 	}
 	srv.SetChaos(tool.chaos)
 	before := srv.Config()
-	err = tool.applyWithRetry(srv, tool.baseline.With(knob.THP, tool.space.Values[knob.THP][0]))
+	clock := 0.0
+	err = tool.applyWithRetry(srv, tool.baseline.With(knob.THP, tool.space.Values[knob.THP][0]), &clock)
 	if !chaos.IsFault(err) {
 		t.Fatalf("persistent fault must surface as a chaos fault, got %v", err)
 	}

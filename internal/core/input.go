@@ -82,6 +82,9 @@ type Input struct {
 	// applicable knobs.
 	Knobs []knob.ID
 	Seed  uint64
+	// Parallel is the trial worker count; <= 0 means GOMAXPROCS.
+	// Results are bit-identical at any worker count for a given seed.
+	Parallel int
 	// AB overrides the default A/B tester configuration.
 	AB abtest.Config
 }
@@ -100,7 +103,7 @@ func DefaultInput(service, platform string) Input {
 
 // ParseInput reads the µSKU input-file format: one "key = value" pair
 // per line, '#' comments. Recognized keys: microservice, platform,
-// sweep, metric, knobs (comma-separated), seed, max_samples.
+// sweep, metric, knobs (comma-separated), seed, max_samples, parallel.
 func ParseInput(text string) (Input, error) {
 	in := Input{Sweep: SweepIndependent, Metric: MetricMIPS, Seed: 1, AB: abtest.DefaultConfig()}
 	sc := bufio.NewScanner(strings.NewReader(text))
@@ -168,6 +171,12 @@ func ParseInput(text string) (Input, error) {
 				return in, fmt.Errorf("core: input line %d: bad max_samples %q", lineNo, val)
 			}
 			in.AB.MaxSamples = n
+		case "parallel":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return in, fmt.Errorf("core: input line %d: bad parallel %q", lineNo, val)
+			}
+			in.Parallel = n
 		default:
 			return in, fmt.Errorf("core: input line %d: unknown key %q", lineNo, key)
 		}

@@ -7,10 +7,10 @@ import (
 
 	"softsku/internal/abtest"
 	"softsku/internal/chaos"
-	"softsku/internal/emon"
 	"softsku/internal/knob"
 	"softsku/internal/loadgen"
 	"softsku/internal/platform"
+	"softsku/internal/rng"
 	"softsku/internal/sim"
 	"softsku/internal/telemetry"
 	"softsku/internal/workload"
@@ -99,14 +99,13 @@ type Tool struct {
 	sku      *platform.SKU
 	baseline knob.Config
 	space    *knob.Space
-	load     *loadgen.Profile
+	load     *loadgen.Profile // deployment-validation load (Validate)
 	vclock   float64
 	reboots  int
 	logW     io.Writer
+	par      int // trial worker count; <=0 means GOMAXPROCS
 
-	samplers map[string]abtest.Sampler   // config-keyed cache
-	servers  map[string]*platform.Server // trial servers behind the samplers
-	seedCtr  uint64
+	servers map[string]*platform.Server // treatment servers by config
 
 	chaos   chaos.Injector // nil: fault-free tuning
 	skipped int            // settings abandoned after persistent faults
@@ -157,8 +156,8 @@ func NewForService(in Input, prof *workload.Profile, sku *platform.SKU) (*Tool, 
 		sku:      sku,
 		baseline: sim.ProductionConfig(sku, prof),
 		space:    BuildSpace(sku, prof, in.Knobs),
-		load:     loadgen.NewDiurnal(in.Seed ^ 0x10ad),
-		samplers: make(map[string]abtest.Sampler),
+		load:     loadgen.NewDiurnal(rng.Derive(in.Seed, "load/validate")),
+		par:      in.Parallel,
 		servers:  make(map[string]*platform.Server),
 	}
 	return t, nil
@@ -174,9 +173,15 @@ func NewForService(in Input, prof *workload.Profile, sku *platform.SKU) (*Tool, 
 // fault-free pipeline bit-for-bit.
 func (t *Tool) SetChaos(inj chaos.Injector) {
 	t.chaos = inj
-	t.in.AB.Chaos = inj
 	t.load.SetChaos(inj)
 }
+
+// SetParallel sets the trial worker count: each knob sweep's candidate
+// trials are sharded across n goroutines, with results merged in
+// design-space order so the outcome is bit-identical to a serial run
+// at the same seed. n <= 0 (the default) means GOMAXPROCS; runs under
+// a custom (non-Engine) chaos injector always use one worker.
+func (t *Tool) SetParallel(n int) { t.par = n }
 
 // SetLogger directs progress logging (nil disables it).
 func (t *Tool) SetLogger(w io.Writer) { t.logW = w }
@@ -200,68 +205,9 @@ func (t *Tool) Space() *knob.Space { return t.space }
 // Baseline returns the production configuration µSKU measures against.
 func (t *Tool) Baseline() knob.Config { return t.baseline }
 
-// sampler returns (building and caching as needed) the metric sampler
-// for a configuration. Treatment servers are fresh deployments; knob
-// changes that require reboots are counted.
-func (t *Tool) sampler(cfg knob.Config) (abtest.Sampler, error) {
-	key := cfg.String()
-	if s, ok := t.samplers[key]; ok {
-		return s, nil
-	}
-	sp := t.span.StartChild("sim.machine", "sim")
-	sp.Set("config", key)
-	defer sp.End()
-	var srv *platform.Server
-	var err error
-	if t.chaos != nil {
-		// Trial servers come from the production fleet: boot at the
-		// hand-tuned baseline, then deploy the candidate configuration
-		// through Apply — the path that can fault under injection.
-		if srv, err = platform.NewServer(t.sku, t.baseline); err == nil {
-			srv.SetChaos(t.chaos)
-			err = t.applyWithRetry(srv, cfg)
-		}
-	} else {
-		srv, err = platform.NewServer(t.sku, cfg)
-	}
-	if err != nil {
-		return nil, err
-	}
-	t.servers[key] = srv
-	// Both arms of every A/B pair run the same code on identical
-	// machines — the workload seed is shared; only the configuration
-	// differs (§4: "two identical servers ... that differ only in
-	// their knob configuration"). Measurement-noise streams stay
-	// private per sampler.
-	t.seedCtr++
-	m, err := sim.NewMachine(srv, t.prof, t.in.Seed)
-	if err != nil {
-		return nil, err
-	}
-	es := emon.NewSampler(m, t.load, t.in.Seed^t.seedCtr)
-	var s abtest.Sampler
-	switch t.in.Metric {
-	case MetricQPS:
-		s = es.QPS
-	case MetricPerfPerWatt:
-		s = es.MIPSPerWatt
-	default:
-		s = es.MIPS
-	}
-	t.samplers[key] = s
-	return s, nil
-}
-
-// compare A/B-tests treatment against the production baseline,
-// advancing the shared virtual clock so successive tests face
-// successive production load.
-func (t *Tool) compare(treatment knob.Config) (abtest.Outcome, error) {
-	return t.compareAgainst(t.baseline, treatment)
-}
-
 // Apply retry policy for trial deployments: transient faults are
-// retried with exponential backoff (charged to the virtual clock),
-// capped per attempt and bounded in count.
+// retried with exponential backoff (charged to the trial's virtual
+// clock), capped per attempt and bounded in count.
 const (
 	applyRetries    = 4
 	applyBackoffSec = 5.0
@@ -269,9 +215,11 @@ const (
 )
 
 // applyWithRetry deploys cfg onto a trial server, absorbing transient
-// injected faults (failed applies, stuck reboots). Validation errors
-// and faults that persist past the retry budget are returned.
-func (t *Tool) applyWithRetry(srv *platform.Server, cfg knob.Config) error {
+// injected faults (failed applies, stuck reboots). Backoff is charged
+// to the caller's clock — trial-local under the parallel runtime, so
+// concurrent retries never contend. Validation errors and faults that
+// persist past the retry budget are returned.
+func (t *Tool) applyWithRetry(srv *platform.Server, cfg knob.Config, clock *float64) error {
 	backoff := applyBackoffSec
 	for try := 0; ; try++ {
 		_, err := srv.Apply(cfg)
@@ -282,36 +230,11 @@ func (t *Tool) applyWithRetry(srv *platform.Server, cfg knob.Config) error {
 			return err
 		}
 		mApplyRetries.Inc()
-		t.vclock += backoff
+		*clock += backoff
 		backoff *= 2
 		if backoff > applyBackoffCap {
 			backoff = applyBackoffCap
 		}
-	}
-}
-
-// guardrailRevert restores the control configuration on the treatment
-// arm's server after a tripped guardrail: a regressing configuration
-// must not keep serving production traffic. The revert is break-glass
-// — if injected faults block it past the retry budget, it is forced
-// past the injector.
-func (t *Tool) guardrailRevert(treatment, control knob.Config) {
-	t.reverts++
-	mGuardrailReverts.Inc()
-	t.logf("  guardrail tripped on %s: reverting to control", treatment)
-	srv := t.servers[treatment.String()]
-	if srv == nil {
-		return
-	}
-	if err := t.applyWithRetry(srv, control); err != nil {
-		srv.SetChaos(nil)
-		if _, ferr := srv.Apply(control); ferr != nil {
-			// With the injector detached only validation can fail, and
-			// control is the already-validated baseline — but if it does,
-			// the treatment arm is still live and must be reported.
-			t.logf("  forced revert to control failed: %v", ferr)
-		}
-		srv.SetChaos(t.chaos)
 	}
 }
 
@@ -392,21 +315,20 @@ func (t *Tool) Run() (*Result, error) {
 	save := t.in.AB
 	t.in.AB = vcfg
 	vspan := root.StartChild("validate.final", "tuning")
-	t.span = vspan
-	if res.VsProduction, err = t.compare(composed); err != nil {
-		t.in.AB = save
-		vspan.End()
-		return nil, err
-	}
-	if out, err := t.compareAgainst(res.Stock, composed); err == nil {
-		res.VsStock = out
-	} else {
-		t.in.AB = save
-		vspan.End()
-		return nil, err
+	specs := []trialSpec{
+		t.newSpec(vspan, "final/production", t.baseline, composed),
+		t.newSpec(vspan, "final/stock", res.Stock, composed),
 	}
 	t.in.AB = save
-	t.span = root
+	results := t.runTrials(specs)
+	if res.VsProduction, err = t.mergeTrial(specs[0], results[0]); err != nil {
+		vspan.End()
+		return nil, err
+	}
+	if res.VsStock, err = t.mergeTrial(specs[1], results[1]); err != nil {
+		vspan.End()
+		return nil, err
+	}
 	vspan.Set("vs_production_pct", res.VsProduction.DeltaPct)
 	vspan.Set("vs_stock_pct", res.VsStock.DeltaPct)
 	vspan.End()
@@ -425,64 +347,40 @@ func (t *Tool) Run() (*Result, error) {
 	return res, nil
 }
 
-// compareAgainst A/B-tests treatment against an arbitrary control.
-// Every comparison records a "trial" span (machine builds nest under
-// it) annotated with the configurations, sampled means, and the
-// confidence-test verdict.
-func (t *Tool) compareAgainst(control, treatment knob.Config) (abtest.Outcome, error) {
-	sp := t.span.StartChild("trial", "abtest")
-	sp.Set("control", control.String())
-	sp.Set("treatment", treatment.String())
-	save := t.span
-	t.span = sp
-	defer func() {
-		t.span = save
-		sp.End()
-	}()
-	c, err := t.sampler(control)
-	if err != nil {
-		return abtest.Outcome{}, err
-	}
-	tr, err := t.sampler(treatment)
-	if err != nil {
-		return abtest.Outcome{}, err
-	}
-	out, end := abtest.Run(t.in.AB, c, tr, t.vclock)
-	t.vclock = end
-	if out.GuardrailTripped {
-		sp.Set("guardrail_tripped", true)
-		t.guardrailRevert(treatment, control)
-	}
-	sp.Set("samples_per_arm", out.Samples)
-	sp.Set("control_mean", out.Control.Mean())
-	sp.Set("treatment_mean", out.Treatment.Mean())
-	sp.Set("delta_pct", out.DeltaPct)
-	sp.Set("p_value", out.PValue)
-	sp.Set("significant", out.Significant)
-	sp.Set("virtual_sec", out.ElapsedSec)
-	return out, nil
-}
-
 // independentSweep scales each knob one-by-one (§4): for every
 // candidate setting it A/B-tests baseline-with-that-setting against
 // the baseline, then the soft-SKU generator composes the most
 // performant significant winner of each knob.
+//
+// Execution follows the three-phase parallel runtime (trial.go): the
+// whole run's candidate trials are specified serially in design-space
+// order, sharded across the worker pool, and merged back in that same
+// order — so winner selection, logging, and clock accounting are
+// bit-identical to a serial sweep.
 func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 	composed := t.baseline
 	parent := t.span
+	type entry struct {
+		setting knob.Setting
+		trial   int // index into specs; -1 for the baseline point
+	}
+	type plan struct {
+		id      knob.ID
+		ks      *telemetry.Span
+		entries []entry
+	}
+	var specs []trialSpec
+	var plans []plan
 	for _, id := range t.space.Knobs() {
-		sweep := KnobSweep{Knob: id, Baseline: t.baseline.Get(id)}
-		t.logf("sweeping %s (%d settings)", id, len(t.space.Values[id]))
 		mKnobsSwept.Inc()
 		ks := parent.StartChild("sweep."+id.String(), "sweep")
 		ks.Set("knob", id.String())
-		ks.Set("baseline", sweep.Baseline.Name)
+		ks.Set("baseline", t.baseline.Get(id).Name)
 		ks.Set("settings", len(t.space.Values[id]))
-		t.span = ks
-		bestIdx, bestDelta := -1, 0.0
-		for _, setting := range t.space.Values[id] {
-			if setting == sweep.Baseline {
-				sweep.Points = append(sweep.Points, Point{Setting: setting, IsBaseline: true})
+		p := plan{id: id, ks: ks}
+		for si, setting := range t.space.Values[id] {
+			if setting == t.baseline.Get(id) {
+				p.entries = append(p.entries, entry{setting: setting, trial: -1})
 				continue
 			}
 			cfg := t.baseline.With(id, setting)
@@ -494,17 +392,34 @@ func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 			if id.RequiresReboot() {
 				t.reboots++
 			}
-			out, err := t.compare(cfg)
+			specs = append(specs,
+				t.newSpec(ks, fmt.Sprintf("sweep/%s/%d", id, si), t.baseline, cfg))
+			p.entries = append(p.entries, entry{setting: setting, trial: len(specs) - 1})
+		}
+		plans = append(plans, p)
+	}
+	results := t.runTrials(specs)
+	for pi, p := range plans {
+		sweep := KnobSweep{Knob: p.id, Baseline: t.baseline.Get(p.id)}
+		t.logf("sweeping %s (%d settings)", p.id, len(t.space.Values[p.id]))
+		bestIdx, bestDelta := -1, 0.0
+		for _, en := range p.entries {
+			if en.trial < 0 {
+				sweep.Points = append(sweep.Points, Point{Setting: en.setting, IsBaseline: true})
+				continue
+			}
+			out, err := t.mergeTrial(specs[en.trial], results[en.trial])
 			if err != nil {
-				if t.skipFault(err, setting.Name) {
+				if t.skipFault(err, en.setting.Name) {
 					continue // degrade: drop the setting, not the sweep
 				}
-				ks.End()
-				t.span = parent
+				for _, rest := range plans[pi:] {
+					rest.ks.End()
+				}
 				return composed, err
 			}
-			sweep.Points = append(sweep.Points, Point{Setting: setting, Outcome: out})
-			t.logf("  %-12s %s", setting.Name, out)
+			sweep.Points = append(sweep.Points, Point{Setting: en.setting, Outcome: out})
+			t.logf("  %-12s %s", en.setting.Name, out)
 			if out.Better() && out.DeltaPct > bestDelta {
 				bestDelta = out.DeltaPct
 				bestIdx = len(sweep.Points) - 1
@@ -512,16 +427,15 @@ func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 		}
 		if bestIdx >= 0 {
 			sweep.Points[bestIdx].Chosen = true
-			composed = composed.With(id, sweep.Points[bestIdx].Setting)
+			composed = composed.With(p.id, sweep.Points[bestIdx].Setting)
 			t.logf("  -> chose %s (%+.2f%%)", sweep.Points[bestIdx].Setting.Name, bestDelta)
-			ks.Set("chosen", sweep.Points[bestIdx].Setting.Name)
-			ks.Set("delta_pct", bestDelta)
+			p.ks.Set("chosen", sweep.Points[bestIdx].Setting.Name)
+			p.ks.Set("delta_pct", bestDelta)
 		} else {
 			t.logf("  -> keeping production %s", sweep.Baseline.Name)
-			ks.Set("chosen", sweep.Baseline.Name+" (kept)")
+			p.ks.Set("chosen", sweep.Baseline.Name+" (kept)")
 		}
-		ks.End()
-		t.span = parent
+		p.ks.End()
 		res.Map = append(res.Map, sweep)
 	}
 	return composed, nil
@@ -530,6 +444,8 @@ func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 // exhaustiveSweep explores the cross-product (§4). It refuses design
 // spaces too large to finish between code pushes, as the paper notes
 // exhaustive search is impractical for the full seven-knob space.
+// Candidate points are enumerated serially, trialed in parallel, and
+// scored in enumeration order.
 func (t *Tool) exhaustiveSweep(res *Result) (knob.Config, error) {
 	const maxPoints = 512
 	if n := t.space.Size(); n > maxPoints {
@@ -537,13 +453,10 @@ func (t *Tool) exhaustiveSweep(res *Result) (knob.Config, error) {
 			"core: exhaustive sweep over %d points cannot finish between code pushes; restrict 'knobs' (limit %d)",
 			n, maxPoints)
 	}
-	type scored struct {
-		cfg   knob.Config
-		delta float64
-	}
-	best := scored{cfg: t.baseline}
-	var sweepErr error
+	var specs []trialSpec
+	enum := 0
 	t.space.Enumerate(t.baseline, func(cfg knob.Config) bool {
+		enum++
 		if cfg == t.baseline {
 			return true
 		}
@@ -552,29 +465,33 @@ func (t *Tool) exhaustiveSweep(res *Result) (knob.Config, error) {
 			return true
 		}
 		mConfigsValidated.Inc()
-		if len(knob.Diff(t.baseline, cfg)) > 0 {
-			for _, id := range knob.Diff(t.baseline, cfg) {
-				if id.RequiresReboot() {
-					t.reboots++
-					break
-				}
+		for _, id := range knob.Diff(t.baseline, cfg) {
+			if id.RequiresReboot() {
+				t.reboots++
+				break
 			}
 		}
-		out, err := t.compare(cfg)
-		if err != nil {
-			if t.skipFault(err, cfg.String()) {
-				return true
-			}
-			sweepErr = err
-			return false
-		}
-		if out.Better() && out.DeltaPct > best.delta {
-			best = scored{cfg: cfg, delta: out.DeltaPct}
-		}
+		specs = append(specs,
+			t.newSpec(t.span, fmt.Sprintf("exhaustive/%d", enum-1), t.baseline, cfg))
 		return true
 	})
-	if sweepErr != nil {
-		return t.baseline, sweepErr
+	type scored struct {
+		cfg   knob.Config
+		delta float64
+	}
+	best := scored{cfg: t.baseline}
+	results := t.runTrials(specs)
+	for i, spec := range specs {
+		out, err := t.mergeTrial(spec, results[i])
+		if err != nil {
+			if t.skipFault(err, spec.treatment.String()) {
+				continue
+			}
+			return t.baseline, err
+		}
+		if out.Better() && out.DeltaPct > best.delta {
+			best = scored{cfg: spec.treatment, delta: out.DeltaPct}
+		}
 	}
 	res.ExhaustiveBest = best.delta
 	t.logf("exhaustive best: %s (%+.2f%%)", best.cfg, best.delta)

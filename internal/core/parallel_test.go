@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"softsku/internal/chaos"
+	"softsku/internal/knob"
+	"softsku/internal/rng"
+)
+
+// runAt executes a full tuning run at the given worker count and
+// returns the result, the captured progress log, and the chaos
+// fingerprint ("" when chaos is off).
+func runAt(t *testing.T, par int, withChaos bool) (*Result, string, string) {
+	t.Helper()
+	var in Input
+	if withChaos {
+		in = fastInput("Web", "Skylake18", knob.THP, knob.CoreFreq)
+		in.AB.GuardrailPct = 1
+	} else {
+		in = fastInput("Web", "Skylake18", knob.THP, knob.SHP)
+	}
+	in.Parallel = par
+	tool, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	tool.SetLogger(&log)
+	var eng *chaos.Engine
+	if withChaos {
+		eng = chaos.New(42, chaos.DefaultConfig())
+		tool.SetChaos(eng)
+	}
+	res, err := tool.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := ""
+	if eng != nil {
+		fp = eng.Fingerprint()
+	}
+	return res, log.String(), fp
+}
+
+// TestParallelSweepBitIdenticalToSerial is the tentpole acceptance
+// test: a full run at -parallel=8 must produce the exact Result struct
+// — every sampled mean, p-value, clock reading, and log line — that
+// -parallel=1 produces at the same seed.
+func TestParallelSweepBitIdenticalToSerial(t *testing.T) {
+	serialRes, serialLog, _ := runAt(t, 1, false)
+	parRes, parLog, _ := runAt(t, 8, false)
+	if !reflect.DeepEqual(serialRes, parRes) {
+		t.Fatalf("parallel result diverged from serial:\nserial: %+v\nparallel: %+v", serialRes, parRes)
+	}
+	if serialLog != parLog {
+		t.Fatalf("parallel log diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", serialLog, parLog)
+	}
+}
+
+// TestParallelSweepBitIdenticalUnderChaos repeats the equivalence
+// check with a seeded fault engine and an armed guardrail: per-trial
+// child injectors must decouple fault streams without changing the
+// merged schedule, reverts, or composition.
+func TestParallelSweepBitIdenticalUnderChaos(t *testing.T) {
+	serialRes, serialLog, serialFP := runAt(t, 1, true)
+	parRes, parLog, parFP := runAt(t, 8, true)
+	if !reflect.DeepEqual(serialRes, parRes) {
+		t.Fatalf("chaos result diverged:\nserial: %+v\nparallel: %+v", serialRes, parRes)
+	}
+	if serialLog != parLog {
+		t.Fatalf("chaos log diverged:\n--- serial ---\n%s--- parallel ---\n%s", serialLog, parLog)
+	}
+	if serialFP != parFP {
+		t.Fatalf("fault schedules diverged:\nserial: %s\nparallel: %s", serialFP, parFP)
+	}
+	if serialRes.Reverts == 0 {
+		t.Fatal("fixture should exercise guardrail reverts (frequency regressions)")
+	}
+}
+
+// TestParallelForCoversAllIndices pins the pool's contract: every
+// index runs exactly once at any worker count, including the
+// degenerate and oversubscribed shapes.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]int32, n)
+			ParallelFor(workers, n, func(i int) { hits[i]++ })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepStreamSeedsPairwiseDistinct audits the whole run's derived
+// stream space for aliasing: across every trial a full all-knob sweep
+// would schedule (plus the final validations), the load, phase, and
+// both noise streams — and the chaos child-engine roots — must all be
+// pairwise distinct in their first 8 draws.
+func TestSweepStreamSeedsPairwiseDistinct(t *testing.T) {
+	in := fastInput("Web", "Skylake18")
+	tool, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	for _, id := range tool.space.Knobs() {
+		for si, setting := range tool.space.Values[id] {
+			if setting == tool.baseline.Get(id) {
+				continue
+			}
+			labels = append(labels, fmt.Sprintf("sweep/%s/%d", id, si))
+		}
+	}
+	labels = append(labels, "final/production", "final/stock")
+	if len(labels) < 20 {
+		t.Fatalf("fixture too small to be a meaningful audit: %d labels", len(labels))
+	}
+	draws := func(seed uint64) [8]uint64 {
+		var d [8]uint64
+		src := rng.New(seed)
+		for i := range d {
+			d[i] = src.Uint64()
+		}
+		return d
+	}
+	seen := make(map[[8]uint64]string)
+	check := func(name string, seed uint64) {
+		d := draws(seed)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("stream %s aliases stream %s (seed %#x)", name, prev, seed)
+		}
+		seen[d] = name
+	}
+	const chaosSeed = 42
+	for _, lab := range labels {
+		seed := rng.Derive(in.Seed, "trial/"+lab)
+		for _, sub := range []string{"load", "phase", "noise/control", "noise/treatment"} {
+			check(lab+"/"+sub, rng.Derive(seed, sub))
+		}
+		check(lab+"/chaos", rng.Derive(chaosSeed, "trial/"+lab))
+	}
+	// The streams already in use before this audit must stay clear too.
+	check("load/validate", rng.Derive(in.Seed, "load/validate"))
+}

@@ -24,7 +24,15 @@ func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
 		}
 		var best *move
 		rs := parent.StartChild(fmt.Sprintf("sweep.round%d", round), "sweep")
-		t.span = rs
+		// One round = one parallel fan-out over every realizable
+		// neighbour; the winning move is selected during the in-order
+		// merge, so rounds chain identically to a serial climb.
+		type step struct {
+			id   knob.ID
+			name string
+		}
+		var specs []trialSpec
+		var steps []step
 		for _, id := range t.space.Knobs() {
 			values := t.space.Values[id]
 			cur := indexOfSetting(values, current.Get(id))
@@ -41,21 +49,25 @@ func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
 				if id.RequiresReboot() {
 					t.reboots++
 				}
-				out, err := t.compareAgainst(current, cfg)
-				if err != nil {
-					if t.skipFault(err, values[ni].Name) {
-						continue
-					}
-					rs.End()
-					t.span = parent
-					return current, err
-				}
-				if out.Better() && (best == nil || out.DeltaPct > best.delta) {
-					best = &move{cfg: cfg, id: id, name: values[ni].Name, delta: out.DeltaPct}
-				}
+				specs = append(specs,
+					t.newSpec(rs, fmt.Sprintf("hill/%d/%s/%d", round, id, ni), current, cfg))
+				steps = append(steps, step{id: id, name: values[ni].Name})
 			}
 		}
-		t.span = parent
+		results := t.runTrials(specs)
+		for i, spec := range specs {
+			out, err := t.mergeTrial(spec, results[i])
+			if err != nil {
+				if t.skipFault(err, steps[i].name) {
+					continue
+				}
+				rs.End()
+				return current, err
+			}
+			if out.Better() && (best == nil || out.DeltaPct > best.delta) {
+				best = &move{cfg: spec.treatment, id: steps[i].id, name: steps[i].name, delta: out.DeltaPct}
+			}
+		}
 		if best == nil {
 			rs.Set("converged", true)
 			rs.End()
@@ -109,6 +121,9 @@ func (t *Tool) BinarySearchSHP(lo, hi, step int) (int, int, error) {
 	}
 	quant := func(n int) int { return (n / step) * step }
 	tests := 0
+	// Ternary search is inherently adaptive — each probe depends on the
+	// previous verdicts — so probes run through the sequential
+	// runSingle path rather than the parallel pool.
 	mean := func(n int) (float64, error) {
 		cfg := t.baseline.With(knob.SHP, knob.IntSetting(fmt.Sprintf("%d", n), n))
 		if err := t.sku.Validate(cfg); err != nil {
@@ -116,7 +131,7 @@ func (t *Tool) BinarySearchSHP(lo, hi, step int) (int, int, error) {
 		}
 		mConfigsValidated.Inc()
 		t.reboots++
-		out, err := t.compare(cfg)
+		out, err := t.runSingle(t.span, fmt.Sprintf("shp-search/%d/%d", tests, n), t.baseline, cfg)
 		if err != nil {
 			return 0, err
 		}

@@ -7,6 +7,7 @@ import (
 	"softsku/internal/knob"
 	"softsku/internal/ods"
 	"softsku/internal/platform"
+	"softsku/internal/rng"
 	"softsku/internal/sim"
 	"softsku/internal/stats"
 	"softsku/internal/telemetry"
@@ -63,8 +64,11 @@ func (t *Tool) Validate(softSKU knob.Config, pushes, samplesPerPush int) (*Valid
 	var deltas []float64
 	for p := 0; p < pushes; p++ {
 		ps := root.StartChild(fmt.Sprintf("push%d", p), "validation")
-		seed := t.in.Seed + uint64(p+1)*7777777
-		build := func(cfg knob.Config, tag uint64) (*emon.Sampler, error) {
+		// Label-derived streams (audited in PR 4): arithmetic like
+		// seed+p*K or seed^tag can collide with other consumers' ad-hoc
+		// seeds; rng.Derive keys every stream by a unique string instead.
+		seed := rng.Derive(t.in.Seed, fmt.Sprintf("validate/push/%d", p))
+		build := func(cfg knob.Config, arm string) (*emon.Sampler, error) {
 			srv, err := platform.NewServer(t.sku, cfg)
 			if err != nil {
 				return nil, err
@@ -73,13 +77,13 @@ func (t *Tool) Validate(softSKU knob.Config, pushes, samplesPerPush int) (*Valid
 			if err != nil {
 				return nil, err
 			}
-			return emon.NewSampler(m, t.load, seed^tag), nil
+			return emon.NewSampler(m, t.load, rng.Derive(seed, "noise/"+arm)), nil
 		}
-		soft, err := build(softSKU, 1)
+		soft, err := build(softSKU, "softsku")
 		if err != nil {
 			return nil, err
 		}
-		prod, err := build(t.baseline, 2)
+		prod, err := build(t.baseline, "production")
 		if err != nil {
 			return nil, err
 		}

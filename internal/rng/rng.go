@@ -36,17 +36,44 @@ func New(seed uint64) *Source {
 	return &src
 }
 
-// Split derives an independent sub-stream labelled by label. The parent
-// stream is not advanced, so consumers can be added or removed without
-// disturbing sibling streams.
-func (s *Source) Split(label string) *Source {
+// mix64 is the SplitMix64 finalizer: a full-avalanche bijection on
+// uint64, so structured inputs (XORed tags, small counters) come out
+// uncorrelated.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Derive maps (seed, label) to an independent sub-stream seed. The
+// label is FNV-1a hashed and the two halves are each finalized with
+// mix64 before combining, so the XOR-structured collisions that plain
+// `seed ^ tag` derivations allow (two (seed, label) pairs whose
+// differences cancel, aliasing their streams) cannot occur: any bit
+// change in either input avalanches across the result.
+func Derive(seed uint64, label string) uint64 {
 	h := uint64(14695981039346656037) // FNV-64 offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= uint64(label[i])
 		h *= 1099511628211
 	}
-	// Mix the parent state without advancing it.
-	return New(h ^ s.s0 ^ rotl(s.s2, 17))
+	return mix64(mix64(seed^0x736f6674736b75) + h)
+}
+
+// Fold maps (seed, n) to an independent sub-stream seed for numeric
+// sub-stream families (time windows, shard indices) where a string
+// label would allocate on a hot path. Like Derive, both inputs are
+// mixed so index arithmetic cannot cancel against seed bits.
+func Fold(seed, n uint64) uint64 {
+	return mix64(mix64(seed^0x666f6c64) + n*0x9e3779b97f4a7c15)
+}
+
+// Split derives an independent sub-stream labelled by label. The parent
+// stream is not advanced, so consumers can be added or removed without
+// disturbing sibling streams. Derivation goes through Derive, so label
+// hashes cannot cancel against parent-state bits.
+func (s *Source) Split(label string) *Source {
+	return New(Derive(s.s0^rotl(s.s2, 17), label))
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"container/heap"
+	"sync"
+	"time"
 
 	"softsku/internal/telemetry"
 )
@@ -17,11 +19,44 @@ var (
 		"Engine.Run invocations.")
 	mSimVirtualSec = telemetry.Default.Counter("softsku_sim_virtual_seconds_total",
 		"Virtual seconds simulated.")
-	mSimWallSec = telemetry.Default.Counter("softsku_sim_wall_seconds_total",
-		"Wall seconds spent inside Engine.Run.")
+	mSimWallSec = telemetry.Default.Gauge("softsku_sim_wall_seconds",
+		"Wall seconds elapsed since the first Engine.Run (speedup denominator).")
 	mSimThroughput = telemetry.Default.Gauge("softsku_sim_seconds_per_wall_second",
 		"Cumulative simulated seconds per wall second (simulation speedup).")
 )
+
+// The speedup denominator is the wall time elapsed since the first
+// Engine.Run in the process — NOT the sum of per-call durations.
+// Summing double-counts whenever engines run concurrently (every
+// worker's interval covers the same wall seconds), which understates
+// softsku_sim_seconds_per_wall_second by the worker count.
+var (
+	wallMu    sync.Mutex
+	wallBegun bool
+	wallStart time.Time
+)
+
+// wallElapsed pins the process-wide wall origin on first use and
+// returns the seconds elapsed since, on the injectable telemetry
+// clock.
+func wallElapsed() float64 {
+	wallMu.Lock()
+	defer wallMu.Unlock()
+	if !wallBegun {
+		wallBegun = true
+		wallStart = telemetry.Now()
+		return 0
+	}
+	return telemetry.Since(wallStart).Seconds()
+}
+
+// resetWallForTest clears the pinned wall origin so clock-scripting
+// tests observe a fresh first-Run pin.
+func resetWallForTest() {
+	wallMu.Lock()
+	defer wallMu.Unlock()
+	wallBegun = false
+}
 
 // event is one scheduled occurrence in virtual time.
 type event struct {
@@ -86,8 +121,8 @@ func (e *Engine) After(delay float64, fn func()) {
 func (e *Engine) Run(until float64) {
 	// Wall time is observability-only (the speedup gauge); it flows
 	// through the injectable telemetry clock so simulation results can
-	// never depend on it.
-	wall := telemetry.Now()
+	// never depend on it. The first Run pins the process-wide origin.
+	wallElapsed()
 	simStart := e.now
 	events := 0
 	for len(e.queue) > 0 {
@@ -106,8 +141,8 @@ func (e *Engine) Run(until float64) {
 	mSimRuns.Inc()
 	mSimEvents.Add(float64(events))
 	mSimVirtualSec.Add(e.now - simStart)
-	mSimWallSec.Add(telemetry.Since(wall).Seconds())
-	if w := mSimWallSec.Value(); w > 0 {
+	if w := wallElapsed(); w > 0 {
+		mSimWallSec.Set(w)
 		mSimThroughput.Set(mSimVirtualSec.Value() / w)
 	}
 }

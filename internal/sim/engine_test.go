@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"softsku/internal/rng"
+	"softsku/internal/telemetry"
 )
 
 func TestEngineOrdering(t *testing.T) {
@@ -118,5 +121,63 @@ func TestEngineTimeMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWallSecondsElapsedNotSummed is the regression test for the
+// speedup-gauge double count: the old gauge summed per-Run wall
+// durations, so overlapping runs (multiple engines on concurrent
+// workers, each measuring the same wall interval) counted the same
+// seconds once per engine and understated
+// softsku_sim_seconds_per_wall_second. The fixed gauge reports wall
+// seconds elapsed since the process's first Run — under a scripted
+// clock that advances one second per read, two sequential runs span 3
+// elapsed seconds (reads at t=1,2,3,4 with the origin pinned at t=1)
+// while the per-call sum is only 2. Pre-fix code reports 2 here.
+func TestWallSecondsElapsedNotSummed(t *testing.T) {
+	resetWallForTest()
+	var tick int64
+	restore := telemetry.SetWallClock(func() time.Time {
+		tick++
+		return time.Unix(tick, 0)
+	})
+	defer restore()
+	defer resetWallForTest()
+
+	e1, e2 := NewEngine(), NewEngine()
+	e1.Run(10) // reads clock at t=1 (pins origin) and t=2
+	e2.Run(10) // reads clock at t=3 and t=4
+	if got := mSimWallSec.Value(); got != 3 {
+		t.Fatalf("wall gauge = %g, want 3 elapsed seconds since first Run (per-call sum would be 2)", got)
+	}
+	if e1.Now() != 10 || e2.Now() != 10 {
+		t.Fatalf("engines at %g/%g, want 10", e1.Now(), e2.Now())
+	}
+	wantThroughput := mSimVirtualSec.Value() / 3 // cumulative virtual over elapsed wall
+	if got := mSimThroughput.Value(); got != wantThroughput {
+		t.Fatalf("throughput gauge = %g, want %g", got, wantThroughput)
+	}
+}
+
+// TestWallClockConcurrentRuns drives engines from multiple goroutines
+// so the race detector exercises the shared wall-origin state.
+func TestWallClockConcurrentRuns(t *testing.T) {
+	resetWallForTest()
+	defer resetWallForTest()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := NewEngine()
+			for i := 0; i < 50; i++ {
+				e.After(1, func() {})
+				e.Run(e.Now() + 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if mSimWallSec.Value() < 0 {
+		t.Fatal("wall gauge went negative")
 	}
 }

@@ -32,12 +32,14 @@ func TestConcurrentTelemetry(t *testing.T) {
 			c := r.Counter("hammer_total", "shared counter")
 			own := r.Counter(fmt.Sprintf("hammer_g%d_total", g), "per-goroutine counter")
 			gauge := r.Gauge("hammer_gauge", "shared gauge")
+			acc := r.Gauge("hammer_acc_gauge", "shared accumulating gauge")
 			h := r.Histogram("hammer_hist", "shared histogram")
 			root := tr.StartSpan(fmt.Sprintf("worker%d", g), "test")
 			for i := 0; i < iters; i++ {
 				c.Inc()
 				own.Inc()
 				gauge.Set(float64(i))
+				acc.Add(1)
 				h.Observe(float64(i) * 1e-6)
 				sp := root.StartChild("op", "test")
 				sp.Set("i", i)
@@ -100,6 +102,11 @@ func TestConcurrentTelemetry(t *testing.T) {
 	}
 	if got := r.Histogram("hammer_hist", "").Count(); got != writers*iters {
 		t.Fatalf("histogram count = %d, want %d", got, writers*iters)
+	}
+	// Gauge.Add is a CAS loop; concurrent increments must never drop
+	// (parallel sweep workers accumulate into shared gauges this way).
+	if got := r.Gauge("hammer_acc_gauge", "").Value(); got != writers*iters {
+		t.Fatalf("hammer_acc_gauge = %g, want %d (lost Gauge.Add updates)", got, writers*iters)
 	}
 	// writers roots + writers*iters children
 	if got := tr.SpanCount(); got != writers+writers*iters {

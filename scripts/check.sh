@@ -33,7 +33,11 @@ echo "== go test -race =="
 # per-package timeout, so give it explicit headroom. -shuffle=on
 # randomizes test order so hidden inter-test dependencies surface
 # here instead of in a future refactor (the seed is printed on
-# failure for replay with -shuffle=<seed>).
+# failure for replay with -shuffle=<seed>). This pass is also the
+# serial/parallel equivalence gate: internal/core's
+# TestParallelSweepBitIdentical* run -parallel=1 vs 8 (chaos off and
+# on) under the race detector and require identical Result structs,
+# logs, and fault fingerprints.
 go test -race -shuffle=on -timeout 45m ./...
 
 echo "== chaos smoke =="

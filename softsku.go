@@ -258,6 +258,13 @@ func Tune(in TuneInput) (*TuneResult, error) {
 // FormatTuneMap renders a tuning run's design-space map as a table.
 func FormatTuneMap(res *TuneResult) string { return core.FormatMap(res) }
 
+// ParallelFor runs fn(i) for every i in [0, n) across a bounded pool
+// of workers (workers <= 0: GOMAXPROCS; <= 1: plain serial loop) — the
+// deterministic fan-out primitive behind parallel sweeps. Callers must
+// keep each fn(i) hermetic and merge results by index, never by
+// completion order.
+func ParallelFor(workers, n int, fn func(int)) { core.ParallelFor(workers, n, fn) }
+
 // CoResult is one co-location interference measurement (§7 extension).
 type CoResult = sim.CoResult
 
