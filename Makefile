@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel fmt chaos lint lint-fixtures
+.PHONY: build test check bench bench-parallel bench-simcache fmt chaos lint lint-fixtures
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,15 @@ bench:
 # recorded in BENCH_parallel.json.
 bench-parallel:
 	$(GO) test -run XXX -bench BenchmarkSweepParallel -benchmem -benchtime 1x -count 3 ./internal/core
+
+# Characterization-cache effect on a full tuning run (DESIGN.md §11):
+# the same four-knob sweep with the cache off vs on. The windows/op
+# metric counts characterization windows actually executed — the cache
+# must cut it ≥2x (control-arm dedupe alone halves it) with the
+# wall-clock gain to match. Medians are recorded in BENCH_simcache.json;
+# TestSimCacheBitIdentical proves both rows compute identical Results.
+bench-simcache:
+	$(GO) test -run XXX -bench 'Benchmark(Sweep|Climb)Cache(Off|On)$$' -benchmem -benchtime 1x -count 3 ./internal/core
 
 fmt:
 	gofmt -w .

@@ -51,6 +51,7 @@ func main() {
 		maxSamples = flag.Int("max-samples", 0, "per-arm sample cap for A/B trials (0: default 30000)")
 		parallel   = flag.Int("parallel", 0, "trial worker count; results are seed-deterministic at any value (0: GOMAXPROCS)")
 		validate   = flag.Int("validate", 0, "after tuning, validate across N simulated code pushes")
+		simCache   = flag.String("sim-cache", "on", "characterization cache: on | off (off re-measures every window; results are identical)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of tables")
 		obs        telemetry.CLI
@@ -59,6 +60,14 @@ func main() {
 	obs.Flags()
 	cc.Flags()
 	flag.Parse()
+
+	switch *simCache {
+	case "on":
+	case "off":
+		softsku.SetCharacterizationCache(false)
+	default:
+		fatal(fmt.Errorf("-sim-cache must be on or off, got %q", *simCache))
+	}
 
 	in, err := buildInput(*inputPath, *service, *platName, *sweep, *metric, *knobList, *seed, *maxSamples, *parallel)
 	if err != nil {

@@ -35,12 +35,21 @@ func main() {
 		services = flag.Bool("services", false, "also print each microservice's operating point")
 		seed     = flag.Uint64("seed", 1, "workload seed for -services")
 		parallel = flag.Int("parallel", 0, "curve workers; output order is fixed (0: GOMAXPROCS)")
+		simCache = flag.String("sim-cache", "on", "characterization cache: on | off (off re-measures every window; results are identical)")
 		obs      telemetry.CLI
 		cc       chaos.CLI
 	)
 	obs.Flags()
 	cc.Flags()
 	flag.Parse()
+	switch *simCache {
+	case "on":
+	case "off":
+		softsku.SetCharacterizationCache(false)
+	default:
+		fmt.Fprintf(os.Stderr, "stress: -sim-cache must be on or off, got %q\n", *simCache)
+		os.Exit(1)
+	}
 	var inj softsku.ChaosInjector = softsku.ChaosDisabled
 	if eng := cc.Engine(); eng != nil {
 		inj = eng

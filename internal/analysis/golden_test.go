@@ -55,6 +55,7 @@ func TestGolden(t *testing.T) {
 	}{
 		{Nondeterminism, "nondeterminism/sim"},
 		{Nondeterminism, "nondeterminism/clockfree"},
+		{Nondeterminism, "nondeterminism/memocache"},
 		{MetricName, "metricname/metrics"},
 		{KnobErr, "knoberr/knobs"},
 		{SpanEnd, "spanend/spans"},

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"softsku/internal/knob"
+	"softsku/internal/sim"
+)
+
+// benchSweepCache measures one full four-knob tuning run with the
+// characterization cache on or off. TestSimCacheBitIdentical proves
+// the two configurations produce identical Results, so the pair
+// isolates the cache's wall-clock and allocation effect; the
+// windows/op metric is the ≥2x dedupe claim BENCH_simcache.json
+// records. Each iteration starts from a cold cache — cross-run reuse
+// would overstate the win.
+func benchSweepCache(b *testing.B, mode SweepMode, enabled bool) {
+	in := fastInput("Web", "Skylake18", knob.THP, knob.SHP, knob.CoreFreq, knob.Prefetch)
+	in.Sweep = mode
+	in.Parallel = 1
+	prev := sim.SetCharacterizationCache(enabled)
+	defer sim.SetCharacterizationCache(prev)
+	b.ReportAllocs()
+	windows := 0.0
+	for i := 0; i < b.N; i++ {
+		sim.ResetCharacterizationCache()
+		before := sim.WindowsExecuted()
+		tool, err := New(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tool.SetLogger(io.Discard)
+		if _, err := tool.Run(); err != nil {
+			b.Fatal(err)
+		}
+		windows += sim.WindowsExecuted() - before
+	}
+	b.ReportMetric(windows/float64(b.N), "windows/op")
+}
+
+// The independent sweep bounds the win at control-arm dedupe alone
+// (2T+2 windows → T+3 distinct ones, just under 2x); the hill climb
+// adds cross-round revisits and each round's control being the prior
+// winner, pushing past 2x.
+func BenchmarkSweepCacheOff(b *testing.B) { benchSweepCache(b, SweepIndependent, false) }
+func BenchmarkSweepCacheOn(b *testing.B)  { benchSweepCache(b, SweepIndependent, true) }
+func BenchmarkClimbCacheOff(b *testing.B) { benchSweepCache(b, SweepHillClimb, false) }
+func BenchmarkClimbCacheOn(b *testing.B)  { benchSweepCache(b, SweepHillClimb, true) }

@@ -128,15 +128,14 @@ func sharedIPC(sku *platform.SKU, profA, profB *workload.Profile, threadsEach in
 	llc := hier.LLCs
 	profs := sides
 	installData := func(side int, c *cache.Cache, lo, hi uint64) {
-		for off := lo; off < hi; off += 64 {
-			_, addr := workload.MapDataOffset(profs[side], layouts[side], off)
+		workload.ForEachDataLine(profs[side], layouts[side], lo, hi, func(addr uint64) {
 			c.InstallWarm(addr, cache.Data)
-		}
+		})
 	}
 	installCode := func(side int, c *cache.Cache, pool int, bytes uint64) {
-		for line := uint64(0); line < bytes/64; line++ {
-			c.InstallWarm(workload.MapCodeLine(profs[side], layouts[side], pool, line), cache.Code)
-		}
+		workload.ForEachCodeLine(profs[side], layouts[side], pool, bytes/64, func(addr uint64) {
+			c.InstallWarm(addr, cache.Code)
+		})
 	}
 	coreScale := float64(sku.Cores()) / float64(2*threadsEach)
 	for side := range profs {

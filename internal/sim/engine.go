@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"sync"
 	"time"
 
@@ -58,31 +57,15 @@ func resetWallForTest() {
 	wallBegun = false
 }
 
-// event is one scheduled occurrence in virtual time.
+// event is one scheduled occurrence in virtual time. Events live by
+// value in the engine's arena; the heap orders arena indices, so
+// scheduling allocates nothing once the arena and free list are warm
+// (the per-event *event + interface boxing of container/heap used to
+// dominate the service sim's allocation profile).
 type event struct {
 	at  float64 // seconds of virtual time
 	seq uint64  // tie-breaker for determinism
 	fn  func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
 }
 
 // Engine is a deterministic discrete-event simulation loop in virtual
@@ -90,7 +73,9 @@ func (q *eventQueue) Pop() interface{} {
 type Engine struct {
 	now   float64
 	seq   uint64
-	queue eventQueue
+	arena []event // event storage; slots recycled through free
+	queue []int32 // arena indices, heap-ordered by (at, seq)
+	free  []int32 // recycled arena slots
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -99,13 +84,65 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// less orders heap entries by (at, seq) — identical to the previous
+// container/heap ordering, so event execution order is unchanged.
+func (e *Engine) less(a, b int32) bool {
+	x, y := &e.arena[a], &e.arena[b]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	return x.seq < y.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && e.less(q[r], q[l]) {
+			min = r
+		}
+		if !e.less(q[min], q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+}
+
 // At schedules fn at absolute virtual time t (clamped to now).
 func (e *Engine) At(t float64, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		idx = int32(len(e.arena) - 1)
+	}
+	e.arena[idx] = event{at: t, seq: e.seq, fn: fn}
+	e.queue = append(e.queue, idx)
+	e.siftUp(len(e.queue) - 1)
 }
 
 // After schedules fn delay seconds from now.
@@ -126,13 +163,22 @@ func (e *Engine) Run(until float64) {
 	simStart := e.now
 	events := 0
 	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.at > until {
+		top := e.queue[0]
+		ev := &e.arena[top]
+		if ev.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		next.fn()
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil // release the closure before recycling the slot
+		last := len(e.queue) - 1
+		e.queue[0] = e.queue[last]
+		e.queue = e.queue[:last]
+		if last > 0 {
+			e.siftDown(0)
+		}
+		e.free = append(e.free, top)
+		fn()
 		events++
 	}
 	if e.now < until {

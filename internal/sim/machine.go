@@ -10,7 +10,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"softsku/internal/cache"
 	"softsku/internal/cpu"
@@ -60,6 +59,9 @@ type Machine struct {
 	memMod *mem.Model
 
 	nthreads int
+	catWays  int // CAT way limit applied via SetCAT; 0 = unlimited
+	// pages is the flattened page resolver for runWindow's hot loop.
+	pages tlb.Resolver
 	// tally[level][0] counts data loads satisfied at level, [1] stores.
 	tally [4][2]uint64
 	rates *WindowRates // cached characterization, nil until measured
@@ -99,6 +101,7 @@ func NewMachine(srv *platform.Server, prof *workload.Profile, seed uint64) (*Mac
 		return nil, err
 	}
 	m.space = space
+	m.pages = space.Resolver()
 
 	m.nthreads = simThreads
 	if cfg.Cores < m.nthreads {
@@ -144,6 +147,7 @@ func (m *Machine) SetCAT(n int) error {
 	if err := m.hier.ApplyCAT(n); err != nil {
 		return err
 	}
+	m.catWays = n
 	m.rates = nil
 	return nil
 }
@@ -158,15 +162,14 @@ func (m *Machine) SetCAT(n int) error {
 func (m *Machine) prefill() {
 	prof := m.prof
 	installData := func(c *cache.Cache, lo, hi uint64) {
-		for off := lo; off < hi; off += 64 {
-			_, addr := workload.MapDataOffset(prof, m.layout, off)
+		workload.ForEachDataLine(prof, m.layout, lo, hi, func(addr uint64) {
 			c.InstallWarm(addr, cache.Data)
-		}
+		})
 	}
 	installCode := func(c *cache.Cache, pool int, bytes uint64) {
-		for line := uint64(0); line < bytes/64; line++ {
-			c.InstallWarm(workload.MapCodeLine(prof, m.layout, pool, line), cache.Code)
-		}
+		workload.ForEachCodeLine(prof, m.layout, pool, bytes/64, func(addr uint64) {
+			c.InstallWarm(addr, cache.Code)
+		})
 	}
 	cfg := m.srv.Config()
 	coreScale := float64(cfg.Cores) / float64(m.nthreads)
@@ -206,14 +209,31 @@ func (m *Machine) prefill() {
 	}
 }
 
-// Characterize runs (or returns the cached) measurement window:
-// functional prefill, instruction warm-up, stat reset, then a measured
-// window per thread, interleaved in chunks so threads genuinely
-// contend for the shared LLC.
+// Characterize returns the machine's window rates, measuring them if
+// neither this machine nor the process-wide characterization cache has
+// them yet. The cache key covers every input that reaches the window
+// (see charKey), so a hit returns the exact rates a fresh measurement
+// would produce; SetCharacterizationCache(false) forces the
+// measurement path.
 func (m *Machine) Characterize() *WindowRates {
 	if m.rates != nil {
 		return m.rates
 	}
+	if CharacterizationCacheEnabled() {
+		key := charKey(m.srv.SKU(), m.prof, m.srv.Config(), m.catWays, m.seed)
+		m.rates = charcache.getOrMeasure(key, m.measure)
+	} else {
+		m.rates = m.measure()
+	}
+	return m.rates
+}
+
+// measure runs one characterization measurement window: functional
+// prefill, instruction warm-up, stat reset, then a measured window per
+// thread, interleaved in chunks so threads genuinely contend for the
+// shared LLC.
+func (m *Machine) measure() *WindowRates {
+	mSimWindows.Inc()
 	m.prefill()
 	ager := rng.New(m.seed ^ 0xa6e5)
 	m.hier.LLCs.ScrambleAges(ager.Intn)
@@ -278,7 +298,6 @@ func (m *Machine) Characterize() *WindowRates {
 	r.DemandMemPerInstr = float64(cs.LLC.TotalMisses()+extra) / float64(instr)
 	r.PrefetchMemPerInstr = float64(r.PF.FromMemory) / float64(instr)
 
-	m.rates = r
 	return r
 }
 
@@ -289,38 +308,39 @@ func (m *Machine) runWindow(instrPerThread int) uint64 {
 	cfg := m.srv.Config()
 	// Context-switch interval in instructions, from the profile's
 	// per-core switch rate at this core frequency (IPC≈1 estimate; the
-	// induced error is second-order).
-	interval := math.MaxInt64
-	if m.prof.CtxSwitchRate > 0 {
-		interval = int(float64(cfg.CoreFreqMHz) * 1e6 / m.prof.CtxSwitchRate)
-	}
+	// induced error is second-order). ctxSwitchInterval clamps to ≥1,
+	// so an extreme switch rate means a switch every chunk instead of
+	// the divide-by-zero interval==0 used to cause below.
+	interval := ctxSwitchInterval(cfg.CoreFreqMHz, m.prof.CtxSwitchRate)
 	var switches uint64
 	const chunk = 2000
 	buf := make([]workload.Access, 0, chunk*2)
+	hier, pages, tally := m.hier, &m.pages, &m.tally
 	for done := 0; done < instrPerThread; done += chunk {
 		n := chunk
 		if instrPerThread-done < n {
 			n = instrPerThread - done
 		}
+		switchNow := done/interval != (done+n)/interval
 		for ti := range m.thr {
 			buf = m.thr[ti].Generate(buf[:0], n)
 			t := m.tlbs[ti]
 			pf := m.pfs[ti]
 			for i := range buf {
 				a := &buf[i]
-				lvl := m.hier.Access(ti, a.Addr, a.Kind)
+				lvl := hier.Access(ti, a.Addr, a.Kind)
 				if a.Kind == cache.Data {
 					st := 0
 					if a.Type == tlb.Store {
 						st = 1
 					}
-					m.tally[lvl][st]++
+					tally[lvl][st]++
 				}
-				page, huge := m.space.PageOf(int(a.Region), a.Addr)
+				page, huge := pages.PageOf(int(a.Region), a.Addr)
 				t.Access(page, huge, a.Type)
 				pf.OnAccess(a.Addr, a.Kind, a.IP, lvl)
 			}
-			if (done/interval != (done+n)/interval) && interval > 0 {
+			if switchNow {
 				m.thr[ti].SwitchPool()
 				switches++
 			}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+
+	"softsku/internal/workload"
+)
+
+// TestReqRingFIFO pushes and pops through several growth cycles and
+// wrap-arounds, checking strict FIFO order — the property the service
+// sim's determinism rests on.
+func TestReqRingFIFO(t *testing.T) {
+	var q reqRing
+	reqs := make([]*request, 100)
+	for i := range reqs {
+		reqs[i] = &request{segLeft: i}
+	}
+	pushed, popped := 0, 0
+	for round, batch := range []int{1, 3, 8, 20, 40, 28} {
+		for i := 0; i < batch; i++ {
+			q.push(reqs[pushed])
+			pushed++
+		}
+		// Drain half after each fill so the head wraps mid-buffer.
+		for q.len() > batch/2 {
+			if got := q.pop(); got != reqs[popped] {
+				t.Fatalf("round %d: popped segLeft=%d, want %d", round, got.segLeft, popped)
+			}
+			popped++
+		}
+	}
+	for q.len() > 0 {
+		if got := q.pop(); got != reqs[popped] {
+			t.Fatalf("drain: popped segLeft=%d, want %d", got.segLeft, popped)
+		}
+		popped++
+	}
+	if popped != pushed {
+		t.Fatalf("popped %d of %d pushed", popped, pushed)
+	}
+}
+
+// TestReqRingNilsPoppedSlots asserts pop releases its reference so
+// completed requests become collectable during a long run — the
+// satellite leak fix (the old `q = q[1:]` pops kept every popped
+// *request reachable through the backing array).
+func TestReqRingNilsPoppedSlots(t *testing.T) {
+	var q reqRing
+	for i := 0; i < 10; i++ {
+		q.push(&request{})
+	}
+	for q.len() > 0 {
+		q.pop()
+	}
+	for i, r := range q.buf {
+		if r != nil {
+			t.Fatalf("slot %d still references a popped request", i)
+		}
+	}
+}
+
+// TestServiceSimQueueBounded runs an overloaded service simulation and
+// asserts the queue buffers stay near peak queue depth instead of
+// growing with the total requests that passed through, and that
+// nothing popped stays pinned after the run.
+func TestServiceSimQueueBounded(t *testing.T) {
+	base, err := workload.ByName("Web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := workload.ForPlatform(base, "Skylake18")
+	m := machineFor(t, "Web", "Skylake18", nil)
+	op := m.Solve(prof.MaxCPUUtil)
+	s := NewServiceSim(prof, op, 4, 2, 7)
+	// Sustained near-capacity load: queues spike on coalesced wakeup
+	// bursts but stay shallow, while many requests flow through.
+	res := s.Run(op.QPS*0.8, 2)
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	slots := len(s.runQueue.buf) + len(s.waitQueue.buf)
+	if slots > 1<<14 {
+		t.Fatalf("queue buffers hold %d slots after %d completions; rings should stay near peak depth", slots, res.Completed)
+	}
+	live := s.runQueue.len() + s.waitQueue.len()
+	held := 0
+	for _, r := range s.runQueue.buf {
+		if r != nil {
+			held++
+		}
+	}
+	for _, r := range s.waitQueue.buf {
+		if r != nil {
+			held++
+		}
+	}
+	if held != live {
+		t.Fatalf("buffers pin %d requests but only %d are queued", held, live)
+	}
+}
+
+// TestEngineArenaRecycles schedules and runs many generations of
+// events on one engine and asserts the arena stays at the peak
+// concurrent event count instead of growing with the total scheduled —
+// the free list works — and that completed slots drop their closures.
+func TestEngineArenaRecycles(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10_000 {
+			e.After(1e-3, tick)
+		}
+	}
+	e.After(1e-3, tick)
+	e.Run(100)
+	if n != 10_000 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(e.arena) > 4 {
+		t.Fatalf("arena grew to %d slots for a 1-deep event chain", len(e.arena))
+	}
+	for i, ev := range e.arena {
+		if ev.fn != nil {
+			t.Fatalf("arena slot %d still pins its closure", i)
+		}
+	}
+}

@@ -25,13 +25,47 @@ type ServiceSim struct {
 
 	slotIPS   float64 // per hardware thread
 	freeSlots int
-	runQueue  []*request // ready, waiting for a hardware thread
+	runQueue  reqRing // ready, waiting for a hardware thread
 	idleWrk   int
-	waitQueue []*request // arrived, waiting for a worker thread
+	waitQueue reqRing // arrived, waiting for a worker thread
 
 	measureStart float64
 	busyTime     float64 // hardware-thread busy seconds in the window
 	res          ServiceResult
+}
+
+// reqRing is a FIFO of requests over a reusable circular buffer. The
+// slice-based queues it replaces (`q = q[1:]` pops) kept every popped
+// *request reachable through the backing array for the run's lifetime;
+// the ring nils the slot on pop and recycles the buffer, so steady-state
+// queueing allocates nothing (see TestServiceSimQueueAllocs).
+type reqRing struct {
+	buf  []*request
+	head int
+	n    int
+}
+
+func (q *reqRing) len() int { return q.n }
+
+func (q *reqRing) push(r *request) {
+	if q.n == len(q.buf) {
+		grown := make([]*request, 2*q.n+8)
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
+}
+
+func (q *reqRing) pop() *request {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return r
 }
 
 // request tracks one in-flight query.
@@ -124,7 +158,7 @@ func (s *ServiceSim) Run(offeredQPS, duration float64) ServiceResult {
 			s.idleWrk--
 			s.startOnWorker(r)
 		} else {
-			s.waitQueue = append(s.waitQueue, r)
+			s.waitQueue.push(r)
 		}
 	}
 
@@ -189,7 +223,7 @@ func (s *ServiceSim) makeReady(r *request) {
 		s.freeSlots--
 		s.runSegment(r)
 	} else {
-		s.runQueue = append(s.runQueue, r)
+		s.runQueue.push(r)
 	}
 }
 
@@ -207,10 +241,8 @@ func (s *ServiceSim) runSegment(r *request) {
 	s.eng.After(segTime, func() {
 		r.segLeft--
 		// Release the hardware thread; run the next ready worker.
-		if len(s.runQueue) > 0 {
-			next := s.runQueue[0]
-			s.runQueue = s.runQueue[1:]
-			s.runSegment(next)
+		if s.runQueue.len() > 0 {
+			s.runSegment(s.runQueue.pop())
 		} else {
 			s.freeSlots++
 		}
@@ -235,10 +267,8 @@ func (s *ServiceSim) runSegment(r *request) {
 // statistics if past warm-up.
 func (s *ServiceSim) complete(r *request) {
 	now := s.eng.Now()
-	if len(s.waitQueue) > 0 {
-		next := s.waitQueue[0]
-		s.waitQueue = s.waitQueue[1:]
-		s.startOnWorker(next)
+	if s.waitQueue.len() > 0 {
+		s.startOnWorker(s.waitQueue.pop())
 	} else {
 		s.idleWrk++
 	}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"softsku/internal/knob"
+	"softsku/internal/platform"
+	"softsku/internal/telemetry"
+	"softsku/internal/workload"
+)
+
+// Characterization-cache telemetry. A hit means a full prefill +
+// 800k-instruction window was skipped; windows counts the measurements
+// that actually executed (with the cache off, every Characterize call
+// is a window).
+var (
+	mSimCacheHits = telemetry.Default.Counter("softsku_sim_cache_hits_total",
+		"Characterization windows served from the content-addressed cache.")
+	mSimCacheMisses = telemetry.Default.Counter("softsku_sim_cache_misses_total",
+		"Characterization cache lookups that had to run the window.")
+	mSimWindows = telemetry.Default.Counter("softsku_sim_windows_total",
+		"Characterization measurement windows executed (prefill + warm-up + measure).")
+)
+
+// charCache memoizes WindowRates by the canonical fingerprint of every
+// input that can affect Characterize (DESIGN.md §11). Entries are
+// single-flight: under core.ParallelFor the first goroutine to request
+// a key runs the window inside the entry's once while latecomers block
+// on it, so worker count can change neither the results nor the number
+// of windows executed. Cached *WindowRates are shared and treated as
+// immutable by all consumers (Solve copies Counts by value).
+type charCache struct {
+	mu      sync.Mutex
+	enabled bool
+	entries map[string]*charEntry
+}
+
+type charEntry struct {
+	once  sync.Once
+	rates *WindowRates
+}
+
+var charcache = charCache{enabled: true, entries: map[string]*charEntry{}}
+
+// SetCharacterizationCache enables or disables the process-wide
+// characterization cache and reports the previous setting. Disabled
+// (the -sim-cache=off escape hatch) every Characterize call runs its
+// own window; results are bit-identical either way — the cache is a
+// pure memoization keyed on every input that reaches the window.
+func SetCharacterizationCache(enabled bool) bool {
+	charcache.mu.Lock()
+	defer charcache.mu.Unlock()
+	prev := charcache.enabled
+	charcache.enabled = enabled
+	return prev
+}
+
+// CharacterizationCacheEnabled reports whether the cache is active.
+func CharacterizationCacheEnabled() bool {
+	charcache.mu.Lock()
+	defer charcache.mu.Unlock()
+	return charcache.enabled
+}
+
+// ResetCharacterizationCache drops every cached window. Benchmarks and
+// equivalence tests call it between runs so each run observes a cold
+// cache; production runs never need it (entries are pure functions of
+// their key).
+func ResetCharacterizationCache() {
+	charcache.mu.Lock()
+	defer charcache.mu.Unlock()
+	charcache.entries = map[string]*charEntry{}
+}
+
+// WindowsExecuted returns the cumulative count of characterization
+// measurement windows that actually ran in this process — the quantity
+// the cache exists to reduce; benchmarks and tests difference it
+// around a run.
+func WindowsExecuted() float64 { return mSimWindows.Value() }
+
+// getOrMeasure returns the cached rates for key, running measure
+// exactly once per key across all goroutines.
+func (c *charCache) getOrMeasure(key string, measure func() *WindowRates) *WindowRates {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &charEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		e.rates = measure()
+	})
+	if hit {
+		mSimCacheHits.Inc()
+	} else {
+		mSimCacheMisses.Inc()
+	}
+	return e.rates
+}
+
+// ctxSwitchInterval converts the profile's per-core context-switch rate
+// at a core frequency into the switch interval in instructions (IPC≈1
+// estimate, as in runWindow). A rate so high the interval rounds below
+// one instruction clamps to 1 — switch every chunk — instead of the
+// divide-by-zero the unclamped value used to cause. The interval, not
+// the raw frequency, is what the measurement window observes, so it is
+// the form under which core frequency enters the cache key.
+func ctxSwitchInterval(coreFreqMHz int, ratePerSec float64) int {
+	if ratePerSec <= 0 {
+		return math.MaxInt64
+	}
+	iv := int(float64(coreFreqMHz) * 1e6 / ratePerSec)
+	if iv < 1 {
+		iv = 1
+	}
+	return iv
+}
+
+// charKey builds the canonical fingerprint of every input that affects
+// a characterization window:
+//
+//   - the SKU (cache/TLB geometry, LLC size, prefetcher behaviour) and
+//     profile (footprints, mixes, seed-independent layout), fingerprinted
+//     with %#v so any new scalar field automatically joins the key;
+//   - the workload seed (stream contents, age scrambling);
+//   - the µarch-relevant knob subset: active cores (thread count, LLC
+//     scaling, private-span scaling), CDP way split, prefetch mask, THP
+//     mode, SHP reservation;
+//   - the applied CAT way limit (Machine.SetCAT, not part of knob.Config);
+//   - the context-switch interval — the only path by which core
+//     frequency reaches the window. Uncore frequency never does: both
+//     frequencies otherwise enter only Solve, which runs per call.
+//
+// Keys are full canonical strings, not hashes: collisions are
+// impossible, so the cache cannot silently merge distinct configs.
+func charKey(sku *platform.SKU, prof *workload.Profile, cfg knob.Config, catWays int, seed uint64) string {
+	return fmt.Sprintf("sku{%#v}|prof{%#v}|seed=%d|cores=%d|cdp=%d/%d|pf=%d|thp=%d|shp=%d|cat=%d|ctxint=%d",
+		*sku, *prof, seed,
+		cfg.Cores, cfg.CDP.DataWays, cfg.CDP.CodeWays, uint8(cfg.Prefetch),
+		int(cfg.THP), cfg.SHPCount, catWays,
+		ctxSwitchInterval(cfg.CoreFreqMHz, prof.CtxSwitchRate))
+}

@@ -112,6 +112,46 @@ func (as *AddressSpace) PageOf(regionIdx int, addr uint64) (pageBase uint64, hug
 	return addr >> PageShift4K << PageShift4K, false
 }
 
+// Resolver is a flattened read-only view of the address space for hot
+// loops: page resolution becomes three slice loads and two compares,
+// with no Region struct copy per access. It shares the AddressSpace's
+// layout and stays valid for its lifetime (the layout is immutable
+// after construction).
+type Resolver struct {
+	base    []uint64
+	end     []uint64
+	hugeEnd []uint64 // first address past the huge-backed prefix
+	regions []Region // for the out-of-region panic message only
+}
+
+// Resolver returns the flat resolver for the address space.
+func (as *AddressSpace) Resolver() Resolver {
+	r := Resolver{
+		base:    make([]uint64, len(as.regions)),
+		end:     make([]uint64, len(as.regions)),
+		hugeEnd: make([]uint64, len(as.regions)),
+		regions: as.regions,
+	}
+	for i, reg := range as.regions {
+		r.base[i] = reg.Base
+		r.end[i] = reg.Base + reg.Size
+		r.hugeEnd[i] = reg.Base + as.hugeChunks[i]<<PageShift2M
+	}
+	return r
+}
+
+// PageOf resolves exactly like AddressSpace.PageOf, including the
+// out-of-region panic.
+func (r *Resolver) PageOf(regionIdx int, addr uint64) (pageBase uint64, huge bool) {
+	if addr < r.base[regionIdx] || addr >= r.end[regionIdx] {
+		panic(fmt.Sprintf("tlb: address %#x outside region %q", addr, r.regions[regionIdx].Name))
+	}
+	if addr < r.hugeEnd[regionIdx] {
+		return addr &^ (PageSize2M - 1), true
+	}
+	return addr &^ (PageSize4K - 1), false
+}
+
 // HugeFraction returns the fraction of region idx's chunks that are
 // huge-backed, for diagnostics and tests.
 func (as *AddressSpace) HugeFraction(regionIdx int) float64 {

@@ -1,0 +1,95 @@
+package workload
+
+import "softsku/internal/tlb"
+
+// Span-batched variants of MapDataOffset / MapCodeLine for the
+// prefill's install loops. The per-line mappers re-resolve the region
+// and the page permutation on every 64-byte line; these walk a span
+// once, hoisting the region split and the per-4 KiB-page permutation
+// lookup out of the inner loop while visiting byte-for-byte the same
+// address sequence (warmmap_test.go proves equivalence line by line).
+
+// ForEachDataLine calls fn with the mapped address of every line a
+// `for off := lo; off < hi; off += 64` loop over MapDataOffset would
+// visit, in the same order.
+func ForEachDataLine(p *Profile, l Layout, lo, hi uint64, fn func(addr uint64)) {
+	off := lo
+	// Slab segment: offsets below the SHP heap boundary, if any.
+	if l.SHPHeap >= 0 && off < p.SHPHeap {
+		slabEnd := hi
+		if p.SHPHeap < slabEnd {
+			slabEnd = p.SHPHeap
+		}
+		reg := l.Regions[l.SHPHeap]
+		if l.SlabPerm == nil {
+			off = forEachContig(reg, off, slabEnd, 0, fn)
+		} else {
+			nperm := uint64(len(l.SlabPerm))
+			for off < slabEnd {
+				page := off >> tlb.PageShift4K
+				pageEnd := (page + 1) << tlb.PageShift4K
+				if pageEnd > slabEnd {
+					pageEnd = slabEnd
+				}
+				pbase := uint64(l.SlabPerm[page%nperm]) << tlb.PageShift4K
+				for ; off < pageEnd; off += lineBytes {
+					po := pbase | (off & (tlb.PageSize4K - 1))
+					if po+lineBytes > reg.Size {
+						po %= reg.Size - lineBytes
+					}
+					fn(reg.Base + po)
+				}
+			}
+		}
+	}
+	if off >= hi {
+		return
+	}
+	// Heap segment: everything at or past the SHP boundary.
+	var shift uint64
+	if l.SHPHeap >= 0 {
+		shift = p.SHPHeap
+	}
+	forEachContig(l.Regions[l.Heap], off, hi, shift, fn)
+}
+
+// forEachContig walks [off, end) stepping 64 bytes, mapping each offset
+// to shift-adjusted region-relative position with MapDataOffset's tail
+// wrap, and returns the first offset past the span (preserving the
+// cursor's 64-byte phase for the caller).
+func forEachContig(reg tlb.Region, off, end, shift uint64, fn func(addr uint64)) uint64 {
+	for ; off < end; off += lineBytes {
+		po := off - shift
+		if po+lineBytes > reg.Size {
+			po %= reg.Size - lineBytes
+		}
+		fn(reg.Base + po)
+	}
+	return off
+}
+
+// ForEachCodeLine calls fn with the address of code lines [0, lines) of
+// the pool's text region, in index order, exactly as repeated
+// MapCodeLine calls would.
+func ForEachCodeLine(p *Profile, l Layout, pool int, lines uint64, fn func(addr uint64)) {
+	base := l.Regions[l.Text[pool]].Base
+	if l.CodePerm == nil {
+		for line := uint64(0); line < lines; line++ {
+			fn(base + line*lineBytes)
+		}
+		return
+	}
+	const linesPerPage = tlb.PageSize4K / lineBytes
+	nperm := uint64(len(l.CodePerm))
+	for line := uint64(0); line < lines; {
+		page := line / linesPerPage
+		pageEnd := (page + 1) * linesPerPage
+		if pageEnd > lines {
+			pageEnd = lines
+		}
+		pbase := base + uint64(l.CodePerm[page%nperm])<<tlb.PageShift4K
+		for ; line < pageEnd; line++ {
+			fn(pbase + (line%linesPerPage)*lineBytes)
+		}
+	}
+}

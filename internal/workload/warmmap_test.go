@@ -1,0 +1,83 @@
+package workload
+
+import "testing"
+
+// TestForEachDataLineEquivalence proves the span-batched data walk
+// visits byte-for-byte the same addresses as the per-line mapper, for
+// every service profile on its home platform and for spans chosen to
+// cross every interesting boundary: the SHP slab/heap split, permuted
+// 4 KiB pages, unaligned starts, and the tail wrap.
+func TestForEachDataLineEquivalence(t *testing.T) {
+	for _, base := range All() {
+		p := ForPlatform(base, base.Platform)
+		l := p.BuildLayout()
+		spans := [][2]uint64{
+			{0, 64 * 1024},
+			{p.DataFootprint / 3, p.DataFootprint/3 + 256*1024},
+			// Unaligned start, straddling permuted-page boundaries.
+			{13, 13 + 128*1024},
+		}
+		if p.SHPHeap > 4096 {
+			// Straddle the SHP slab / heap split, aligned and not.
+			spans = append(spans,
+				[2]uint64{p.SHPHeap - 64*1024, p.SHPHeap + 64*1024},
+				[2]uint64{p.SHPHeap - 100, p.SHPHeap + 100})
+		}
+		// Tail wrap: spans running past the footprint end.
+		spans = append(spans, [2]uint64{p.DataFootprint - 4096, p.DataFootprint + 64*1024})
+		for _, sp := range spans {
+			lo, hi := sp[0], sp[1]
+			off := lo
+			n := 0
+			ForEachDataLine(p, l, lo, hi, func(addr uint64) {
+				if off >= hi {
+					t.Fatalf("%s span [%d,%d): extra address %#x past span end",
+						p.Name, lo, hi, addr)
+				}
+				_, want := MapDataOffset(p, l, off)
+				if addr != want {
+					t.Fatalf("%s span [%d,%d): offset %d = %#x, want %#x",
+						p.Name, lo, hi, off, addr, want)
+				}
+				off += 64
+				n++
+			})
+			if want := int((hi - lo + 63) / 64); n != want {
+				t.Fatalf("%s span [%d,%d): %d addresses, want %d", p.Name, lo, hi, n, want)
+			}
+		}
+	}
+}
+
+// TestForEachCodeLineEquivalence does the same for the code walk,
+// covering both permuted (JIT) and contiguous (linker-laid-out) text
+// and partial final pages.
+func TestForEachCodeLineEquivalence(t *testing.T) {
+	for _, base := range All() {
+		p := ForPlatform(base, base.Platform)
+		l := p.BuildLayout()
+		for pool := 0; pool < p.CodePools; pool++ {
+			max := p.CodeWarm.Bytes / 64
+			if lim := uint64(256 * 1024 / 64); max > lim {
+				max = lim
+			}
+			for _, lines := range []uint64{0, 1, 63, 64, 65, 1000, max} {
+				line := uint64(0)
+				ForEachCodeLine(p, l, pool, lines, func(addr uint64) {
+					if line >= lines {
+						t.Fatalf("%s pool %d lines %d: extra address %#x",
+							p.Name, pool, lines, addr)
+					}
+					if want := MapCodeLine(p, l, pool, line); addr != want {
+						t.Fatalf("%s pool %d line %d = %#x, want %#x",
+							p.Name, pool, line, addr, want)
+					}
+					line++
+				})
+				if line != lines {
+					t.Fatalf("%s pool %d: %d addresses, want %d", p.Name, pool, line, lines)
+				}
+			}
+		}
+	}
+}

@@ -49,4 +49,21 @@ if ! echo "$out" | grep -q "soft SKU:"; then
 fi
 echo "$out" | grep "soft SKU:"
 
+echo "== sim-cache equivalence smoke =="
+# The characterization cache must be invisible in results: the same
+# short tuning run with the cache on (default) and off has to emit
+# byte-identical JSON. Complements internal/core's
+# TestSimCacheBitIdentical (which also covers -parallel and chaos).
+cached=$(go run ./cmd/musku -service Web -knobs thp,shp -max-samples 1500 -seed 3 -q -json)
+uncached=$(go run ./cmd/musku -service Web -knobs thp,shp -max-samples 1500 -seed 3 -q -json -sim-cache=off)
+if [ "$cached" != "$uncached" ]; then
+	echo "sim-cache smoke: cached and uncached runs diverged" >&2
+	echo "--- cached ---" >&2
+	echo "$cached" >&2
+	echo "--- uncached ---" >&2
+	echo "$uncached" >&2
+	exit 1
+fi
+echo "cached and uncached runs identical"
+
 echo "check: all green"

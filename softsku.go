@@ -72,6 +72,20 @@ func IsChaosFault(err error) bool { return chaos.IsFault(err) }
 // NewTracer returns an empty span tracer for Tool.SetTracer.
 func NewTracer() *Tracer { return telemetry.NewTracer() }
 
+// SetCharacterizationCache enables or disables the process-wide
+// content-addressed characterization cache (DESIGN.md §11) and returns
+// the previous setting. Enabled by default; results are bit-identical
+// either way (the cache key covers every input that reaches a
+// measurement window), so disabling it — the CLIs' -sim-cache=off —
+// only trades speed for an independent re-measurement of every window.
+func SetCharacterizationCache(enabled bool) bool {
+	return sim.SetCharacterizationCache(enabled)
+}
+
+// ResetCharacterizationCache drops every cached characterization
+// window, so subsequent runs measure from a cold cache.
+func ResetCharacterizationCache() { sim.ResetCharacterizationCache() }
+
 // Metrics returns the process-wide telemetry registry every
 // instrumented subsystem (sim engine, A/B tester, tuner, fleet, EMON)
 // reports into. Export it with MetricsRegistry.WritePrometheus.
