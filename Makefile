@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-simcache fmt chaos lint lint-fixtures
+.PHONY: build test check bench bench-parallel bench-simcache bench-decision fmt chaos lint lint-fixtures
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,16 @@ bench-parallel:
 # TestSimCacheBitIdentical proves both rows compute identical Results.
 bench-simcache:
 	$(GO) test -run XXX -bench 'Benchmark(Sweep|Climb)Cache(Off|On)$$' -benchmem -benchtime 1x -count 3 ./internal/core
+
+# Decision flight-recorder overhead: the same four-knob tuning run
+# with the ledger detached vs attached (DESIGN.md §12). Recording is
+# all on the serial merge phase — per trial one 64-read analytic
+# evidence capture plus struct appends — so the two rows must be
+# within noise of each other. Medians are recorded in
+# BENCH_decision.json; TestLedgerBitIdentical proves the ledger itself
+# is byte-identical at any worker count.
+bench-decision:
+	$(GO) test -run XXX -bench 'BenchmarkSweepRecorder(Off|On)$$' -benchmem -benchtime 1x -count 3 ./internal/core
 
 fmt:
 	gofmt -w .

@@ -35,6 +35,7 @@ import (
 
 	"softsku"
 	"softsku/internal/chaos"
+	"softsku/internal/decision"
 	"softsku/internal/knob"
 	"softsku/internal/telemetry"
 )
@@ -51,6 +52,7 @@ func main() {
 		maxSamples = flag.Int("max-samples", 0, "per-arm sample cap for A/B trials (0: default 30000)")
 		parallel   = flag.Int("parallel", 0, "trial worker count; results are seed-deterministic at any value (0: GOMAXPROCS)")
 		validate   = flag.Int("validate", 0, "after tuning, validate across N simulated code pushes")
+		decOut     = flag.String("decisions-out", "", "write the decision ledger as JSONL (replay with skutrace)")
 		simCache   = flag.String("sim-cache", "on", "characterization cache: on | off (off re-measures every window; results are identical)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of tables")
@@ -78,6 +80,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The flight recorder is always on: recording is append-only structs
+	// behind the serial merge phase, so it costs nothing measurable (see
+	// make bench-decision) and every run stays explainable after the fact.
+	ledger := decision.NewLedger()
+	tool.SetRecorder(ledger)
+	obs.Decisions = ledger.Handler()
 	eng := cc.Engine()
 	if eng != nil {
 		tool.SetChaos(eng)
@@ -99,6 +107,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *decOut != "" {
+		f, err := os.Create(*decOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ledger.WriteJSONL(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if eng != nil && !*quiet {
 		fmt.Fprintf(os.Stderr, "chaos: %s\n", eng.Summary())
 		fmt.Fprintf(os.Stderr, "chaos: %d settings skipped, %d guardrail reverts\n",
@@ -107,6 +128,7 @@ func main() {
 
 	if *jsonOut {
 		emitJSON(res)
+		serveWait(&obs)
 		return
 	}
 
@@ -134,6 +156,18 @@ func main() {
 		}
 		fmt.Printf("  mean advantage %+.2f%%, stable=%v\n", v.MeanDeltaPct, v.StableAdvantage)
 	}
+	serveWait(&obs)
+}
+
+// serveWait keeps the process alive after the run when -serve is
+// active, so the finished ledger and metrics stay scrapeable until the
+// user interrupts the process.
+func serveWait(obs *telemetry.CLI) {
+	if !obs.Serving() {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "musku: serving observability on http://%s (ctrl-c to exit)\n", obs.ServingAddr())
+	obs.Wait()
 }
 
 func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64, maxSamples, parallel int) (softsku.TuneInput, error) {

@@ -1,0 +1,168 @@
+// Command skutrace inspects decision-trace ledgers — the append-only
+// JSONL flight recording musku writes with -decisions-out (and serves
+// live at /debug/decisions). It renders the causal decision tree,
+// diffs two ledgers event by event, and replays a recorded run under a
+// counterfactual objective without re-running the simulator: each
+// trial_measured event carries per-metric evidence moments, enough to
+// re-judge every verdict, guardrail, and winner under a different
+// metric, confidence, or guardrail threshold.
+//
+// Usage:
+//
+//	skutrace tree ledger.jsonl
+//	skutrace diff a.jsonl b.jsonl
+//	skutrace replay -metric p99 [-guardrail-pct 5] [-confidence 0.99] [-json] ledger.jsonl
+//
+// Exit status: 0 on success (for diff: ledgers identical; for replay:
+// no divergences), 1 when differences/divergences are found, 2 on
+// usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"softsku/internal/decision"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "tree":
+		return runTree(args[1:], stdout, stderr)
+	case "diff":
+		return runDiff(args[1:], stdout, stderr)
+	case "replay":
+		return runReplay(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "skutrace: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  skutrace tree ledger.jsonl                 render the causal decision tree
+  skutrace diff a.jsonl b.jsonl              compare two ledgers event by event
+  skutrace replay [flags] ledger.jsonl       re-judge a run under another objective
+    -metric mips|qps|perfwatt|p99            counterfactual objective (default: recorded)
+    -guardrail-pct N                         re-evaluate guardrails at N% (0 off; default: recorded)
+    -confidence C                            significance level in (0,1) (default: recorded)
+    -json                                    emit the full report as JSON
+`)
+}
+
+func loadLedger(path string) ([]decision.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := decision.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+func runTree(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "skutrace: tree wants exactly one ledger file")
+		return 2
+	}
+	events, err := loadLedger(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "skutrace:", err)
+		return 2
+	}
+	if err := decision.WriteTree(stdout, events); err != nil {
+		fmt.Fprintln(stderr, "skutrace:", err)
+		return 2
+	}
+	return 0
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "skutrace: diff wants exactly two ledger files")
+		return 2
+	}
+	a, err := loadLedger(args[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "skutrace:", err)
+		return 2
+	}
+	b, err := loadLedger(args[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "skutrace:", err)
+		return 2
+	}
+	lines := decision.Diff(a, b)
+	if len(lines) == 0 {
+		fmt.Fprintf(stdout, "ledgers identical (%d events)\n", len(a))
+		return 0
+	}
+	for _, l := range lines {
+		fmt.Fprintln(stdout, l)
+	}
+	return 1
+}
+
+func runReplay(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("skutrace replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	metric := fs.String("metric", "", "counterfactual objective: "+strings.Join(decision.KnownMetrics(), " | ")+" (default: recorded)")
+	guardrail := fs.Float64("guardrail-pct", -1, "re-evaluate guardrails at this % regression (0 disables; default: recorded)")
+	confidence := fs.Float64("confidence", 0, "significance level in (0,1) (default: recorded)")
+	asJSON := fs.Bool("json", false, "emit the full report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "skutrace: replay wants exactly one ledger file")
+		return 2
+	}
+	events, err := loadLedger(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "skutrace:", err)
+		return 2
+	}
+	rep, err := decision.Replay(events, decision.Objective{
+		Metric:       *metric,
+		GuardrailPct: *guardrail,
+		Confidence:   *confidence,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "skutrace:", err)
+		return 2
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "skutrace:", err)
+			return 2
+		}
+	} else {
+		fmt.Fprint(stdout, rep.Summary())
+	}
+	if len(rep.Divergences) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -122,4 +122,8 @@ func main() {
 				svc.Name, svc.Platform, c.Counters.MemBWGBs, c.Counters.MemLatencyNS)
 		}
 	}
+	if obs.Serving() {
+		fmt.Fprintf(os.Stderr, "stress: serving observability on http://%s (ctrl-c to exit)\n", obs.ServingAddr())
+		obs.Wait()
+	}
 }

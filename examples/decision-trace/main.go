@@ -1,0 +1,59 @@
+// Decision-trace demonstrates the flight recorder and counterfactual
+// replay: a tuning run records every decision — sweeps, trials,
+// verdicts, accepted and rejected arms — into an append-only ledger
+// with causal parent links and per-trial evidence moments. The ledger
+// renders as a tree, exports as JSONL (musku -decisions-out, skutrace),
+// and replays under a different objective WITHOUT re-running the
+// simulator: here the same run is re-judged under tail latency (p99)
+// instead of throughput (mips), surfacing every knob whose win would
+// not have survived the counterfactual policy.
+//
+// Run with:
+//
+//	go run ./examples/decision-trace
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"softsku"
+)
+
+func main() {
+	in := softsku.DefaultTuneInput("Web", "Skylake18")
+	in.AB.MinSamples = 150 // example-sized sampling budget
+	in.AB.MaxSamples = 1500
+
+	tool, err := softsku.NewTool(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ledger := softsku.NewDecisionLedger()
+	tool.SetRecorder(ledger)
+
+	res, err := tool.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("soft SKU: %s\n", res.SoftSKU)
+	fmt.Printf("vs production: %s\n\n", res.VsProduction)
+
+	// The causal decision tree — what `skutrace tree` renders from a
+	// -decisions-out file.
+	fmt.Println("== decision trace ==")
+	if err := softsku.WriteDecisionTree(os.Stdout, ledger.Events()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Counterfactual replay: re-judge every recorded trial under the
+	// p99 objective (lower is better) from recorded evidence alone.
+	rep, err := softsku.ReplayDecisions(ledger.Events(),
+		softsku.DecisionObjective{Metric: "p99"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== counterfactual: what if the objective had been p99? ==")
+	fmt.Print(rep.Summary())
+}

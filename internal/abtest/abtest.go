@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"softsku/internal/chaos"
+	"softsku/internal/decision"
 	"softsku/internal/stats"
 	"softsku/internal/telemetry"
 )
@@ -83,6 +84,13 @@ type Config struct {
 	// trial. nil — the default — runs fault-free and bit-identical to
 	// the pre-chaos tester.
 	Chaos chaos.Injector
+
+	// Record receives the trial's decision events (trial_started, and
+	// guardrail_trip if the trial aborts). Trials run on worker
+	// goroutines, so callers pass a per-trial decision.Buffer and drain
+	// it during their serial merge — never a shared Ledger, whose event
+	// order would then depend on scheduling. nil disables recording.
+	Record decision.Sink
 }
 
 // DefaultConfig mirrors the paper's prototype: 95% confidence, 30k
@@ -314,6 +322,11 @@ func Run(cfg Config, control, treatment Sampler, startSec float64) (Outcome, flo
 	alpha := 1 - cfg.Confidence
 	t := startSec + cfg.WarmupSec // discard cold-start observations
 	mTrialsStarted.Inc()
+	trialEv := -1
+	if cfg.Record != nil {
+		trialEv = cfg.Record.Record(-1,
+			decision.TrialStarted(cfg.Confidence, cfg.MinSamples, cfg.MaxSamples, cfg.GuardrailPct))
+	}
 
 	var out Outcome
 	var madC, madT *madEstimator
@@ -374,6 +387,10 @@ func Run(cfg Config, control, treatment Sampler, startSec float64) (Outcome, flo
 				if delta := deltaPct(out.Control.Mean(), out.Treatment.Mean()); delta < -cfg.GuardrailPct {
 					out.GuardrailTripped = true
 					mGuardrailTrips.Inc()
+					if cfg.Record != nil {
+						cfg.Record.Record(trialEv,
+							decision.GuardrailTrip(delta, out.Samples, cfg.GuardrailPct))
+					}
 					break
 				}
 			}

@@ -103,6 +103,7 @@ var simFacing = map[string]bool{
 	"loadgen":  true,
 	"workload": true,
 	"fleet":    true,
+	"decision": true, // the ledger must be byte-identical run to run
 }
 
 // SimFacing reports whether the named package is bound by the seeded
@@ -125,6 +126,7 @@ func All() []*Analyzer {
 		SpanEnd,
 		SeedArg,
 		Goroutine,
+		DecisionEvent,
 	}
 }
 

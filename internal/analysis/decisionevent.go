@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// decisionPath is the import path of the decision-trace flight
+// recorder whose Event type this analyzer guards.
+const decisionPath = "softsku/internal/decision"
+
+// DecisionEvent keeps the decision ledger's schema in one place. A
+// decision.Event assembled as a raw composite literal outside the
+// decision package bypasses the constructors (TrialMeasured,
+// ArmAccepted, GuardrailTrip, ...) that sanitize floats (finite: no
+// NaN/Inf in the JSONL), stamp the Kind, and keep field semantics
+// consistent — the properties counterfactual replay and the
+// bit-identical-ledger test rest on. Every recording site must build
+// events through the constructors; supporting value types
+// (decision.Evidence, decision.Stat, decision.TrialOutcome) stay free
+// to construct anywhere. Test files are NOT exempt: a test that forges
+// an Event literal pins a schema the constructors may never produce.
+var DecisionEvent = &Analyzer{
+	Name: "decisionevent",
+	Doc:  "decision.Event values must be built via the decision package's constructors",
+	Run:  runDecisionEvent,
+}
+
+func runDecisionEvent(p *Pass) {
+	if p.PkgName() == "decision" {
+		return // the constructors themselves live here
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info().Types[lit]
+			if !ok {
+				return true
+			}
+			if isDecisionEvent(tv.Type) {
+				p.Reportf(lit.Pos(),
+					"decision.Event composite literal bypasses the event constructors; raw literals skip float sanitization and kind stamping, corrupting the ledger schema replay depends on — use decision.TrialMeasured/ArmAccepted/... instead")
+			}
+			return true
+		})
+	}
+}
+
+// isDecisionEvent reports whether t (possibly behind pointers) is the
+// named type Event from softsku/internal/decision.
+func isDecisionEvent(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Path() == decisionPath
+}

@@ -61,6 +61,7 @@ func TestGolden(t *testing.T) {
 		{SpanEnd, "spanend/spans"},
 		{SeedArg, "seedarg/sim"},
 		{Goroutine, "goroutine/sim"},
+		{DecisionEvent, "decisionevent/events"},
 		{Nondeterminism, "directives/bad"},
 	}
 	l := fixtureLoader(t)

@@ -1,0 +1,38 @@
+// Fixture: decision.Event construction outside the decision package.
+package events
+
+import "softsku/internal/decision"
+
+// recordByConstructor is the sanctioned path: events come from the
+// decision package's constructors.
+func recordByConstructor(l *decision.Ledger) {
+	parent := l.Record(-1, decision.RunStarted("Web", "Skylake18", "independent", "mips", 1, 0.95, 2))
+	l.Record(parent, decision.Skip("sweep/thp/1", "always", "injected fault"))
+}
+
+// forgeLiteral bypasses the constructors — no finite() sanitization,
+// hand-stamped kind.
+func forgeLiteral(l *decision.Ledger) {
+	l.Record(-1, decision.Event{Kind: "run_started", Service: "Web"})
+}
+
+// forgePointer hides the literal behind a pointer.
+func forgePointer() *decision.Event {
+	return &decision.Event{Kind: "skip", Detail: "forged"}
+}
+
+// supportTypesAreFine: the evidence value types carry no kind or
+// causal links, so literals are the normal way to build them.
+func supportTypesAreFine() decision.Evidence {
+	return decision.Evidence{
+		Metric:    "mips",
+		Control:   decision.Stat{N: 32, Mean: 100, Var: 4},
+		Treatment: decision.Stat{N: 32, Mean: 103, Var: 4},
+	}
+}
+
+// suppressed documents a deliberate forge (e.g. a migration shim).
+func suppressed() decision.Event {
+	//lint:ignore decisionevent fixture exercising suppression
+	return decision.Event{Kind: "revert"}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"softsku/internal/decision"
+	"softsku/internal/knob"
+)
+
+// benchSweepRecorder measures one full tuning run (independent sweep
+// over four knobs plus both final validations) with the decision
+// flight recorder off vs on. Recording rides the serial merge phase:
+// per trial it is one evidence capture (64 analytic panel reads, no
+// simulation windows) plus a handful of struct appends, so the ledger
+// must be ≈ free next to the trial sampling it annotates.
+// BENCH_decision.json records the medians of `make bench-decision`.
+func benchSweepRecorder(b *testing.B, record bool) {
+	in := fastInput("Web", "Skylake18", knob.THP, knob.SHP, knob.CoreFreq, knob.Prefetch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tool, err := New(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tool.SetLogger(io.Discard)
+		if record {
+			tool.SetRecorder(decision.NewLedger())
+		}
+		if _, err := tool.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if record {
+			if n := tool.Recorder().Len(); n == 0 {
+				b.Fatal("recorder captured no events")
+			}
+		}
+	}
+}
+
+func BenchmarkSweepRecorderOff(b *testing.B) { benchSweepRecorder(b, false) }
+func BenchmarkSweepRecorderOn(b *testing.B)  { benchSweepRecorder(b, true) }

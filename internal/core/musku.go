@@ -7,6 +7,7 @@ import (
 
 	"softsku/internal/abtest"
 	"softsku/internal/chaos"
+	"softsku/internal/decision"
 	"softsku/internal/knob"
 	"softsku/internal/loadgen"
 	"softsku/internal/platform"
@@ -113,6 +114,9 @@ type Tool struct {
 
 	tracer *telemetry.Tracer // nil disables tracing
 	span   *telemetry.Span   // current parent for trial/machine spans
+
+	rec     *decision.Ledger // nil disables decision recording
+	decRoot int              // run_started seq; -1 outside a recorded run
 }
 
 // New builds a µSKU tool from an input file. It rejects MIPS-metric
@@ -159,6 +163,7 @@ func NewForService(in Input, prof *workload.Profile, sku *platform.SKU) (*Tool, 
 		load:     loadgen.NewDiurnal(rng.Derive(in.Seed, "load/validate")),
 		par:      in.Parallel,
 		servers:  make(map[string]*platform.Server),
+		decRoot:  -1,
 	}
 	return t, nil
 }
@@ -175,6 +180,22 @@ func (t *Tool) SetChaos(inj chaos.Injector) {
 	t.chaos = inj
 	t.load.SetChaos(inj)
 }
+
+// SetRecorder attaches a decision ledger: Run appends every decision
+// the tuner makes — trials measured with their multi-metric evidence
+// panels, arms accepted and rejected, guardrail trips, reverts, skips
+// — with causal parent links, as the flight record cmd/skutrace
+// renders and replays. All appends happen on the run's serial phases
+// (per-trial events buffer through decision.Buffer), so the ledger is
+// byte-identical across worker counts. nil (the default) disables
+// recording.
+func (t *Tool) SetRecorder(l *decision.Ledger) {
+	t.rec = l
+	t.decRoot = -1
+}
+
+// Recorder returns the attached decision ledger (nil if none).
+func (t *Tool) Recorder() *decision.Ledger { return t.rec }
 
 // SetParallel sets the trial worker count: each knob sweep's candidate
 // trials are sharded across n goroutines, with results merged in
@@ -271,6 +292,15 @@ func (t *Tool) Run() (*Result, error) {
 		Baseline: t.baseline,
 		Stock:    sim.StockConfig(t.sku),
 	}
+	if t.rec != nil {
+		conf := t.in.AB.Confidence
+		if conf <= 0 || conf >= 1 {
+			conf = 0.95 // mirror abtest's zero-value patching
+		}
+		t.decRoot = t.rec.Record(-1, decision.RunStarted(
+			t.prof.Name, t.sku.Name, t.in.Sweep.String(), t.in.Metric.String(),
+			t.in.Seed, conf, t.in.AB.GuardrailPct))
+	}
 	var composed knob.Config
 	var err error
 	switch t.in.Sweep {
@@ -320,15 +350,23 @@ func (t *Tool) Run() (*Result, error) {
 		t.newSpec(vspan, "final/stock", res.Stock, composed),
 	}
 	t.in.AB = save
+	// The final group measures the composed SKU; it chooses nothing,
+	// and replay knows groups labeled "final" carry no winner.
+	finSeq := -1
+	if t.rec != nil {
+		finSeq = t.rec.Record(t.decRoot, decision.SweepStarted("final", "", t.baseline.String()))
+	}
 	results := t.runTrials(specs)
 	if res.VsProduction, err = t.mergeTrial(specs[0], results[0]); err != nil {
 		vspan.End()
 		return nil, err
 	}
+	t.recordTrial(finSeq, specs[0], results[0], "", "")
 	if res.VsStock, err = t.mergeTrial(specs[1], results[1]); err != nil {
 		vspan.End()
 		return nil, err
 	}
+	t.recordTrial(finSeq, specs[1], results[1], "", "")
 	vspan.Set("vs_production_pct", res.VsProduction.DeltaPct)
 	vspan.Set("vs_stock_pct", res.VsStock.DeltaPct)
 	vspan.End()
@@ -341,6 +379,10 @@ func (t *Tool) Run() (*Result, error) {
 		root.Set("skipped", t.skipped)
 		root.Set("reverts", t.reverts)
 		t.logf("  degradation: %d settings skipped, %d guardrail reverts", t.skipped, t.reverts)
+	}
+	if t.rec != nil {
+		t.rec.Record(t.decRoot, decision.RunFinished(composed.String(),
+			res.VsProduction.DeltaPct, res.VsStock.DeltaPct, t.skipped, t.reverts))
 	}
 	t.logf("soft SKU for %s on %s: %s", res.Service, res.Platform, composed)
 	t.logf("  vs production: %s   vs stock: %s", res.VsProduction, res.VsStock)
@@ -402,15 +444,23 @@ func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 	for pi, p := range plans {
 		sweep := KnobSweep{Knob: p.id, Baseline: t.baseline.Get(p.id)}
 		t.logf("sweeping %s (%d settings)", p.id, len(t.space.Values[p.id]))
+		sweepSeq := -1
+		if t.rec != nil {
+			sweepSeq = t.rec.Record(t.decRoot,
+				decision.SweepStarted("sweep/"+p.id.String(), p.id.String(), t.baseline.Get(p.id).Name))
+		}
+		var ptSeq []int // ledger seq per point (-1: baseline, unrecorded)
 		bestIdx, bestDelta := -1, 0.0
 		for _, en := range p.entries {
 			if en.trial < 0 {
 				sweep.Points = append(sweep.Points, Point{Setting: en.setting, IsBaseline: true})
+				ptSeq = append(ptSeq, -1)
 				continue
 			}
 			out, err := t.mergeTrial(specs[en.trial], results[en.trial])
 			if err != nil {
 				if t.skipFault(err, en.setting.Name) {
+					t.recordSkip(sweepSeq, specs[en.trial], en.setting.Name, err)
 					continue // degrade: drop the setting, not the sweep
 				}
 				for _, rest := range plans[pi:] {
@@ -419,10 +469,28 @@ func (t *Tool) independentSweep(res *Result) (knob.Config, error) {
 				return composed, err
 			}
 			sweep.Points = append(sweep.Points, Point{Setting: en.setting, Outcome: out})
+			ptSeq = append(ptSeq, t.recordTrial(sweepSeq, specs[en.trial], results[en.trial], p.id.String(), en.setting.Name))
 			t.logf("  %-12s %s", en.setting.Name, out)
 			if out.Better() && out.DeltaPct > bestDelta {
 				bestDelta = out.DeltaPct
 				bestIdx = len(sweep.Points) - 1
+			}
+		}
+		if t.rec != nil {
+			for i := range sweep.Points {
+				if sweep.Points[i].IsBaseline || ptSeq[i] < 0 {
+					continue
+				}
+				if i == bestIdx {
+					t.rec.Record(ptSeq[i], decision.ArmAccepted(p.id.String(), sweep.Points[i].Setting.Name, bestDelta))
+				} else {
+					o := sweep.Points[i].Outcome
+					t.rec.Record(ptSeq[i], decision.ArmRejected(p.id.String(), sweep.Points[i].Setting.Name,
+						o.DeltaPct, o.PValue, o.Significant))
+				}
+			}
+			if bestIdx < 0 {
+				t.rec.Record(sweepSeq, decision.BaselineKept(p.id.String(), sweep.Baseline.Name))
 			}
 		}
 		if bestIdx >= 0 {
@@ -480,17 +548,45 @@ func (t *Tool) exhaustiveSweep(res *Result) (knob.Config, error) {
 		delta float64
 	}
 	best := scored{cfg: t.baseline}
+	sweepSeq := -1
+	if t.rec != nil {
+		sweepSeq = t.rec.Record(t.decRoot, decision.SweepStarted("exhaustive", "", t.baseline.String()))
+	}
+	bestSpec := -1
+	seqs := make([]int, len(specs))
+	outs := make([]abtest.Outcome, len(specs))
+	recorded := make([]bool, len(specs))
 	results := t.runTrials(specs)
 	for i, spec := range specs {
 		out, err := t.mergeTrial(spec, results[i])
 		if err != nil {
 			if t.skipFault(err, spec.treatment.String()) {
+				t.recordSkip(sweepSeq, spec, spec.treatment.String(), err)
 				continue
 			}
 			return t.baseline, err
 		}
+		seqs[i] = t.recordTrial(sweepSeq, spec, results[i], "", spec.treatment.String())
+		outs[i], recorded[i] = out, true
 		if out.Better() && out.DeltaPct > best.delta {
 			best = scored{cfg: spec.treatment, delta: out.DeltaPct}
+			bestSpec = i
+		}
+	}
+	if t.rec != nil {
+		for i := range specs {
+			if !recorded[i] {
+				continue
+			}
+			if i == bestSpec {
+				t.rec.Record(seqs[i], decision.ArmAccepted("", specs[i].treatment.String(), best.delta))
+			} else {
+				t.rec.Record(seqs[i], decision.ArmRejected("", specs[i].treatment.String(),
+					outs[i].DeltaPct, outs[i].PValue, outs[i].Significant))
+			}
+		}
+		if bestSpec < 0 {
+			t.rec.Record(sweepSeq, decision.BaselineKept("", t.baseline.String()))
 		}
 	}
 	res.ExhaustiveBest = best.delta

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"softsku/internal/abtest"
+	"softsku/internal/decision"
 	"softsku/internal/knob"
 )
 
@@ -54,23 +56,53 @@ func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
 				steps = append(steps, step{id: id, name: values[ni].Name})
 			}
 		}
+		roundSeq := -1
+		if t.rec != nil {
+			roundSeq = t.rec.Record(t.decRoot,
+				decision.SweepStarted(fmt.Sprintf("hill/%d", round), "", current.String()))
+		}
+		bestSpec := -1
+		seqs := make([]int, len(specs))
+		outs := make([]abtest.Outcome, len(specs))
+		recorded := make([]bool, len(specs))
 		results := t.runTrials(specs)
 		for i, spec := range specs {
 			out, err := t.mergeTrial(spec, results[i])
 			if err != nil {
 				if t.skipFault(err, steps[i].name) {
+					t.recordSkip(roundSeq, spec, steps[i].name, err)
 					continue
 				}
 				rs.End()
 				return current, err
 			}
+			seqs[i] = t.recordTrial(roundSeq, spec, results[i], steps[i].id.String(), steps[i].name)
+			outs[i], recorded[i] = out, true
 			if out.Better() && (best == nil || out.DeltaPct > best.delta) {
 				best = &move{cfg: spec.treatment, id: steps[i].id, name: steps[i].name, delta: out.DeltaPct}
+				bestSpec = i
+			}
+		}
+		if t.rec != nil {
+			for i := range specs {
+				if !recorded[i] {
+					continue
+				}
+				if i == bestSpec {
+					t.rec.Record(seqs[i], decision.ArmAccepted(steps[i].id.String(), steps[i].name, best.delta))
+				} else {
+					t.rec.Record(seqs[i], decision.ArmRejected(steps[i].id.String(), steps[i].name,
+						outs[i].DeltaPct, outs[i].PValue, outs[i].Significant))
+				}
 			}
 		}
 		if best == nil {
 			rs.Set("converged", true)
 			rs.End()
+			if t.rec != nil {
+				t.rec.Record(roundSeq, decision.Converged(
+					fmt.Sprintf("round %d: no neighbour improved on %s", round, current)))
+			}
 			t.logf("hill climb converged after %d rounds", round)
 			break
 		}

@@ -6,12 +6,14 @@ import (
 
 	"softsku/internal/abtest"
 	"softsku/internal/chaos"
+	"softsku/internal/decision"
 	"softsku/internal/emon"
 	"softsku/internal/knob"
 	"softsku/internal/loadgen"
 	"softsku/internal/platform"
 	"softsku/internal/rng"
 	"softsku/internal/sim"
+	"softsku/internal/stats"
 	"softsku/internal/telemetry"
 )
 
@@ -42,8 +44,9 @@ type trialSpec struct {
 	control   knob.Config
 	treatment knob.Config
 	ab        abtest.Config
-	inj       chaos.Injector  // per-trial fault injector (nil: fault-free)
-	parent    *telemetry.Span // span the trial's spans nest under
+	inj       chaos.Injector   // per-trial fault injector (nil: fault-free)
+	parent    *telemetry.Span  // span the trial's spans nest under
+	dec       *decision.Buffer // trial-local decision events (nil: not recording)
 }
 
 // trialResult is everything a trial hands back to the merge phase.
@@ -54,6 +57,9 @@ type trialResult struct {
 	srv      *platform.Server // treatment server (nil on error)
 	reverted bool             // guardrail tripped and treatment reverted
 	logs     []string         // progress lines, replayed in merge order
+
+	evid   []decision.Evidence // per-metric moment panels (recording only)
+	evidID string              // deterministic ledger<->trace link id
 }
 
 // newSpec builds a trial spec from the tool's current A/B
@@ -74,6 +80,14 @@ func (t *Tool) newSpec(parent *telemetry.Span, label string, control, treatment 
 		sp.inj = eng.Split("trial/" + label)
 	}
 	sp.ab.Chaos = sp.inj
+	if t.rec != nil {
+		// Each trial buffers its own decision events (abtest's
+		// trial_started, guardrail_trip); the merge phase drains them
+		// into the shared ledger in spec order, keeping the ledger
+		// byte-identical at any worker count.
+		sp.dec = &decision.Buffer{}
+		sp.ab.Record = sp.dec
+	}
 	return sp
 }
 
@@ -163,6 +177,13 @@ func (t *Tool) runTrial(spec trialSpec) trialResult {
 			var out abtest.Outcome
 			out, clock = abtest.Run(spec.ab, t.metric(cs), t.metric(ts), clock)
 			res.out = out
+			if spec.dec != nil {
+				// Evidence panels are captured before any guardrail revert
+				// so they measure the configuration the trial actually ran.
+				res.evidID = fmt.Sprintf("%016x", rng.Derive(t.in.Seed, "evidence/"+spec.label))
+				sp.Set("evidence_id", res.evidID)
+				res.evid = evidencePanels(cs.Machine(), ts.Machine(), seed, start, clock)
+			}
 			if out.GuardrailTripped {
 				sp.Set("guardrail_tripped", true)
 				res.reverted = true
@@ -205,6 +226,94 @@ func (t *Tool) revertServer(srv *platform.Server, control knob.Config,
 	}
 }
 
+// evidenceReads is the paired sample count per evidence panel: enough
+// moments for a replayed Welch test to resolve multi-percent effects,
+// cheap enough that recording stays nearly free next to a trial's
+// hundreds-to-thousands of live samples.
+const evidenceReads = 32
+
+// evidencePanels re-measures both arms across the trial's virtual
+// window on every candidate objective (mips, qps, perfwatt, p99) and
+// returns the per-metric moment panels a counterfactual replay
+// re-judges. Fresh load and noise streams are derived from the trial
+// seed: the trial's own samplers have consumed an outcome-dependent
+// number of draws, and its load profile's random walk cannot rewind to
+// the window start — re-deriving keeps the panels a pure function of
+// the spec. Injected load spikes are deliberately excluded so panel
+// capture never perturbs the trial's chaos streams.
+func evidencePanels(cm, tm *sim.Machine, seed uint64, start, end float64) []decision.Evidence {
+	load := loadgen.NewDiurnal(rng.Derive(seed, "load"))
+	cs := emon.NewSampler(cm, load, rng.Derive(seed, "evidence/control"))
+	ts := emon.NewSampler(tm, load, rng.Derive(seed, "evidence/treatment"))
+	window := end - start
+	if window <= 0 {
+		window = 1
+	}
+	var c, tr [4]stats.Sample
+	for i := 0; i < evidenceReads; i++ {
+		at := start + window*(float64(i)+0.5)/evidenceReads
+		cp, tp := cs.ReadPanel(at), ts.ReadPanel(at)
+		for j, v := range [4]float64{cp.MIPS, cp.QPS, cp.PerfWatt, cp.P99} {
+			c[j].Add(v)
+		}
+		for j, v := range [4]float64{tp.MIPS, tp.QPS, tp.PerfWatt, tp.P99} {
+			tr[j].Add(v)
+		}
+	}
+	names := [4]string{"mips", "qps", "perfwatt", "p99"}
+	out := make([]decision.Evidence, len(names))
+	for j, n := range names {
+		out[j] = decision.Evidence{
+			Metric:    n,
+			Control:   decision.Stat{N: c[j].N(), Mean: c[j].Mean(), Var: c[j].Variance()},
+			Treatment: decision.Stat{N: tr[j].N(), Mean: tr[j].Mean(), Var: tr[j].Variance()},
+		}
+	}
+	return out
+}
+
+// recordTrial appends one merged trial to the decision ledger: the
+// trial_measured event with its evidence panels, the trial's buffered
+// events (trial_started, guardrail_trip) rebased under it, and the
+// revert if the guardrail fired. Must run on the serial merge phase.
+// Returns the trial_measured sequence number, or -1 when not
+// recording.
+func (t *Tool) recordTrial(parent int, spec trialSpec, r trialResult, knobName, setting string) int {
+	if t.rec == nil {
+		return -1
+	}
+	seq := t.rec.Record(parent, decision.TrialMeasured(
+		spec.label, knobName, setting, spec.control.String(), spec.treatment.String(),
+		decision.TrialOutcome{
+			DeltaPct:    r.out.DeltaPct,
+			PValue:      r.out.PValue,
+			Significant: r.out.Significant,
+			Samples:     r.out.Samples,
+			VirtualSec:  r.out.ElapsedSec,
+			EvidenceID:  r.evidID,
+			Evidence:    r.evid,
+		}))
+	if spec.dec != nil {
+		spec.dec.DrainTo(t.rec, seq)
+	}
+	if r.reverted {
+		t.rec.Record(seq, decision.Revert(spec.label, spec.control.String()))
+	}
+	return seq
+}
+
+// recordSkip appends a candidate abandoned after persistent faults,
+// draining whatever the trial buffered before it died.
+func (t *Tool) recordSkip(parent int, spec trialSpec, setting string, err error) {
+	if t.rec == nil {
+		return
+	}
+	seq := t.rec.Record(parent, decision.Skip(spec.label, setting, err.Error()))
+	if spec.dec != nil {
+		spec.dec.DrainTo(t.rec, seq)
+	}
+}
+
 // runTrials executes every spec across the worker pool, returning
 // results indexed like specs. Result slots are written by index, so
 // the output is independent of scheduling.
@@ -240,5 +349,10 @@ func (t *Tool) mergeTrial(spec trialSpec, r trialResult) (abtest.Outcome, error)
 // any future adaptive strategy).
 func (t *Tool) runSingle(parent *telemetry.Span, label string, control, treatment knob.Config) (abtest.Outcome, error) {
 	spec := t.newSpec(parent, label, control, treatment)
-	return t.mergeTrial(spec, t.runTrial(spec))
+	r := t.runTrial(spec)
+	out, err := t.mergeTrial(spec, r)
+	if err == nil {
+		t.recordTrial(t.decRoot, spec, r, "", treatment.String())
+	}
+	return out, err
 }

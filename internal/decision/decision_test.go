@@ -1,0 +1,168 @@
+package decision
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildLedger assembles a small but structurally complete tuning
+// ledger through the public constructors.
+func buildLedger() *Ledger {
+	l := NewLedger()
+	root := l.Record(-1, RunStarted("Web", "Skylake18", "independent", "mips", 7, 0.95, 2))
+	sweep := l.Record(root, SweepStarted("sweep/thp", "thp", "off"))
+	ev := []Evidence{
+		{Metric: "mips", Control: Stat{N: 300, Mean: 100, Var: 4}, Treatment: Stat{N: 300, Mean: 103, Var: 4}},
+		{Metric: "p99", Control: Stat{N: 32, Mean: 0.01, Var: 1e-8}, Treatment: Stat{N: 32, Mean: 0.012, Var: 1e-8}},
+	}
+	trial := l.Record(sweep, TrialMeasured("sweep/thp/1", "thp", "on", "thp=off", "thp=on", TrialOutcome{
+		DeltaPct: 3, PValue: 0.001, Significant: true, Samples: 300, VirtualSec: 150,
+		EvidenceID: "00deadbeef00cafe", Evidence: ev,
+	}))
+	l.Record(trial, ArmAccepted("thp", "on", 3))
+	l.Record(root, RunFinished("thp=on", 3, 5, 0, 0))
+	return l
+}
+
+func TestLedgerSeqAndParents(t *testing.T) {
+	l := buildLedger()
+	evs := l.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Parent >= e.Seq {
+			t.Fatalf("event %d parents forward to %d", i, e.Parent)
+		}
+	}
+	if evs[0].Parent != -1 || evs[2].Parent != 1 || evs[3].Parent != 2 {
+		t.Fatalf("parent links wrong: %+v", evs)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := buildLedger()
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != l.Len() {
+		t.Fatalf("JSONL has %d lines for %d events", n, l.Len())
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, l.Events()) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", back, l.Events())
+	}
+}
+
+func TestJSONLRejectsCorruptLedgers(t *testing.T) {
+	for _, bad := range []string{
+		`{"seq":1,"parent":-1,"kind":"run_started"}`,                                               // seq gap
+		`{"seq":0,"parent":0,"kind":"run_started"}`,                                                // self-parent
+		`{"seq":0,"parent":-1,"kind":"run_started"}` + "\n" + `{"seq":1,"parent":5,"kind":"skip"}`, // forward parent
+		`not json`,
+	} {
+		if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+			t.Errorf("ledger %q parsed without error", bad)
+		}
+	}
+}
+
+func TestFiniteSanitizesFloats(t *testing.T) {
+	e := TrialMeasured("l", "k", "s", "c", "t", TrialOutcome{DeltaPct: math.Inf(1), PValue: math.NaN()})
+	if e.DeltaPct != math.MaxFloat64 || e.PValue != 0 {
+		t.Fatalf("infinities not clamped: %+v", e)
+	}
+	if _, err := json.Marshal(e); err != nil {
+		t.Fatalf("sanitized event not marshalable: %v", err)
+	}
+}
+
+func TestBufferDrainRebasesParents(t *testing.T) {
+	l := NewLedger()
+	root := l.Record(-1, RunStarted("Web", "Skylake18", "independent", "mips", 1, 0.95, 0))
+	var b Buffer
+	first := b.Record(-1, TrialStarted(0.95, 300, 30000, 2))
+	b.Record(first, GuardrailTrip(-4, 120, 2))
+	trial := l.Record(root, TrialMeasured("t", "thp", "on", "c", "t", TrialOutcome{}))
+	b.DrainTo(l, trial)
+	evs := l.Events()
+	if b.Len() != 0 {
+		t.Fatal("drain did not empty the buffer")
+	}
+	started, trip := evs[2], evs[3]
+	if started.Kind != KindTrialStarted || started.Parent != trial {
+		t.Fatalf("buffered root not rebased onto trial: %+v", started)
+	}
+	if trip.Kind != KindGuardrailTrip || trip.Parent != started.Seq {
+		t.Fatalf("buffer-local parent not rebased: %+v", trip)
+	}
+}
+
+func TestWriteTreeIndentsByCausality(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, buildLedger().Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("tree has %d lines", len(lines))
+	}
+	wantDepth := []int{0, 1, 2, 3, 1}
+	for i, line := range lines {
+		indent := (len(line) - len(strings.TrimLeft(line, " "))) / 2
+		if indent != wantDepth[i] {
+			t.Fatalf("line %d indented %d, want %d: %q", i, indent, wantDepth[i], line)
+		}
+	}
+	if !strings.Contains(buf.String(), "accepted thp=on") {
+		t.Fatalf("tree missing acceptance summary:\n%s", buf.String())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, b := buildLedger().Events(), buildLedger().Events()
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("identical ledgers diff: %v", d)
+	}
+	b[2].DeltaPct = 99
+	d := Diff(a, b)
+	if len(d) != 1 || !strings.Contains(d[0], "#2") {
+		t.Fatalf("diff missed the changed event: %v", d)
+	}
+	if d := Diff(a, a[:3]); len(d) == 0 {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func TestHandlerServesTail(t *testing.T) {
+	l := buildLedger()
+	rr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/decisions?n=2", nil))
+	var got struct {
+		Total  int     `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if got.Total != 5 || len(got.Events) != 2 || got.Events[1].Kind != KindRunFinished {
+		t.Fatalf("tail wrong: %+v", got)
+	}
+	rr = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/decisions?n=bogus", nil))
+	if rr.Code != 400 {
+		t.Fatalf("bad n accepted: %d", rr.Code)
+	}
+}

@@ -1,0 +1,391 @@
+package decision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"softsku/internal/stats"
+)
+
+// Counterfactual replay (ROADMAP item 5): re-walk a recorded ledger
+// under a different objective or guardrail and report every decision
+// that would have gone the other way — without re-running the
+// simulator. The raw material is the evidence panel each
+// trial_measured event carries: per-metric (n, mean, var) moments for
+// both arms, enough to re-run Welch's t-test and the guardrail rule
+// for any recorded metric.
+//
+// Replay recomputes only what the objective changes. Under the
+// recorded metric the recorded verdict is reused verbatim (identity:
+// replaying a ledger under its own objective reports zero
+// divergences), and with GuardrailPct < 0 the recorded guardrail
+// outcome is kept — recomputing it from final moments would
+// second-guess the sequential trip rule abtest actually ran.
+
+// Metrics replay understands. The first three are the tuner's live
+// objectives; p99 exists only as recorded evidence (lower is better).
+var replayMetrics = map[string]float64{
+	"mips":     1,
+	"qps":      1,
+	"perfwatt": 1,
+	"p99":      -1, // latency: improvement is a negative delta
+}
+
+// KnownMetrics lists the objectives a ledger can be replayed under.
+func KnownMetrics() []string {
+	out := make([]string, 0, len(replayMetrics))
+	for m := range replayMetrics {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Objective is the counterfactual policy a ledger is replayed under.
+type Objective struct {
+	// Metric is the objective to re-judge trials on: mips, qps,
+	// perfwatt, or p99. Empty means the recorded metric.
+	Metric string
+	// GuardrailPct re-evaluates each trial's guardrail at this
+	// threshold (0 disables it). Negative keeps each trial's recorded
+	// guardrail outcome.
+	GuardrailPct float64
+	// Confidence overrides the significance level (0: recorded).
+	Confidence float64
+}
+
+// Divergence is one decision that would have changed under the
+// replayed objective.
+type Divergence struct {
+	Seq      int    `json:"seq"`   // the event whose decision changed
+	Label    string `json:"label"` // trial or group label
+	Kind     string `json:"kind"`  // verdict | choice | guardrail
+	Recorded string `json:"recorded"`
+	Replayed string `json:"replayed"`
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("#%d %s [%s] recorded: %s | replayed: %s", d.Seq, d.Label, d.Kind, d.Recorded, d.Replayed)
+}
+
+// Choice is one decision group's winner under the replayed objective.
+type Choice struct {
+	Group    string `json:"group"`    // sweep label
+	Knob     string `json:"knob"`     // empty for multi-knob groups
+	Recorded string `json:"recorded"` // chosen setting (or "baseline")
+	Replayed string `json:"replayed"`
+}
+
+// Report is the result of one counterfactual replay.
+type Report struct {
+	Service      string       `json:"service"`
+	Platform     string       `json:"platform"`
+	Sweep        string       `json:"sweep"`
+	Recorded     string       `json:"recorded_metric"`
+	Metric       string       `json:"replayed_metric"`
+	GuardrailPct float64      `json:"guardrail_pct"`
+	Confidence   float64      `json:"confidence"`
+	Trials       int          `json:"trials"`      // trials re-judged
+	Missing      int          `json:"missing"`     // trials lacking evidence for the metric
+	Choices      []Choice     `json:"choices"`     // every group's winner, recorded vs replayed
+	Divergences  []Divergence `json:"divergences"` // decisions that flipped
+	RecordedSKU  string       `json:"recorded_softsku"`
+	Note         string       `json:"note,omitempty"`
+}
+
+// Summary renders the report for terminals.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay %s on %s (%s sweep): recorded objective %s -> replayed %s",
+		r.Service, r.Platform, r.Sweep, r.Recorded, r.Metric)
+	if r.GuardrailPct > 0 {
+		fmt.Fprintf(&b, ", guardrail %g%%", r.GuardrailPct)
+	}
+	fmt.Fprintf(&b, "\n%d trials re-judged", r.Trials)
+	if r.Missing > 0 {
+		fmt.Fprintf(&b, " (%d lacked %s evidence)", r.Missing, r.Metric)
+	}
+	fmt.Fprintf(&b, ", %d divergences\n", len(r.Divergences))
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	for _, c := range r.Choices {
+		mark := "  "
+		if c.Recorded != c.Replayed {
+			mark = "~>"
+		}
+		fmt.Fprintf(&b, "%s %-24s recorded %-12s replayed %s\n", mark, c.Group, c.Recorded, c.Replayed)
+	}
+	if r.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Note)
+	}
+	return b.String()
+}
+
+// trialReplay is one trial's recorded and replayed judgement.
+type trialReplay struct {
+	seq      int
+	label    string
+	knob     string
+	setting  string
+	recAcc   bool    // recorded: accepted (has arm_accepted child)
+	recTrip  bool    // recorded: guardrail tripped
+	repOK    bool    // replayed: candidate eligible (significant improvement, no trip)
+	repTrip  bool    // replayed: guardrail would trip
+	repGain  float64 // replayed: directed gain (positive = better)
+	repDelta float64 // replayed: raw delta pct on the replay metric
+	missing  bool    // no evidence for the replay metric
+}
+
+// Replay re-walks a recorded ledger under obj. The ledger must start
+// with a run_started event (i.e. come from core.Tool, not fleet).
+func Replay(events []Event, obj Objective) (*Report, error) {
+	var run *Event
+	for i := range events {
+		if events[i].Kind == KindRunStarted {
+			run = &events[i]
+			break
+		}
+	}
+	if run == nil {
+		return nil, fmt.Errorf("decision: ledger has no run_started event; nothing to replay")
+	}
+	metric := obj.Metric
+	if metric == "" {
+		metric = run.Metric
+	}
+	dir, ok := replayMetrics[metric]
+	if !ok {
+		return nil, fmt.Errorf("decision: unknown replay metric %q (known: %s)",
+			metric, strings.Join(KnownMetrics(), ", "))
+	}
+	confidence := obj.Confidence
+	if confidence <= 0 || confidence >= 1 {
+		confidence = run.Confidence
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	alpha := 1 - confidence
+	guardrail := obj.GuardrailPct
+	if guardrail < 0 {
+		guardrail = run.GuardrailPct
+	}
+	sameMetric := metric == run.Metric
+	sameGuardrail := obj.GuardrailPct < 0 ||
+		(obj.GuardrailPct == run.GuardrailPct && (obj.Confidence <= 0 || obj.Confidence == run.Confidence))
+	sameVerdict := sameMetric && (obj.Confidence <= 0 || obj.Confidence == run.Confidence)
+
+	rep := &Report{
+		Service:      run.Service,
+		Platform:     run.Platform,
+		Sweep:        run.Sweep,
+		Recorded:     run.Metric,
+		Metric:       metric,
+		GuardrailPct: guardrail,
+		Confidence:   confidence,
+	}
+
+	// Index children by kind for recorded-outcome lookups. A
+	// baseline-kept event parents to the sweep, not a trial, so it
+	// never lands in accepted — the recorded winner lookup below falls
+	// through to "baseline" exactly when the sweep kept it.
+	accepted := make(map[int]bool) // trial seq -> arm_accepted descendant
+	tripped := make(map[int]bool)  // trial seq -> guardrail_trip descendant
+	// trialOf walks parent links to the nearest trial_measured ancestor
+	// (-1 if none): a guardrail_trip drains under the trial's
+	// trial_started event, one hop below the trial itself.
+	trialOf := func(seq int) int {
+		for p := seq; p >= 0 && p < len(events); p = events[p].Parent {
+			if events[p].Kind == KindTrialMeasured {
+				return p
+			}
+		}
+		return -1
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindArmAccepted:
+			if e.Detail != "baseline kept" {
+				if t := trialOf(e.Parent); t >= 0 {
+					accepted[t] = true
+				}
+			}
+		case KindGuardrailTrip:
+			if t := trialOf(e.Parent); t >= 0 {
+				tripped[t] = true
+			}
+		case KindRunFinished:
+			rep.RecordedSKU = e.Treatment
+		}
+	}
+
+	// Re-judge every measured trial, grouped under its sweep event.
+	groups := make(map[int][]trialReplay) // sweep seq -> trials in order
+	var groupOrder []int
+	groupOf := make(map[int]*Event)
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case KindSweepStarted:
+			groupOf[e.Seq] = e
+			groupOrder = append(groupOrder, e.Seq)
+		case KindTrialMeasured:
+			tr := trialReplay{
+				seq:     e.Seq,
+				label:   e.Label,
+				knob:    e.Knob,
+				setting: e.Setting,
+				recAcc:  accepted[e.Seq],
+				recTrip: tripped[e.Seq],
+			}
+			if tr.setting == "" {
+				tr.setting = e.Treatment
+			}
+
+			// Replayed verdict: reuse the recorded one when nothing about
+			// it changes; otherwise re-run Welch on the evidence moments.
+			var sig bool
+			var gain, delta float64
+			if sameVerdict {
+				sig, delta, gain = e.Significant, e.DeltaPct, e.DeltaPct
+			} else if ev := findEvidence(e.Evidence, metric); ev == nil {
+				tr.missing = true
+				rep.Missing++
+			} else {
+				w := stats.WelchFromMoments(
+					ev.Treatment.N, ev.Treatment.Mean, ev.Treatment.Var,
+					ev.Control.N, ev.Control.Mean, ev.Control.Var)
+				sig = w.P < alpha
+				delta = deltaPct(ev.Control.Mean, ev.Treatment.Mean)
+				gain = dir * delta
+			}
+			if !tr.missing {
+				rep.Trials++
+				tr.repDelta = delta
+				tr.repGain = gain
+				if sameGuardrail {
+					tr.repTrip = tr.recTrip
+				} else {
+					tr.repTrip = guardrail > 0 && sig && gain < -guardrail
+				}
+				tr.repOK = sig && gain > 0 && !tr.repTrip
+
+				// Recorded eligibility: was this candidate a significant
+				// improvement under the recorded objective? (recAcc alone
+				// encodes the within-group argmax, which choice divergence
+				// below handles; eligibility is the per-trial verdict.)
+				recEligible := e.Significant && e.DeltaPct > 0 && !tr.recTrip
+				recV := verdict(recEligible, tr.recTrip)
+				repV := verdict(tr.repOK, tr.repTrip)
+				if tr.repTrip != tr.recTrip {
+					rep.Divergences = append(rep.Divergences, Divergence{
+						Seq: e.Seq, Label: e.Label, Kind: "guardrail",
+						Recorded: recV, Replayed: repV,
+					})
+				} else if tr.repOK != recEligible {
+					rep.Divergences = append(rep.Divergences, Divergence{
+						Seq: e.Seq, Label: e.Label, Kind: "verdict",
+						Recorded: fmt.Sprintf("%s (%+.3f%% %s)", recV, e.DeltaPct, run.Metric),
+						Replayed: fmt.Sprintf("%s (%+.3f%% %s)", repV, tr.repDelta, metric),
+					})
+				}
+			}
+			groups[e.Parent] = append(groups[e.Parent], tr)
+		}
+	}
+
+	// Group choices: recorded winner (arm_accepted child of a trial,
+	// or baseline kept) vs the replayed argmax over eligible trials.
+	for _, gseq := range groupOrder {
+		g := groupOf[gseq]
+		trials := groups[gseq]
+		// The final validations measure the composed SKU; they choose
+		// nothing, so there is no winner to compare.
+		if len(trials) == 0 || g.Label == "final" {
+			continue
+		}
+		recorded := "baseline"
+		for _, tr := range trials {
+			if tr.recAcc {
+				recorded = chosenName(tr)
+			}
+		}
+		replayed := "baseline"
+		bestGain := 0.0
+		anyMissing := false
+		for _, tr := range trials {
+			if tr.missing {
+				anyMissing = true
+				continue
+			}
+			if tr.repOK && tr.repGain > bestGain {
+				bestGain = tr.repGain
+				replayed = chosenName(tr)
+			}
+		}
+		if anyMissing {
+			replayed += " (partial evidence)"
+		}
+		rep.Choices = append(rep.Choices, Choice{
+			Group: g.Label, Knob: g.Knob, Recorded: recorded, Replayed: replayed,
+		})
+		if recorded != replayed {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Seq: gseq, Label: g.Label, Kind: "choice",
+				Recorded: recorded, Replayed: replayed,
+			})
+		}
+	}
+
+	if run.Sweep == "hillclimb" && len(rep.Divergences) > 0 {
+		rep.Note = "hill-climb rounds chain: after the first diverging round the recorded candidate sets " +
+			"no longer match what the replayed objective would have explored — divergences past it are indicative only"
+	}
+	sort.SliceStable(rep.Divergences, func(i, j int) bool { return rep.Divergences[i].Seq < rep.Divergences[j].Seq })
+	return rep, nil
+}
+
+func chosenName(tr trialReplay) string {
+	if tr.knob != "" {
+		return tr.knob + "=" + tr.setting
+	}
+	return tr.setting
+}
+
+func verdict(accepted, trip bool) string {
+	switch {
+	case trip:
+		return "guardrail-tripped"
+	case accepted:
+		return "accepted"
+	default:
+		return "rejected"
+	}
+}
+
+func findEvidence(evs []Evidence, metric string) *Evidence {
+	for i := range evs {
+		if evs[i].Metric == metric {
+			return &evs[i]
+		}
+	}
+	return nil
+}
+
+// deltaPct mirrors abtest's definition, including the zero-control
+// edges (±Inf clamped by callers via finite when re-recorded).
+func deltaPct(control, treatment float64) float64 {
+	switch {
+	case control != 0:
+		return (treatment - control) / control * 100
+	case treatment == 0:
+		return 0
+	case treatment > 0:
+		return math.Inf(1)
+	default:
+		return math.Inf(-1)
+	}
+}

@@ -1,0 +1,155 @@
+package decision
+
+import (
+	"strings"
+	"testing"
+)
+
+// synthLedger builds a recorded run tuned for mips whose evidence
+// panels disagree across metrics:
+//
+//   - thp=on: mips winner (+3%), p99 regression (+20% latency)
+//   - thp=madvise: mips wash, p99 winner (-20% latency)
+//   - freq=2.4: guardrail-tripped at -4% mips, mild p99 win
+//
+// so replaying under p99 must flip the thp choice, and replaying with
+// a looser guardrail must un-trip the freq trial.
+func synthLedger() *Ledger {
+	l := NewLedger()
+	root := l.Record(-1, RunStarted("Web", "Skylake18", "independent", "mips", 7, 0.95, 2))
+
+	sweep := l.Record(root, SweepStarted("sweep/thp", "thp", "off"))
+	tOn := l.Record(sweep, TrialMeasured("sweep/thp/0", "thp", "on", "thp=off", "thp=on", TrialOutcome{
+		DeltaPct: 3, PValue: 1e-6, Significant: true, Samples: 300,
+		Evidence: []Evidence{
+			{Metric: "mips", Control: Stat{N: 300, Mean: 100, Var: 4}, Treatment: Stat{N: 300, Mean: 103, Var: 4}},
+			{Metric: "p99", Control: Stat{N: 64, Mean: 0.010, Var: 1e-8}, Treatment: Stat{N: 64, Mean: 0.012, Var: 1e-8}},
+		},
+	}))
+	tMad := l.Record(sweep, TrialMeasured("sweep/thp/1", "thp", "madvise", "thp=off", "thp=madvise", TrialOutcome{
+		DeltaPct: -0.1, PValue: 0.4, Significant: false, Samples: 300,
+		Evidence: []Evidence{
+			{Metric: "mips", Control: Stat{N: 300, Mean: 100, Var: 4}, Treatment: Stat{N: 300, Mean: 99.9, Var: 4}},
+			{Metric: "p99", Control: Stat{N: 64, Mean: 0.010, Var: 1e-8}, Treatment: Stat{N: 64, Mean: 0.008, Var: 1e-8}},
+		},
+	}))
+	l.Record(tMad, ArmRejected("thp", "madvise", -0.1, 0.4, false))
+	l.Record(tOn, ArmAccepted("thp", "on", 3))
+
+	sweep2 := l.Record(root, SweepStarted("sweep/freq", "freq", "2.0"))
+	tTurbo := l.Record(sweep2, TrialMeasured("sweep/freq/0", "freq", "2.4", "freq=2.0", "freq=2.4", TrialOutcome{
+		DeltaPct: -4, PValue: 1e-9, Significant: true, Samples: 120,
+		Evidence: []Evidence{
+			{Metric: "mips", Control: Stat{N: 120, Mean: 100, Var: 4}, Treatment: Stat{N: 120, Mean: 96, Var: 4}},
+			{Metric: "p99", Control: Stat{N: 64, Mean: 0.010, Var: 1e-8}, Treatment: Stat{N: 64, Mean: 0.0099, Var: 1e-8}},
+		},
+	}))
+	l.Record(tTurbo, GuardrailTrip(-4, 120, 2))
+	l.Record(tTurbo, Revert("sweep/freq/0", "freq=2.0"))
+	l.Record(sweep2, BaselineKept("freq", "2.0"))
+
+	fin := l.Record(root, SweepStarted("final", "", "production"))
+	l.Record(fin, TrialMeasured("final/production", "", "", "production", "softsku", TrialOutcome{
+		DeltaPct: 5, PValue: 1e-9, Significant: true, Samples: 2000,
+	}))
+	l.Record(root, RunFinished("thp=on", 5, 8, 0, 1))
+	return l
+}
+
+func TestReplayIdentity(t *testing.T) {
+	evs := synthLedger().Events()
+	rep, err := Replay(evs, Objective{GuardrailPct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 0 {
+		t.Fatalf("identity replay diverged:\n%s", rep.Summary())
+	}
+	if rep.Metric != "mips" || rep.Recorded != "mips" || rep.Missing != 0 {
+		t.Fatalf("identity report wrong: %+v", rep)
+	}
+	if rep.Trials != 4 {
+		t.Fatalf("re-judged %d trials, want 4", rep.Trials)
+	}
+	for _, c := range rep.Choices {
+		if c.Recorded != c.Replayed {
+			t.Fatalf("identity choice flipped: %+v", c)
+		}
+	}
+	if rep.RecordedSKU != "thp=on" {
+		t.Fatalf("recorded SKU %q", rep.RecordedSKU)
+	}
+}
+
+func TestReplayUnderP99FlipsTheChoice(t *testing.T) {
+	evs := synthLedger().Events()
+	rep, err := Replay(evs, Objective{Metric: "p99", GuardrailPct: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final validation carries no evidence panel in this synthetic
+	// ledger, so it is reported missing rather than silently judged.
+	if rep.Trials != 3 || rep.Missing != 1 {
+		t.Fatalf("trials=%d missing=%d, want 3/1", rep.Trials, rep.Missing)
+	}
+	var kinds []string
+	for _, d := range rep.Divergences {
+		kinds = append(kinds, d.Kind)
+	}
+	if len(rep.Divergences) != 3 {
+		t.Fatalf("want 3 divergences (2 verdicts + 1 choice), got %v:\n%s", kinds, rep.Summary())
+	}
+	var choice *Divergence
+	for i := range rep.Divergences {
+		if rep.Divergences[i].Kind == "choice" {
+			choice = &rep.Divergences[i]
+		}
+	}
+	if choice == nil || choice.Recorded != "thp=on" || choice.Replayed != "thp=madvise" {
+		t.Fatalf("p99 replay did not flip thp to madvise: %+v\n%s", choice, rep.Summary())
+	}
+	// The guardrail-tripped freq trial keeps its recorded outcome
+	// (GuardrailPct < 0), so sweep/freq stays at baseline.
+	for _, c := range rep.Choices {
+		if c.Group == "sweep/freq" && (c.Recorded != "baseline" || c.Replayed != "baseline") {
+			t.Fatalf("freq choice moved: %+v", c)
+		}
+	}
+}
+
+func TestReplayLooserGuardrailUntripsTrial(t *testing.T) {
+	evs := synthLedger().Events()
+	rep, err := Replay(evs, Objective{GuardrailPct: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 1 {
+		t.Fatalf("want exactly the guardrail divergence:\n%s", rep.Summary())
+	}
+	d := rep.Divergences[0]
+	if d.Kind != "guardrail" || !strings.Contains(d.Recorded, "guardrail-tripped") || strings.Contains(d.Replayed, "tripped") {
+		t.Fatalf("guardrail divergence wrong: %+v", d)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if _, err := Replay(nil, Objective{}); err == nil {
+		t.Fatal("replay of empty ledger succeeded")
+	}
+	if _, err := Replay(synthLedger().Events(), Objective{Metric: "latency"}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestKnownMetricsSortedAndComplete(t *testing.T) {
+	got := KnownMetrics()
+	want := []string{"mips", "p99", "perfwatt", "qps"}
+	if len(got) != len(want) {
+		t.Fatalf("metrics %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("metrics %v, want %v", got, want)
+		}
+	}
+}

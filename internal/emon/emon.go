@@ -102,6 +102,49 @@ func (s *Sampler) QPS(t float64) float64 {
 	return qps * (1 + s.noise.Norm(0, measurementNoise))
 }
 
+// Panel is one paired read of every candidate tuning objective at a
+// single virtual time: the evidence a decision ledger stores per trial
+// so a counterfactual replay can re-judge it under any of them.
+type Panel struct {
+	MIPS     float64
+	QPS      float64
+	PerfWatt float64
+	P99      float64 // seconds; lower is better
+}
+
+// ReadPanel samples all four objectives from one operating point. P99
+// comes from an analytic tail model: per-query service time (path
+// length over per-core IPS) amplified by queueing headroom — when
+// utilization approaches saturation the tail blows up as svc/(1-util),
+// and ln(100) places the 99th percentile of the exponential wait.
+// Introspective services degrade the tail fastest under overload.
+func (s *Sampler) ReadPanel(t float64) Panel {
+	mGroupReads.Inc()
+	op, factor := s.operating(t)
+	mips, qps, pw := op.MIPS, op.QPS, op.MIPSPerWatt
+	var svc float64
+	if op.QPS > 0 && op.CoreIPS > 0 {
+		svc = op.TotalIPS / op.QPS / op.CoreIPS
+	}
+	head := 1 - op.Util
+	if head < 0.02 {
+		head = 0.02
+	}
+	p99 := svc / head * 4.605 // ln(100)
+	if s.m.Profile().IntrospectivePerf && factor > 1.02 {
+		over := factor - 1.02
+		mips *= 1 + 1.5*over
+		qps *= 1 - 2.2*over
+		p99 *= 1 + 5*over
+	}
+	return Panel{
+		MIPS:     mips * (1 + s.noise.Norm(0, measurementNoise)),
+		QPS:      qps * (1 + s.noise.Norm(0, measurementNoise)),
+		PerfWatt: pw * (1 + s.noise.Norm(0, measurementNoise)),
+		P99:      p99 * (1 + s.noise.Norm(0, measurementNoise)),
+	}
+}
+
 // Counters is a multiplexed counter-group snapshot, the EMON view the
 // characterization CLI prints.
 type Counters struct {

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"softsku/internal/chaos"
+	"softsku/internal/decision"
 	"softsku/internal/knob"
 	"softsku/internal/platform"
 	"softsku/internal/sim"
@@ -74,7 +75,8 @@ func (p *Pool) Reboots() int {
 // Fleet is a collection of service pools.
 type Fleet struct {
 	pools map[string]*Pool
-	chaos chaos.Injector // nil: fault-free rollouts
+	chaos chaos.Injector   // nil: fault-free rollouts
+	rec   *decision.Ledger // nil: rollouts unrecorded
 }
 
 // New returns an empty fleet.
@@ -85,6 +87,13 @@ func New() *Fleet { return &Fleet{pools: make(map[string]*Pool)} }
 // fail the wave's health check, triggering abort + rollback) and waves
 // can run slow. nil (the default) disables injection.
 func (f *Fleet) SetChaos(inj chaos.Injector) { f.chaos = inj }
+
+// SetRecorder attaches a decision ledger: every Rollout appends its
+// wave-by-wave record — rollout_started, wave_passed/wave_failed,
+// rollback, rollout_done — so operational decisions land in the same
+// flight record as the tuning decisions that produced the
+// configuration. nil (the default) disables recording.
+func (f *Fleet) SetRecorder(l *decision.Ledger) { f.rec = l }
 
 // AddPool provisions n servers of the SKU for a service at the given
 // configuration.
@@ -182,6 +191,10 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 		waveSize = pool.Size()
 	}
 	r := Rollout{Servers: pool.Size(), MaxUnavail: maxUnavailable}
+	rootSeq := -1
+	if f.rec != nil {
+		rootSeq = f.rec.Record(-1, decision.RolloutStarted(service, cfg.String(), pool.Size(), maxUnavailable))
+	}
 	prev := pool.cfg
 	for start := 0; start < pool.Size(); start += waveSize {
 		end := start + waveSize
@@ -212,17 +225,22 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 		}
 		r.Waves++
 		r.WaveRebooted = append(r.WaveRebooted, rebootedThisWave)
-		healthy := true
+		unhealthy := 0
 		for _, srv := range pool.servers[start:end] {
 			if srv.Config() != cfg {
-				healthy = false
+				unhealthy++
 				mHealthFailures.Inc()
 			}
 		}
-		if !healthy {
+		if unhealthy > 0 {
 			r.Aborted = true
 			r.FailedWave = wave
-			f.rollback(pool, prev, end, &r)
+			restored := f.rollback(pool, prev, end, &r)
+			if f.rec != nil {
+				failSeq := f.rec.Record(rootSeq, decision.WaveFailed(wave, end-start,
+					fmt.Sprintf("health check failed: %d servers off-config", unhealthy)))
+				f.rec.Record(failSeq, decision.Rollback(restored))
+			}
 			recordRollout(r)
 			err := fmt.Errorf("fleet: rollout of %s aborted at wave %d/%d: health check failed; pool rolled back",
 				service, wave, (pool.Size()+waveSize-1)/waveSize)
@@ -231,17 +249,24 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 			}
 			return r, err
 		}
+		if f.rec != nil {
+			f.rec.Record(rootSeq, decision.WavePassed(wave, end-start, rebootedThisWave))
+		}
 	}
 	pool.cfg = cfg
+	if f.rec != nil {
+		f.rec.Record(rootSeq, decision.RolloutDone(r.Waves, r.Rebooted))
+	}
 	recordRollout(r)
 	return r, nil
 }
 
 // rollback restores the prior configuration on the first n servers of
-// the pool — everything a failed rollout may have touched. The
-// rollback path is break-glass: it does not consult the fault
-// injector, so the pool always converges back to its prior state.
-func (f *Fleet) rollback(pool *Pool, prev knob.Config, n int, r *Rollout) {
+// the pool — everything a failed rollout may have touched — and
+// returns how many servers it reconfigured. The rollback path is
+// break-glass: it does not consult the fault injector, so the pool
+// always converges back to its prior state.
+func (f *Fleet) rollback(pool *Pool, prev knob.Config, n int, r *Rollout) int {
 	mRollbacks.Inc()
 	restored := 0
 	for _, srv := range pool.servers[:n] {
@@ -254,6 +279,7 @@ func (f *Fleet) rollback(pool *Pool, prev knob.Config, n int, r *Rollout) {
 	}
 	r.RolledBack = true
 	mRollbackServers.Add(float64(restored))
+	return restored
 }
 
 // recordRollout publishes one completed rollout's per-machine event

@@ -220,6 +220,20 @@ func (s *Store) Range(name string, t0, t1 float64) []Point {
 	return out
 }
 
+// Query returns a copy of the samples of name with from <= T < to. It
+// is Range with existence reporting: the /debug/ods endpoint must
+// distinguish an unknown series (client typo — an error) from a known
+// series whose window is empty (a normal result).
+func (s *Store) Query(name string, from, to float64) ([]Point, error) {
+	s.mu.RLock()
+	known := s.series[name] != nil
+	s.mu.RUnlock()
+	if !known {
+		return nil, fmt.Errorf("ods: unknown series %q", name)
+	}
+	return s.Range(name, from, to), nil
+}
+
 // Values returns just the values in [t0, t1).
 func (s *Store) Values(name string, t0, t1 float64) []float64 {
 	pts := s.Range(name, t0, t1)

@@ -253,3 +253,87 @@ func TestRangeHalfOpenProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQueryDistinguishesUnknownFromEmpty(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Query("nope", 0, 10); err == nil {
+		t.Fatal("Query on an unknown series should error")
+	}
+	if err := s.Append("qps", 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := s.Query("qps", 0, 1) // known series, empty window
+	if err != nil {
+		t.Fatalf("Query on a known series errored: %v", err)
+	}
+	if len(pts) != 0 {
+		t.Fatalf("empty window returned %v", pts)
+	}
+	pts, err = s.Query("qps", 0, 10)
+	if err != nil || len(pts) != 1 || pts[0].V != 100 {
+		t.Fatalf("Query = %v, %v", pts, err)
+	}
+}
+
+// TestQueryWhileAppending is the /debug/ods serving pattern under
+// -race: the mirror goroutine appends once a second while HTTP
+// handlers call Names/Len/Latest/Query concurrently. The store must
+// stay consistent — every Query result a handler sees is a clean copy
+// in time order with no torn points.
+func TestQueryWhileAppending(t *testing.T) {
+	s := NewStore()
+	s.SetDefaultRetention(64) // exercise the ring path too
+	const series = 4
+	const appends = 500
+	var wg sync.WaitGroup
+	for w := 0; w < series; w++ {
+		name := fmt.Sprintf("telemetry/metric_%d", w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < appends; i++ {
+				if err := s.Append(name, float64(i), float64(i)*2); err != nil {
+					t.Errorf("append %s: %v", name, err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < appends; i++ {
+				pts, err := s.Query(name, 0, 1e18)
+				if err != nil {
+					continue // series not created yet
+				}
+				for j, p := range pts {
+					if p.V != p.T*2 {
+						t.Errorf("%s: torn point %v at %d", name, p, j)
+						return
+					}
+					if j > 0 && pts[j-1].T > p.T {
+						t.Errorf("%s: out-of-order result %v after %v", name, p, pts[j-1])
+						return
+					}
+				}
+				s.Names()
+				s.Len(name)
+				s.Latest(name)
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < series; w++ {
+		name := fmt.Sprintf("telemetry/metric_%d", w)
+		pts, err := s.Query(name, 0, 1e18)
+		if err != nil {
+			t.Fatalf("final Query %s: %v", name, err)
+		}
+		if len(pts) != 64 {
+			t.Fatalf("%s retained %d points, want 64", name, len(pts))
+		}
+		if last := pts[len(pts)-1]; last.T != appends-1 {
+			t.Fatalf("%s last point %v, want T=%d", name, last, appends-1)
+		}
+	}
+}

@@ -117,20 +117,30 @@ type Welch struct {
 // variances. It returns a zero-value result (P=1) if either sample has
 // fewer than two observations or both variances are zero.
 func WelchTTest(a, b *Sample) Welch {
-	if a.N() < 2 || b.N() < 2 {
+	return WelchFromMoments(a.N(), a.Mean(), a.Variance(), b.N(), b.Mean(), b.Variance())
+}
+
+// WelchFromMoments runs Welch's t-test from sufficient statistics —
+// per-arm count, mean, and (sample) variance — instead of live
+// Sample accumulators. This is the replay path: a decision ledger
+// records each trial's moments per metric, and counterfactual replay
+// re-judges the trial under a different objective without the raw
+// sample stream. Semantics match WelchTTest exactly.
+func WelchFromMoments(na int, meanA, varA float64, nb int, meanB, varB float64) Welch {
+	if na < 2 || nb < 2 {
 		return Welch{P: 1}
 	}
-	va := a.Variance() / float64(a.N())
-	vb := b.Variance() / float64(b.N())
+	va := varA / float64(na)
+	vb := varB / float64(nb)
 	if va+vb == 0 {
-		if a.Mean() == b.Mean() {
+		if meanA == meanB {
 			return Welch{P: 1}
 		}
-		return Welch{T: math.Inf(1), DF: float64(a.N() + b.N() - 2), P: 0}
+		return Welch{T: math.Inf(1), DF: float64(na + nb - 2), P: 0}
 	}
-	t := (a.Mean() - b.Mean()) / math.Sqrt(va+vb)
+	t := (meanA - meanB) / math.Sqrt(va+vb)
 	df := (va + vb) * (va + vb) /
-		(va*va/float64(a.N()-1) + vb*vb/float64(b.N()-1))
+		(va*va/float64(na-1) + vb*vb/float64(nb-1))
 	p := 2 * (1 - TCDF(math.Abs(t), df))
 	if p < 0 {
 		p = 0

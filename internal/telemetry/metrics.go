@@ -162,9 +162,21 @@ func family(name string) string {
 	return name
 }
 
+// labelEscaper escapes a label value per the text exposition format:
+// exactly backslash, double-quote, and newline. Go's %q is NOT a
+// substitute — it also escapes tabs and non-ASCII into sequences the
+// format does not define, corrupting values like service names with
+// accents when a strict parser reads them back.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper escapes HELP text: backslash and newline (quotes are
+// legal verbatim in HELP).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 // Labels formats a labelled metric name: Labels("x_total", "svc",
 // "Web") -> `x_total{svc="Web"}`. Pairs are sorted by key so the same
-// label set always yields the same series.
+// label set always yields the same series; values are escaped per the
+// exposition format.
 func Labels(name string, kv ...string) string {
 	if len(kv) == 0 {
 		return name
@@ -185,7 +197,10 @@ func Labels(name string, kv ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(p.v))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -274,6 +289,17 @@ func (r *Registry) Each(f func(name string, value float64)) {
 // cumulative le-buckets plus _sum/_count for histograms.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	names := r.Names()
+	// Order by (family, name), not plain name: '{' sorts after '_', so a
+	// plain sort interleaves other families between a labelled series
+	// and its family head (x_total_foo between x_total and x_total{...}),
+	// and the format requires each family's lines to form one block.
+	sort.SliceStable(names, func(i, j int) bool {
+		fi, fj := family(names[i]), family(names[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return names[i] < names[j]
+	})
 	// Group by family so HELP/TYPE are emitted once per family even
 	// when labels split it into several series.
 	seenFamily := make(map[string]bool)
@@ -286,7 +312,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if !seenFamily[fam] {
 			seenFamily[fam] = true
 			if help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, help); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, helpEscaper.Replace(help)); err != nil {
 					return err
 				}
 			}
@@ -324,7 +350,7 @@ func writeHistogram(w io.Writer, name string, h stats.Histogram) error {
 	}
 	h.EachBucket(func(upper float64, count uint64) {
 		cum += count
-		emit("%s_bucket{%sle=%q} %d\n", fam, labels, formatValue(upper), cum)
+		emit("%s_bucket{%sle=\"%s\"} %d\n", fam, labels, formatValue(upper), cum)
 	})
 	emit("%s_bucket{%sle=\"+Inf\"} %d\n", fam, labels, h.Count())
 	if labels == "" {

@@ -4,8 +4,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime/pprof"
+	"time"
+
+	"softsku/internal/ods"
 )
 
 // StartCPUProfile begins writing a CPU profile to path and returns the
@@ -41,10 +45,20 @@ type CLI struct {
 	TraceOut   string // Chrome trace_event JSON output path
 	MetricsOut string // Prometheus text-format output path
 	PprofOut   string // CPU profile output path
+	ServeAddr  string // live observability server address (-serve)
+
+	// Decisions is served at /debug/decisions when -serve is active.
+	// Callers that record a decision ledger set this (to the ledger's
+	// Handler()) before Start; nil serves a recording-is-off 404.
+	Decisions http.Handler
 
 	tracer   *Tracer
 	stopProf func() error
 	stopped  bool
+
+	server    *ObsServer
+	store     *ods.Store
+	stopFlush chan struct{}
 }
 
 // Flags registers the three flags on the default flag set.
@@ -55,6 +69,7 @@ func (c *CLI) FlagSet(fs *flag.FlagSet) {
 	fs.StringVar(&c.TraceOut, "trace-out", "", "write a Chrome trace_event JSON of the run (open in chrome://tracing or Perfetto)")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write telemetry metrics in Prometheus text format on exit")
 	fs.StringVar(&c.PprofOut, "pprof", "", "write a CPU profile of the run (inspect with go tool pprof)")
+	fs.StringVar(&c.ServeAddr, "serve", "", "serve live observability on this address (/metrics, /debug/ods, /debug/decisions, /debug/pprof)")
 }
 
 // Start begins profiling and returns the run's tracer — non-nil only
@@ -70,7 +85,59 @@ func (c *CLI) Start() (*Tracer, error) {
 	if c.TraceOut != "" {
 		c.tracer = NewTracer()
 	}
+	if c.ServeAddr != "" {
+		// The server's ODS mirror snapshots the Default registry once a
+		// second of wall time, stamped with seconds since Start — purely
+		// observational, so the wall clock here can never perturb a
+		// simulation verdict.
+		c.store = ods.NewStore()
+		c.store.SetDefaultRetention(4096)
+		srv, err := Serve(c.ServeAddr, ServeOptions{Store: c.store, Decisions: c.Decisions})
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.server = srv
+		c.stopFlush = make(chan struct{})
+		mirror := NewODSMirror(Default, c.store)
+		t0 := Now()
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-c.stopFlush:
+					return
+				case <-tick.C:
+					mirror.Flush(Since(t0).Seconds())
+				}
+			}
+		}()
+	}
 	return c.tracer, nil
+}
+
+// Serving reports whether the live observability server is running.
+func (c *CLI) Serving() bool { return c.server != nil }
+
+// ServingAddr returns the server's resolved listen address ("" when
+// not serving) — the port is concrete even when -serve was ":0".
+func (c *CLI) ServingAddr() string {
+	if c.server == nil {
+		return ""
+	}
+	return c.server.Addr
+}
+
+// Wait blocks forever while the observability server runs, so a
+// command whose work is done can stay up to be scraped (musku and
+// stress call this after printing results when -serve is set). It
+// returns immediately when the server is not running.
+func (c *CLI) Wait() {
+	if c.server == nil {
+		return
+	}
+	select {}
 }
 
 // Stop finalizes profiling and writes the requested output files. It
@@ -88,6 +155,13 @@ func (c *CLI) Stop() error {
 	}
 	if c.stopProf != nil {
 		keep(c.stopProf())
+	}
+	if c.stopFlush != nil {
+		close(c.stopFlush)
+	}
+	if c.server != nil {
+		keep(c.server.Close())
+		c.server = nil
 	}
 	if c.tracer != nil && c.TraceOut != "" {
 		keep(writeFile(c.TraceOut, c.tracer.WriteChromeTrace))

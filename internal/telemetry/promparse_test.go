@@ -1,0 +1,316 @@
+package telemetry
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	family string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm is a deliberately strict minimal parser for the Prometheus
+// text exposition format (version 0.0.4) — the contract /metrics and
+// -metrics-out promise scrapers. It enforces the rules a lenient
+// consumer would silently paper over:
+//
+//   - every line is a HELP/TYPE comment or a well-formed sample
+//   - label values use only the three legal escapes (\\ \" \n)
+//   - a TYPE comment precedes every sample of its family
+//   - each family's lines form one contiguous block
+//
+// It returns the samples keyed by series (family plus rendered label
+// set) and the TYPE per family.
+func parseProm(t *testing.T, text string) (samples []promSample, types map[string]string) {
+	t.Helper()
+	types = make(map[string]string)
+	closed := make(map[string]bool) // families whose block has ended
+	current := ""
+	enter := func(fam string, line string) {
+		if fam == current {
+			return
+		}
+		if current != "" {
+			closed[current] = true
+		}
+		if closed[fam] {
+			t.Fatalf("family %q reappears after its block closed: %q", fam, line)
+		}
+		current = fam
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			fam := fields[2]
+			if !validMetricName(fam) {
+				t.Fatalf("invalid family name %q in %q", fam, line)
+			}
+			enter(fam, line)
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					t.Fatalf("TYPE line without a type: %q", line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("unknown TYPE %q in %q", fields[3], line)
+				}
+				if _, dup := types[fam]; dup {
+					t.Fatalf("duplicate TYPE for family %q", fam)
+				}
+				types[fam] = fields[3]
+			}
+			continue
+		}
+		s := parsePromSample(t, line)
+		// _bucket/_sum/_count series belong to their histogram family.
+		fam := s.family
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(fam, suf)
+			if base != fam && types[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			t.Fatalf("sample %q before any TYPE for family %q", line, fam)
+		}
+		enter(fam, line)
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return samples, types
+}
+
+// parsePromSample parses `name{k="v",...} value` with strict escape
+// handling inside label values.
+func parsePromSample(t *testing.T, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		t.Fatalf("sample line without value: %q", line)
+	}
+	s.family = line[:i]
+	if !validMetricName(s.family) {
+		t.Fatalf("invalid metric name %q in %q", s.family, line)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+				t.Fatalf("malformed label pair in %q", line)
+			}
+			key := rest[:eq]
+			if !validLabelName(key) {
+				t.Fatalf("invalid label name %q in %q", key, line)
+			}
+			val, rem, ok := parseEscapedValue(rest[eq+2:])
+			if !ok {
+				t.Fatalf("illegal escape or unterminated value in %q", line)
+			}
+			s.labels[key] = val
+			rest = rem
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	if rest == "" || rest[0] != ' ' {
+		t.Fatalf("missing space before value: %q", line)
+	}
+	vs := strings.TrimPrefix(rest, " ")
+	v, err := strconv.ParseFloat(vs, 64)
+	if err != nil {
+		t.Fatalf("unparseable value %q in %q: %v", vs, line, err)
+	}
+	s.value = v
+	return s
+}
+
+// parseEscapedValue consumes an escaped label value up to its closing
+// quote. Only \\ \" and \n are legal escapes; a bare newline cannot
+// appear (the scanner already split on it, which would break the label
+// grammar and fail here).
+func parseEscapedValue(rest string) (val, rem string, ok bool) {
+	var b strings.Builder
+	for i := 0; i < len(rest); i++ {
+		switch c := rest[i]; c {
+		case '"':
+			return b.String(), rest[i+1:], true
+		case '\\':
+			if i+1 >= len(rest) {
+				return "", "", false
+			}
+			i++
+			switch rest[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", false // \t, \u… are NOT part of the format
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// TestPrometheusRoundTrip exports a registry holding every metric kind
+// plus adversarial label values and HELP text, then re-reads it with
+// the strict parser: every series must parse, every label value must
+// round-trip byte-for-byte, and histogram buckets must be cumulative.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	nasty := map[string]string{
+		"plain":     "Web",
+		"quote":     `say "hi"`,
+		"backslash": `C:\fleet\skus`,
+		"newline":   "line1\nline2",
+		"tab":       "a\tb", // tabs must pass through verbatim, not as \t
+		"unicode":   "caché-μSKU",
+		"mixed":     "q\"b\\s\nn",
+	}
+	for k, v := range nasty {
+		r.Counter(Labels("softsku_test_labels_total", "case", k, "val", v),
+			"Counter with adversarial label values.").Add(1)
+	}
+	r.Counter("softsku_test_labels_total_extra",
+		"Family whose name extends another family's prefix.").Add(2)
+	r.Gauge("softsku_test_gauge", "Help with a \\ backslash\nand a newline.").Set(-3.5)
+	h := r.Histogram(Labels("softsku_test_hist", "svc", "Web"), "A labelled histogram.")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 0.01)
+	}
+	r.Histogram("softsku_test_hist_plain", "An unlabelled histogram.").Observe(4)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples, types := parseProm(t, b.String())
+
+	if got := types["softsku_test_labels_total"]; got != "counter" {
+		t.Fatalf("labels_total TYPE = %q, want counter", got)
+	}
+	if got := types["softsku_test_hist"]; got != "histogram" {
+		t.Fatalf("hist TYPE = %q, want histogram", got)
+	}
+
+	seen := map[string]string{}
+	for _, s := range samples {
+		if s.family == "softsku_test_labels_total" {
+			seen[s.labels["case"]] = s.labels["val"]
+		}
+	}
+	for k, want := range nasty {
+		if got, ok := seen[k]; !ok || got != want {
+			t.Errorf("label case %q: round-tripped to %q, want %q", k, got, want)
+		}
+	}
+
+	// Histogram invariants: cumulative non-decreasing buckets, +Inf
+	// bucket equal to _count, for both the labelled and plain series.
+	for _, fam := range []string{"softsku_test_hist", "softsku_test_hist_plain"} {
+		var prev float64
+		var inf, count float64
+		var hasInf bool
+		for _, s := range samples {
+			switch s.family {
+			case fam + "_bucket":
+				if s.value < prev {
+					t.Errorf("%s: bucket le=%q not cumulative: %g < %g", fam, s.labels["le"], s.value, prev)
+				}
+				prev = s.value
+				if s.labels["le"] == "+Inf" {
+					inf, hasInf = s.value, true
+				}
+			case fam + "_count":
+				count = s.value
+			}
+		}
+		if !hasInf {
+			t.Errorf("%s: no +Inf bucket", fam)
+		} else if inf != count {
+			t.Errorf("%s: +Inf bucket %g != count %g", fam, inf, count)
+		}
+	}
+}
+
+// TestPrometheusFamilyContiguity reproduces the plain-sort bug: '{'
+// sorts after '_', so x_total{...} used to land after x_total_extra,
+// splitting the x_total family block. parseProm fails on any reorder.
+func TestPrometheusFamilyContiguity(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("softsku_x_total", "Unlabelled head of the family.").Inc()
+	r.Counter(Labels("softsku_x_total", "svc", "Web"), "").Inc()
+	r.Counter(Labels("softsku_x_total", "svc", "Ads"), "").Inc()
+	r.Counter("softsku_x_total_extra", "A family between the two in byte order.").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples, _ := parseProm(t, b.String())
+	if len(samples) != 4 {
+		t.Fatalf("parsed %d samples, want 4:\n%s", len(samples), b.String())
+	}
+}
+
+// TestLabelsEscapesOnlySpecEscapes pins Labels' escaping: exactly the
+// three spec escapes, nothing more.
+func TestLabelsEscapesOnlySpecEscapes(t *testing.T) {
+	got := Labels("m", "k", "a\\b\"c\nd\te")
+	want := `m{k="a\\b\"c\nd` + "\t" + `e"}`
+	if got != want {
+		t.Fatalf("Labels = %s, want %s", got, want)
+	}
+}

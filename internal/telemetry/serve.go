@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"softsku/internal/ods"
+)
+
+// The live observability server: one mux exposing the process's
+// metrics registry (Prometheus text format), its ODS mirror, the
+// decision ledger, and the stdlib pprof handlers — the "-serve :addr"
+// sidecar musku and stress start so a long tuning run can be watched
+// while it executes instead of only post-mortem from output files.
+//
+// The decision ledger's handler is injected as a plain http.Handler
+// (ServeOptions.Decisions): telemetry sits below internal/decision in
+// the import DAG and must not import it.
+
+// ServeOptions selects what the observability mux exposes. Zero-value
+// fields degrade gracefully: a nil Registry means Default, a nil Store
+// serves an empty series listing, and a nil Decisions handler turns
+// /debug/decisions into a 404 that says recording is off.
+type ServeOptions struct {
+	Registry  *Registry    // /metrics source (nil: Default)
+	Store     *ods.Store   // /debug/ods source (nil: empty)
+	Decisions http.Handler // /debug/decisions (nil: 404)
+}
+
+// NewMux builds the observability mux:
+//
+//	/metrics          Prometheus text format 0.0.4
+//	/debug/ods        series listing; ?series=&from=&to= range query
+//	/debug/decisions  decision-ledger tail (?n=, 0 = all)
+//	/debug/pprof/*    stdlib pprof handlers
+//	/healthz          liveness probe
+func NewMux(opts ServeOptions) *http.ServeMux {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/ods", odsHandler(opts.Store))
+	if opts.Decisions != nil {
+		mux.Handle("/debug/decisions", opts.Decisions)
+	} else {
+		mux.HandleFunc("/debug/decisions", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":"decision recording is off; run with a decision ledger attached"}`,
+				http.StatusNotFound)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// odsHandler serves the ODS mirror. Without a series parameter it
+// lists every series with its sample count and latest point; with one
+// it returns the points in [from, to) (defaults: the whole series).
+func odsHandler(store *ods.Store) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if store == nil {
+			json.NewEncoder(w).Encode(struct {
+				Series []string `json:"series"`
+			}{Series: []string{}})
+			return
+		}
+		q := r.URL.Query()
+		name := q.Get("series")
+		if name == "" {
+			type row struct {
+				Name   string  `json:"name"`
+				Len    int     `json:"len"`
+				LastT  float64 `json:"last_t,omitempty"`
+				LastV  float64 `json:"last_v,omitempty"`
+				Sample bool    `json:"has_samples"`
+			}
+			rows := []row{}
+			for _, n := range store.Names() {
+				rw := row{Name: n, Len: store.Len(n)}
+				if p, ok := store.Latest(n); ok {
+					rw.LastT, rw.LastV, rw.Sample = p.T, p.V, true
+				}
+				rows = append(rows, rw)
+			}
+			json.NewEncoder(w).Encode(struct {
+				Series []row `json:"series"`
+			}{rows})
+			return
+		}
+		parse := func(key string, def float64) (float64, bool) {
+			s := q.Get(key)
+			if s == "" {
+				return def, true
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf(`{"error":"%s must be a number"}`, key), http.StatusBadRequest)
+				return 0, false
+			}
+			return v, true
+		}
+		from, ok := parse("from", 0)
+		if !ok {
+			return
+		}
+		to, ok := parse("to", 1e308)
+		if !ok {
+			return
+		}
+		pts, err := store.Query(name, from, to)
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusNotFound)
+			return
+		}
+		if pts == nil {
+			pts = []ods.Point{}
+		}
+		json.NewEncoder(w).Encode(struct {
+			Series string      `json:"series"`
+			Points []ods.Point `json:"points"`
+		}{name, pts})
+	}
+}
+
+// ObsServer is a running observability server.
+type ObsServer struct {
+	Addr string // resolved listen address (port filled in for ":0")
+	srv  *http.Server
+}
+
+// Serve starts the observability server on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns once it is listening — scrapes can begin
+// immediately. The server runs until Close.
+func Serve(addr string, opts ServeOptions) (*ObsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: -serve %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(opts)}
+	go srv.Serve(ln)
+	return &ObsServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close shuts the server down.
+func (s *ObsServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"softsku/internal/ods"
+)
+
+func get(t *testing.T, mux *http.ServeMux, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	return rr, rr.Body.String()
+}
+
+// TestMuxMetricsStrictParse is the ISSUE's acceptance check: the
+// /metrics payload must survive the strict exposition-format parser,
+// with the right content type.
+func TestMuxMetricsStrictParse(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Labels("softsku_serve_test_total", "svc", `We"b\n`), "Serving test counter.").Inc()
+	reg.Histogram("softsku_serve_test_hist", "Serving test histogram.").Observe(2)
+	mux := NewMux(ServeOptions{Registry: reg})
+	rr, body := get(t, mux, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	samples, types := parseProm(t, body)
+	if len(samples) == 0 || types["softsku_serve_test_hist"] != "histogram" {
+		t.Fatalf("parsed %d samples, types %v", len(samples), types)
+	}
+}
+
+func TestMuxODSListingAndQuery(t *testing.T) {
+	store := ods.NewStore()
+	for i := 0; i < 10; i++ {
+		if err := store.Append("qps", float64(i), float64(100*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mux := NewMux(ServeOptions{Registry: NewRegistry(), Store: store})
+
+	_, body := get(t, mux, "/debug/ods")
+	var listing struct {
+		Series []struct {
+			Name  string  `json:"name"`
+			Len   int     `json:"len"`
+			LastT float64 `json:"last_t"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("listing not JSON: %v\n%s", err, body)
+	}
+	if len(listing.Series) != 1 || listing.Series[0].Name != "qps" || listing.Series[0].Len != 10 {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	_, body = get(t, mux, "/debug/ods?series=qps&from=3&to=7")
+	var q struct {
+		Points []ods.Point `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(body), &q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Points) != 4 || q.Points[0].T != 3 {
+		t.Fatalf("query = %+v", q)
+	}
+
+	rr, _ := get(t, mux, "/debug/ods?series=nope")
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown series status %d, want 404", rr.Code)
+	}
+	rr, _ = get(t, mux, "/debug/ods?series=qps&from=abc")
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad from status %d, want 400", rr.Code)
+	}
+}
+
+func TestMuxDecisionsOffIs404(t *testing.T) {
+	mux := NewMux(ServeOptions{Registry: NewRegistry()})
+	rr, body := get(t, mux, "/debug/decisions")
+	if rr.Code != http.StatusNotFound || !strings.Contains(body, "recording is off") {
+		t.Fatalf("status %d body %q", rr.Code, body)
+	}
+}
+
+func TestMuxDecisionsInjected(t *testing.T) {
+	mux := NewMux(ServeOptions{
+		Registry: NewRegistry(),
+		Decisions: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"total":0,"events":[]}`))
+		}),
+	})
+	rr, body := get(t, mux, "/debug/decisions")
+	if rr.Code != http.StatusOK || !strings.Contains(body, `"total"`) {
+		t.Fatalf("status %d body %q", rr.Code, body)
+	}
+}
+
+func TestServeListensAndCloses(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServeOptions{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

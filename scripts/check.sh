@@ -66,4 +66,78 @@ if [ "$cached" != "$uncached" ]; then
 fi
 echo "cached and uncached runs identical"
 
+echo "== observability serve smoke =="
+# A real musku run with the live server attached: the scrape endpoints
+# must come up, /metrics must carry the softsku_ namespace, and the
+# finished run's decision ledger must be visible at /debug/decisions
+# and in the -decisions-out JSONL.
+if command -v curl >/dev/null 2>&1 || command -v wget >/dev/null 2>&1; then
+	fetch() {
+		if command -v curl >/dev/null 2>&1; then
+			curl -sf "$1"
+		else
+			wget -qO- "$1"
+		fi
+	}
+	obsdir=$(mktemp -d)
+	go build -o "$obsdir/musku" ./cmd/musku
+	"$obsdir/musku" -service Web -knobs thp -max-samples 1500 -q \
+		-serve 127.0.0.1:0 -decisions-out "$obsdir/decisions.jsonl" \
+		>/dev/null 2>"$obsdir/err.log" &
+	musku_pid=$!
+	trap 'kill "$musku_pid" 2>/dev/null || true; rm -rf "$obsdir"' EXIT
+	# The resolved address (the port of -serve :0) prints once the run
+	# finishes and the server stays up to be scraped.
+	addr=""
+	tries=0
+	while [ "$tries" -lt 120 ]; do
+		addr=$(sed -n 's#.*serving observability on http://\([^ ]*\).*#\1#p' "$obsdir/err.log")
+		[ -n "$addr" ] && break
+		if ! kill -0 "$musku_pid" 2>/dev/null; then
+			break
+		fi
+		sleep 1
+		tries=$((tries + 1))
+	done
+	if [ -z "$addr" ]; then
+		echo "observability smoke: musku never announced its server" >&2
+		cat "$obsdir/err.log" >&2
+		exit 1
+	fi
+	if ! fetch "http://$addr/metrics" | grep -q "^# TYPE softsku_"; then
+		echo "observability smoke: /metrics has no softsku_ families" >&2
+		exit 1
+	fi
+	if ! fetch "http://$addr/debug/decisions?n=0" | grep -q '"kind":"run_finished"'; then
+		echo "observability smoke: /debug/decisions lacks the run_finished event" >&2
+		exit 1
+	fi
+	if ! grep -q '"kind":"run_started"' "$obsdir/decisions.jsonl"; then
+		echo "observability smoke: -decisions-out ledger lacks run_started" >&2
+		exit 1
+	fi
+	echo "served /metrics and /debug/decisions for a live run ($addr)"
+	kill "$musku_pid" 2>/dev/null || true
+	rm -rf "$obsdir"
+	trap - EXIT
+else
+	echo "observability smoke: skipped (neither curl nor wget available)"
+fi
+
+echo "== skutrace replay smoke =="
+# Counterfactual replay straight off a recorded ledger: re-judge a
+# mips-objective run under p99 without re-running the simulator.
+repdir=$(mktemp -d)
+go run ./cmd/musku -service Web -knobs thp,shp -max-samples 1500 -q \
+	-decisions-out "$repdir/run.jsonl" >/dev/null
+replay=$(go run ./cmd/skutrace replay -metric p99 "$repdir/run.jsonl" || true)
+if ! echo "$replay" | grep -q "replayed p99"; then
+	echo "skutrace smoke: replay produced no p99 report" >&2
+	echo "$replay" >&2
+	rm -rf "$repdir"
+	exit 1
+fi
+echo "$replay" | head -2
+rm -rf "$repdir"
+
 echo "check: all green"

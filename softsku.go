@@ -2,10 +2,12 @@ package softsku
 
 import (
 	"fmt"
+	"io"
 
 	"softsku/internal/cache"
 	"softsku/internal/chaos"
 	"softsku/internal/core"
+	"softsku/internal/decision"
 	"softsku/internal/emon"
 	"softsku/internal/knob"
 	"softsku/internal/loadgen"
@@ -53,6 +55,21 @@ type (
 	ChaosEngine = chaos.Engine
 	// ChaosConfig sets per-fault-class injection rates.
 	ChaosConfig = chaos.Config
+	// DecisionLedger is the append-only decision-trace flight recorder
+	// a Tool (Tool.SetRecorder) and fleet rollouts write structured,
+	// causally linked decision events into; exportable as JSONL and
+	// servable live at /debug/decisions.
+	DecisionLedger = decision.Ledger
+	// DecisionEvent is one recorded decision. Events are built by the
+	// decision package's constructors, never by hand (enforced by
+	// softskulint's decisionevent analyzer).
+	DecisionEvent = decision.Event
+	// DecisionObjective is the counterfactual policy a recorded ledger
+	// is replayed under (metric, guardrail, confidence).
+	DecisionObjective = decision.Objective
+	// DecisionReport is the outcome of one counterfactual replay:
+	// re-judged trials, per-group winners, and every divergence.
+	DecisionReport = decision.Report
 )
 
 // ChaosDisabled is the no-op injector (equivalent to a nil injector).
@@ -71,6 +88,30 @@ func IsChaosFault(err error) bool { return chaos.IsFault(err) }
 
 // NewTracer returns an empty span tracer for Tool.SetTracer.
 func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// NewDecisionLedger returns an empty decision ledger for
+// Tool.SetRecorder. The same Input and seed always produce a
+// byte-identical JSONL export at any worker count.
+func NewDecisionLedger() *DecisionLedger { return decision.NewLedger() }
+
+// ReadDecisionLedger parses a JSONL ledger (as written by
+// DecisionLedger.WriteJSONL or musku -decisions-out), validating
+// sequence numbers and causal links.
+func ReadDecisionLedger(r io.Reader) ([]DecisionEvent, error) { return decision.ReadJSONL(r) }
+
+// ReplayDecisions re-walks a recorded ledger under a counterfactual
+// objective — a different metric, guardrail, or confidence — and
+// reports every decision that would have gone the other way, using
+// only the evidence moments recorded per trial (no simulation).
+func ReplayDecisions(events []DecisionEvent, obj DecisionObjective) (*DecisionReport, error) {
+	return decision.Replay(events, obj)
+}
+
+// WriteDecisionTree renders a ledger as an indented causal tree, the
+// skutrace tree view.
+func WriteDecisionTree(w io.Writer, events []DecisionEvent) error {
+	return decision.WriteTree(w, events)
+}
 
 // SetCharacterizationCache enables or disables the process-wide
 // content-addressed characterization cache (DESIGN.md §11) and returns
