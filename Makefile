@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-simcache bench-decision fmt chaos lint lint-fixtures
+.PHONY: build test check bench bench-parallel bench-simcache bench-decision bench-fleet fmt chaos lint lint-fixtures soak
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,15 @@ bench-simcache:
 bench-decision:
 	$(GO) test -run XXX -bench 'BenchmarkSweepRecorder(Off|On)$$' -benchmem -benchtime 1x -count 3 ./internal/core
 
+# Self-healing controller soak throughput (DESIGN.md §13): the same
+# 20-epoch, 1008-server soak with the fault engine off vs on. The On
+# row runs the full default fault mix plus day-long sensor blackouts,
+# so the delta prices the robustness machinery (breakers, quarantine,
+# degraded mode, watchdog ride-outs), not just the injector draws.
+# Each row also reports epochs/sec; medians go to BENCH_fleet.json.
+bench-fleet:
+	$(GO) test -run XXX -bench 'BenchmarkSoakChaos(Off|On)$$' -benchmem -benchtime 1x -count 3 ./internal/fleet/controller
+
 fmt:
 	gofmt -w .
 
@@ -66,3 +75,14 @@ fmt:
 # the same -chaos-seed always reproduces the same fault schedule.
 chaos:
 	$(GO) run ./cmd/musku -service Web -knobs thp -chaos -chaos-seed 7 -guardrail-pct 2 -max-samples 1500 -q
+
+# Deterministic self-healing fleet soak (DESIGN.md §13): 20 control
+# epochs (one virtual day each) over the default 24-pool /
+# 1008-server fleet under the sustained default fault mix plus sensor
+# blackouts. Exits non-zero unless every non-quarantined pool ends
+# converged. The report, decision ledger, and chaos fingerprint are a
+# pure function of (-seed, -chaos-seed, fleet size) at any -parallel;
+# scripts/check.sh's fleet soak smoke runs a scaled-down soak twice at
+# different -parallel counts and byte-compares the ledgers.
+soak:
+	$(GO) run ./cmd/fleetd -chaos -chaos-seed 99 -seed 42 -epochs 20 -q

@@ -104,6 +104,10 @@ var simFacing = map[string]bool{
 	"workload": true,
 	"fleet":    true,
 	"decision": true, // the ledger must be byte-identical run to run
+	// The self-healing control loop: breaker holds, watchdog budgets,
+	// and epoch clocks must come from the virtual clock / seeded
+	// streams, never from the wall clock or ambient goroutines.
+	"controller": true,
 }
 
 // SimFacing reports whether the named package is bound by the seeded

@@ -61,6 +61,8 @@ func TestGolden(t *testing.T) {
 		{SpanEnd, "spanend/spans"},
 		{SeedArg, "seedarg/sim"},
 		{Goroutine, "goroutine/sim"},
+		{Goroutine, "goroutine/controller"},
+		{Nondeterminism, "nondeterminism/controller"},
 		{DecisionEvent, "decisionevent/events"},
 		{Nondeterminism, "directives/bad"},
 	}

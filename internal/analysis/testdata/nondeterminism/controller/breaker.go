@@ -1,0 +1,49 @@
+// Fixture: circuit-breaker timers in the control loop. Breaker holds
+// and watchdog budgets must be counted in epochs / virtual seconds so
+// a seeded soak replays byte-for-byte; reading the wall clock for
+// them is the finding. The injected telemetry clock stays fine for
+// observability timestamps — it is frozen in deterministic runs.
+package controller
+
+import (
+	"time"
+
+	"softsku/internal/telemetry"
+)
+
+type breaker struct {
+	openedAt  time.Time
+	holdUntil int // epoch index
+}
+
+// badHoldExpiry re-closes the breaker on the wall clock: how many
+// epochs a pool stays fenced depends on machine speed, so two runs of
+// the same seed diverge.
+func (b *breaker) badHoldExpiry() bool {
+	return time.Since(b.openedAt) > 2*time.Minute
+}
+
+// badOpen stamps the hold with ambient time — same defect at the
+// other end of the timer.
+func (b *breaker) badOpen() {
+	b.openedAt = time.Now()
+}
+
+// goodHoldExpiry counts the hold in control epochs: pure state, no
+// clock, identical at any -parallel and on any machine.
+func (b *breaker) goodHoldExpiry(epoch int) bool {
+	return epoch >= b.holdUntil
+}
+
+// goodEventStamp is the accepted clock read: ledger events carry the
+// injected telemetry clock, which deterministic runs freeze.
+func goodEventStamp() time.Time {
+	return telemetry.Now()
+}
+
+var (
+	_ = (*breaker).badHoldExpiry
+	_ = (*breaker).badOpen
+	_ = (*breaker).goodHoldExpiry
+	_ = goodEventStamp
+)

@@ -5,8 +5,9 @@
 // capacity. This package injects exactly those faults — deterministic
 // per seed — at the points the sim/platform/fleet layers consult:
 // knob applications and reboots (platform.Server), A/B samples
-// (abtest.Run), rollout waves (fleet.Rollout), and the load profile
-// (loadgen.Profile).
+// (abtest.Run), rollout waves (fleet.Rollout), the load profile
+// (loadgen.Profile), and fleet sensor reads (fleet/controller's drift
+// detector, via sensor-blackout episodes).
 //
 // Determinism contract: an Engine draws every fault class from its own
 // seeded rng sub-stream, so two runs with the same seed that make the
@@ -50,6 +51,8 @@ var (
 		"Slow deployment waves injected into rollouts.")
 	mLoadSpikes = telemetry.Default.Counter("softsku_chaos_load_spikes_total",
 		"Load-spike windows injected into the load profile.")
+	mSensorBlackouts = telemetry.Default.Counter("softsku_chaos_sensor_blackouts_total",
+		"Sensor-blackout episodes injected into ODS sampling.")
 )
 
 // Injector is consulted by the layers that can fault. A nil Injector
@@ -78,6 +81,12 @@ type Injector interface {
 	// LoadSpike returns the multiplicative load factor at virtual time
 	// t (1 when no spike is active). Pure in (seed, t).
 	LoadSpike(t float64) float64
+	// DropSensor reports whether an ODS sensor read for series at
+	// virtual time t is silently lost to a sensor-blackout episode.
+	// Once an episode starts for a series it persists for BlackoutSec
+	// of virtual time, so drift detectors see a sustained gap rather
+	// than isolated missing points.
+	DropSensor(series string, t float64) bool
 }
 
 // Disabled is the explicit no-op injector.
@@ -92,6 +101,7 @@ func (disabled) CorruptSample(_ string, v float64) (float64, bool) { return v, f
 func (disabled) CrashServer(string) bool                           { return false }
 func (disabled) WaveDelay(int) float64                             { return 0 }
 func (disabled) LoadSpike(float64) float64                         { return 1 }
+func (disabled) DropSensor(string, float64) bool                   { return false }
 
 // FaultError is a transient, injected failure. Consumers distinguish
 // it from real validation errors with IsFault and retry with backoff.
@@ -135,6 +145,8 @@ type Config struct {
 	SpikePct       float64 // P(a load-spike window contains a spike)
 	SpikeMag       float64 // spike amplitude (0.5 → +50% load)
 	SpikeWindowSec float64 // spike scheduling window length
+	BlackoutPct    float64 // P(one sensor read starts a blackout episode)
+	BlackoutSec    float64 // virtual seconds a blackout episode persists
 }
 
 // DefaultConfig is the fault mix a production fleet actually serves
@@ -154,6 +166,8 @@ func DefaultConfig() Config {
 		SpikePct:       0.25,
 		SpikeMag:       0.35,
 		SpikeWindowSec: 1800,
+		BlackoutPct:    0.002,
+		BlackoutSec:    1800,
 	}
 }
 
@@ -180,24 +194,28 @@ type Engine struct {
 	corrupt  *rng.Source
 	crash    *rng.Source
 	wave     *rng.Source
+	blackout *rng.Source
 	events   []Event
-	spiked   map[int64]bool // spike windows already recorded
-	children []*Engine      // per-trial injectors, in creation order
+	spiked   map[int64]bool     // spike windows already recorded
+	dark     map[string]float64 // series -> blackout episode end time
+	children []*Engine          // per-trial injectors, in creation order
 }
 
 // New builds an engine dealing faults from cfg at the given seed.
 func New(seed uint64, cfg Config) *Engine {
 	root := rng.New(seed ^ 0xc4a05) // keep chaos streams clear of workload seeds
 	return &Engine{
-		cfg:     cfg,
-		seed:    seed,
-		apply:   root.Split("apply"),
-		reboot:  root.Split("reboot"),
-		drop:    root.Split("drop"),
-		corrupt: root.Split("corrupt"),
-		crash:   root.Split("crash"),
-		wave:    root.Split("wave"),
-		spiked:  make(map[int64]bool),
+		cfg:      cfg,
+		seed:     seed,
+		apply:    root.Split("apply"),
+		reboot:   root.Split("reboot"),
+		drop:     root.Split("drop"),
+		corrupt:  root.Split("corrupt"),
+		crash:    root.Split("crash"),
+		wave:     root.Split("wave"),
+		blackout: root.Split("blackout"),
+		spiked:   make(map[int64]bool),
+		dark:     make(map[string]float64),
 	}
 }
 
@@ -357,6 +375,30 @@ func (e *Engine) LoadSpike(t float64) float64 {
 	}
 	e.mu.Unlock()
 	return 1 + e.cfg.SpikeMag
+}
+
+// DropSensor implements Injector. Episodes draw from the blackout
+// stream: the first drawn start is recorded once as a sensor-blackout
+// event, and every read of the same series before the episode's end
+// time is silently dropped without touching the stream — so a long
+// blackout consumes exactly one draw and the schedule other series
+// see is unperturbed.
+func (e *Engine) DropSensor(series string, t float64) bool {
+	if e.cfg.BlackoutPct <= 0 || e.cfg.BlackoutSec <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if until, ok := e.dark[series]; ok && t < until {
+		return true
+	}
+	if !e.blackout.Bool(e.cfg.BlackoutPct) {
+		return false
+	}
+	e.dark[series] = t + e.cfg.BlackoutSec
+	e.record("sensor-blackout", series)
+	mSensorBlackouts.Inc()
+	return true
 }
 
 // Events returns a copy of every fault injected so far — the engine's

@@ -288,3 +288,81 @@ func TestSummaryAndCounts(t *testing.T) {
 		t.Fatalf("counts sum %d != events %d", total, len(e2.Events()))
 	}
 }
+
+func TestSensorBlackoutEpisodes(t *testing.T) {
+	// Once an episode starts for a series, every read of that series
+	// before the episode end is dropped; reads after it are judged
+	// afresh. Other series keep their own independent episodes.
+	cfg := Config{BlackoutPct: 1, BlackoutSec: 100}
+	e := New(5, cfg)
+	if !e.DropSensor("qps.web", 0) {
+		t.Fatal("BlackoutPct=1 must start an episode on the first read")
+	}
+	for _, tt := range []float64{1, 50, 99.9} {
+		if !e.DropSensor("qps.web", tt) {
+			t.Fatalf("read at t=%g inside the episode must be dropped", tt)
+		}
+	}
+	// An in-episode read must not consume a blackout draw: only two
+	// episode starts (one per series) may be recorded.
+	if !e.DropSensor("qps.feed", 10) {
+		t.Fatal("second series must get its own episode")
+	}
+	if got := e.Counts()["sensor-blackout"]; got != 2 {
+		t.Fatalf("recorded %d sensor-blackout events, want 2 (one per episode)", got)
+	}
+}
+
+func TestSensorBlackoutDeterministic(t *testing.T) {
+	run := func() string {
+		e := New(21, DefaultConfig())
+		s := ""
+		for i := 0; i < 4000; i++ {
+			if e.DropSensor("qps.pool", float64(i)*300) {
+				s += "D"
+			} else {
+				s += "."
+			}
+		}
+		return s + "|" + e.Fingerprint()
+	}
+	if run() != run() {
+		t.Fatal("same seed must reproduce the same blackout schedule")
+	}
+}
+
+func TestSensorBlackoutStreamIndependent(t *testing.T) {
+	// Blackout draws must not perturb the other class streams.
+	a, b := New(9, DefaultConfig()), New(9, DefaultConfig())
+	for i := 0; i < 500; i++ {
+		b.DropSensor("s", float64(i)*1000)
+	}
+	var sa, sb string
+	for i := 0; i < 300; i++ {
+		if a.CrashServer("s") {
+			sa += "C"
+		} else {
+			sa += "."
+		}
+		if b.CrashServer("s") {
+			sb += "C"
+		} else {
+			sb += "."
+		}
+	}
+	if sa != sb {
+		t.Fatalf("crash schedule perturbed by blackout draws:\n%s\n%s", sa, sb)
+	}
+}
+
+func TestSensorBlackoutZeroAndDisabled(t *testing.T) {
+	e := New(1, Config{})
+	for i := 0; i < 1000; i++ {
+		if e.DropSensor("s", float64(i)) {
+			t.Fatal("zero config must not drop sensor reads")
+		}
+	}
+	if Disabled.DropSensor("s", 0) {
+		t.Fatal("Disabled must not drop sensor reads")
+	}
+}

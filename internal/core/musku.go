@@ -115,8 +115,9 @@ type Tool struct {
 	tracer *telemetry.Tracer // nil disables tracing
 	span   *telemetry.Span   // current parent for trial/machine spans
 
-	rec     *decision.Ledger // nil disables decision recording
-	decRoot int              // run_started seq; -1 outside a recorded run
+	rec       *decision.Ledger // nil disables decision recording
+	decRoot   int              // run_started seq; -1 outside a recorded run
+	decParent int              // causal parent for run_started (-1: ledger root)
 }
 
 // New builds a µSKU tool from an input file. It rejects MIPS-metric
@@ -155,15 +156,16 @@ func NewForService(in Input, prof *workload.Profile, sku *platform.SKU) (*Tool, 
 			prof.Name)
 	}
 	t := &Tool{
-		in:       in,
-		prof:     prof,
-		sku:      sku,
-		baseline: sim.ProductionConfig(sku, prof),
-		space:    BuildSpace(sku, prof, in.Knobs),
-		load:     loadgen.NewDiurnal(rng.Derive(in.Seed, "load/validate")),
-		par:      in.Parallel,
-		servers:  make(map[string]*platform.Server),
-		decRoot:  -1,
+		in:        in,
+		prof:      prof,
+		sku:       sku,
+		baseline:  sim.ProductionConfig(sku, prof),
+		space:     BuildSpace(sku, prof, in.Knobs),
+		load:      loadgen.NewDiurnal(rng.Derive(in.Seed, "load/validate")),
+		par:       in.Parallel,
+		servers:   make(map[string]*platform.Server),
+		decRoot:   -1,
+		decParent: -1,
 	}
 	return t, nil
 }
@@ -196,6 +198,12 @@ func (t *Tool) SetRecorder(l *decision.Ledger) {
 
 // Recorder returns the attached decision ledger (nil if none).
 func (t *Tool) Recorder() *decision.Ledger { return t.rec }
+
+// SetRecorderParent makes the run's run_started event a child of seq
+// instead of a ledger root — the fleet controller nests each retune
+// under the epoch's drift_detected event, so one soak ledger replays as
+// a single causal tree. -1 (the default) records a root.
+func (t *Tool) SetRecorderParent(seq int) { t.decParent = seq }
 
 // SetParallel sets the trial worker count: each knob sweep's candidate
 // trials are sharded across n goroutines, with results merged in
@@ -297,7 +305,7 @@ func (t *Tool) Run() (*Result, error) {
 		if conf <= 0 || conf >= 1 {
 			conf = 0.95 // mirror abtest's zero-value patching
 		}
-		t.decRoot = t.rec.Record(-1, decision.RunStarted(
+		t.decRoot = t.rec.Record(t.decParent, decision.RunStarted(
 			t.prof.Name, t.sku.Name, t.in.Sweep.String(), t.in.Metric.String(),
 			t.in.Seed, conf, t.in.AB.GuardrailPct))
 	}

@@ -49,6 +49,22 @@ const (
 	KindWaveFailed     Kind = "wave_failed"
 	KindRollback       Kind = "rollback"
 	KindRolloutDone    Kind = "rollout_done"
+
+	// Fleet-controller kinds: the continuous tuning loop's epoch
+	// lifecycle and its self-healing machinery (breakers, quarantine,
+	// flap damping, degraded mode, watchdog abandons).
+	KindEpochStarted    Kind = "epoch_started"
+	KindEpochDone       Kind = "epoch_done"
+	KindDriftDetected   Kind = "drift_detected"
+	KindDegradedEnter   Kind = "degraded_enter"
+	KindDegradedExit    Kind = "degraded_exit"
+	KindBreakerOpen     Kind = "breaker_open"
+	KindBreakerProbe    Kind = "breaker_probe"
+	KindBreakerClosed   Kind = "breaker_closed"
+	KindQuarantine      Kind = "quarantine"
+	KindRepair          Kind = "repair"
+	KindConfigFreeze    Kind = "config_freeze"
+	KindWatchdogAbandon Kind = "watchdog_abandon"
 )
 
 // Stat is the sufficient statistics of one arm's sample stream for
@@ -103,6 +119,10 @@ type Event struct {
 	// Rollout payload.
 	Wave    int `json:"wave,omitempty"`
 	Servers int `json:"servers,omitempty"`
+
+	// Controller payload: the epoch an event belongs to (1-based; 0 is
+	// omitted for non-controller events).
+	Epoch int `json:"epoch,omitempty"`
 
 	Detail string `json:"detail,omitempty"`
 
@@ -310,4 +330,115 @@ func Rollback(servers int) Event {
 // RolloutDone closes a rollout that converged.
 func RolloutDone(waves, rebooted int) Event {
 	return Event{Kind: KindRolloutDone, Wave: waves, Detail: fmt.Sprintf("rebooted=%d", rebooted)}
+}
+
+// EpochStarted opens one controller epoch: the virtual time it covers
+// and the fleet it governs.
+func EpochStarted(epoch int, virtualSec float64, pools, servers int) Event {
+	return Event{
+		Kind:       KindEpochStarted,
+		Epoch:      epoch,
+		VirtualSec: finite(virtualSec),
+		Servers:    servers,
+		Detail:     fmt.Sprintf("pools=%d", pools),
+	}
+}
+
+// EpochDone closes a controller epoch with its work tally.
+func EpochDone(epoch, drifted, retuned, rolledOut, failures int) Event {
+	return Event{
+		Kind:  KindEpochDone,
+		Epoch: epoch,
+		Detail: fmt.Sprintf("drifted=%d retuned=%d rolled_out=%d rollout_failures=%d",
+			drifted, retuned, rolledOut, failures),
+	}
+}
+
+// DriftDetected records a pool whose sensed load moved past the drift
+// threshold since its configuration was last tuned.
+func DriftDetected(pool string, deltaPct, thresholdPct float64, samples int) Event {
+	return Event{
+		Kind:     KindDriftDetected,
+		Service:  pool,
+		DeltaPct: finite(deltaPct),
+		Samples:  samples,
+		Detail:   fmt.Sprintf("threshold=%.1f%%", finite(thresholdPct)),
+	}
+}
+
+// DegradedEnter records a pool entering degraded mode: its sensor
+// series is too sparse to trust (blackout), so the controller holds
+// the last-known-good configuration instead of tuning blind.
+func DegradedEnter(pool string, samples, minSamples int) Event {
+	return Event{
+		Kind:    KindDegradedEnter,
+		Service: pool,
+		Samples: samples,
+		Detail:  fmt.Sprintf("min_samples=%d; holding last-known-good config", minSamples),
+	}
+}
+
+// DegradedExit records a pool's sensor series recovering enough to
+// resume drift detection.
+func DegradedExit(pool string, samples int) Event {
+	return Event{Kind: KindDegradedExit, Service: pool, Samples: samples}
+}
+
+// BreakerOpen records a pool's circuit breaker opening after repeated
+// rollout failures: the pool is left alone for holdEpochs epochs.
+func BreakerOpen(pool string, failures, holdEpochs int) Event {
+	return Event{
+		Kind:    KindBreakerOpen,
+		Service: pool,
+		Detail:  fmt.Sprintf("failures=%d hold_epochs=%d", failures, holdEpochs),
+	}
+}
+
+// BreakerProbe records a half-open probe: one rollout allowed through
+// an open breaker to test whether the pool has recovered.
+func BreakerProbe(pool string) Event {
+	return Event{Kind: KindBreakerProbe, Service: pool}
+}
+
+// BreakerClosed records a breaker closing after a successful probe.
+func BreakerClosed(pool string) Event {
+	return Event{Kind: KindBreakerClosed, Service: pool}
+}
+
+// Quarantine records a repeat-offender server pulled out of rotation.
+func Quarantine(pool string, server, strikes int) Event {
+	return Event{
+		Kind:    KindQuarantine,
+		Service: pool,
+		Label:   fmt.Sprintf("%s/%d", pool, server),
+		Detail:  fmt.Sprintf("strikes=%d", strikes),
+	}
+}
+
+// Repair records a quarantined server restored to rotation on the
+// pool's current configuration.
+func Repair(pool string, server int) Event {
+	return Event{Kind: KindRepair, Service: pool, Label: fmt.Sprintf("%s/%d", pool, server)}
+}
+
+// ConfigFreeze records flap damping: a pool that exhausted its
+// rollback budget has its configuration frozen for holdEpochs epochs.
+func ConfigFreeze(pool string, reverts, holdEpochs int) Event {
+	return Event{
+		Kind:    KindConfigFreeze,
+		Service: pool,
+		Detail:  fmt.Sprintf("reverts=%d hold_epochs=%d", reverts, holdEpochs),
+	}
+}
+
+// WatchdogAbandon records a server whose stuck reboot exhausted the
+// rollout watchdog budget and was abandoned rather than wedging the
+// epoch.
+func WatchdogAbandon(pool string, server int, budgetSec float64) Event {
+	return Event{
+		Kind:       KindWatchdogAbandon,
+		Service:    pool,
+		Label:      fmt.Sprintf("%s/%d", pool, server),
+		VirtualSec: finite(budgetSec),
+	}
 }

@@ -58,6 +58,30 @@ func (e Event) Summary() string {
 		return fmt.Sprintf("rolled back %d servers", e.Servers)
 	case KindRolloutDone:
 		return fmt.Sprintf("rollout done in %d waves (%s)", e.Wave, e.Detail)
+	case KindEpochStarted:
+		return fmt.Sprintf("epoch %d (t=%gs, %d servers, %s)", e.Epoch, e.VirtualSec, e.Servers, e.Detail)
+	case KindEpochDone:
+		return fmt.Sprintf("epoch %d done (%s)", e.Epoch, e.Detail)
+	case KindDriftDetected:
+		return fmt.Sprintf("drift on %s: %+.1f%% over %d samples (%s)", e.Service, e.DeltaPct, e.Samples, e.Detail)
+	case KindDegradedEnter:
+		return fmt.Sprintf("%s DEGRADED: %d samples (%s)", e.Service, e.Samples, e.Detail)
+	case KindDegradedExit:
+		return fmt.Sprintf("%s recovered (%d samples)", e.Service, e.Samples)
+	case KindBreakerOpen:
+		return fmt.Sprintf("breaker OPEN on %s (%s)", e.Service, e.Detail)
+	case KindBreakerProbe:
+		return fmt.Sprintf("breaker half-open probe on %s", e.Service)
+	case KindBreakerClosed:
+		return fmt.Sprintf("breaker closed on %s", e.Service)
+	case KindQuarantine:
+		return fmt.Sprintf("quarantined %s (%s)", e.Label, e.Detail)
+	case KindRepair:
+		return fmt.Sprintf("repaired %s", e.Label)
+	case KindConfigFreeze:
+		return fmt.Sprintf("froze config of %s (%s)", e.Service, e.Detail)
+	case KindWatchdogAbandon:
+		return fmt.Sprintf("watchdog abandoned %s after %gs", e.Label, e.VirtualSec)
 	default:
 		return string(e.Kind)
 	}

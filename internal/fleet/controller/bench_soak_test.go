@@ -1,0 +1,49 @@
+package controller
+
+import (
+	"testing"
+
+	"softsku/internal/chaos"
+)
+
+// benchSoak measures one acceptance-scale controller soak — 20 control
+// epochs over the default 24-pool / 1008-server fleet — with the fault
+// engine off vs on. The chaos row carries the full default fault mix
+// plus day-long sensor blackouts, so the Off/On delta is the price of
+// the self-healing machinery (breakers, quarantine, degraded mode,
+// watchdog ride-outs) under sustained faults, not just the injector
+// draws. Each iteration also reports epochs/sec so BENCH_fleet.json
+// can record soak throughput directly. Medians of `make bench-fleet`.
+func benchSoak(b *testing.B, withChaos bool) {
+	const epochs = 20
+	specs := DefaultFleetSpec(1008)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Seed = 42
+		cfg.DriftRate = 0.04
+		cfg.TuneMinSamples = 40
+		cfg.TuneMaxSamples = 120
+		c, err := New(cfg, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if withChaos {
+			ccfg := chaos.DefaultConfig()
+			ccfg.BlackoutPct = 0.01
+			ccfg.BlackoutSec = 86400
+			c.SetChaos(chaos.New(99, ccfg))
+		}
+		rep, err := c.Run(epochs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Converged {
+			b.Fatalf("bench soak did not converge: %+v", rep)
+		}
+	}
+	b.ReportMetric(float64(epochs*b.N)/b.Elapsed().Seconds(), "epochs/sec")
+}
+
+func BenchmarkSoakChaosOff(b *testing.B) { benchSoak(b, false) }
+func BenchmarkSoakChaosOn(b *testing.B)  { benchSoak(b, true) }

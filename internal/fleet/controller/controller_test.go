@@ -1,0 +1,265 @@
+package controller
+
+import (
+	"bytes"
+	"testing"
+
+	"softsku/internal/chaos"
+	"softsku/internal/decision"
+)
+
+// smallSpec is a three-pool fleet spanning all three SKUs — big enough
+// to exercise mixed-SKU handling, small enough to soak repeatedly.
+func smallSpec(perPool int) []PoolSpec {
+	return []PoolSpec{
+		{Service: "Web", Region: "use", Servers: perPool},    // Skylake18
+		{Service: "Cache1", Region: "use", Servers: perPool}, // Skylake20
+		{Service: "Web", Region: "use-bw", SKU: "Broadwell16", Servers: perPool},
+	}
+}
+
+// fastCfg shrinks the tuning pipeline for test soaks.
+func fastCfg(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.SamplesPerEpoch = 12
+	cfg.MinSamples = 8
+	cfg.DriftRate = 0.5 // shift often so short soaks still re-tune
+	cfg.TuneMinSamples = 40
+	cfg.TuneMaxSamples = 120
+	return cfg
+}
+
+// soak runs one controller soak and returns the report, the ledger
+// bytes, and the chaos fingerprint ("" without chaos).
+func soak(t *testing.T, cfg Config, specs []PoolSpec, epochs int, chaosCfg *chaos.Config, chaosSeed uint64) (*Report, []byte, string) {
+	t.Helper()
+	c, err := New(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := ""
+	var eng *chaos.Engine
+	if chaosCfg != nil {
+		eng = chaos.New(chaosSeed, *chaosCfg)
+		c.SetChaos(eng)
+	}
+	rep, err := c.Run(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Ledger().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if eng != nil {
+		fp = eng.Fingerprint()
+	}
+	return rep, buf.Bytes(), fp
+}
+
+func kinds(t *testing.T, ledger []byte) map[decision.Kind]int {
+	t.Helper()
+	events, err := decision.ReadJSONL(bytes.NewReader(ledger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(map[decision.Kind]int)
+	for _, e := range events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+func TestSoakDetectsAndChasesDrift(t *testing.T) {
+	cfg := fastCfg(11)
+	cfg.Parallel = 4
+	rep, ledger, _ := soak(t, cfg, smallSpec(10), 6, nil, 0)
+	if rep.Drifted == 0 || rep.Retuned == 0 {
+		t.Fatalf("fault-free soak saw no drift work: %+v", rep)
+	}
+	if !rep.Converged || rep.MixedPools != 0 {
+		t.Fatalf("fault-free soak must converge: %+v", rep)
+	}
+	if rep.RolloutFailures != 0 || rep.Quarantined != 0 {
+		t.Fatalf("fault-free soak hit failure machinery: %+v", rep)
+	}
+	k := kinds(t, ledger)
+	if k[decision.KindEpochStarted] != 6 || k[decision.KindEpochDone] != 6 {
+		t.Fatalf("epoch events: %v", k)
+	}
+	if k[decision.KindDriftDetected] == 0 {
+		t.Fatal("no drift_detected events in ledger")
+	}
+}
+
+func TestSoakBitIdenticalAcrossParallelAndRuns(t *testing.T) {
+	// The PR 6 bit-identity matrix extended with the controller
+	// dimension: {fault-free, chaos} x {-parallel 1, 8}; ledgers and
+	// fault fingerprints must match byte for byte.
+	ccfg := chaos.DefaultConfig()
+	for _, tc := range []struct {
+		name     string
+		chaosCfg *chaos.Config
+	}{
+		{"plain", nil},
+		{"chaos", &ccfg},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg1 := fastCfg(23)
+			cfg1.Parallel = 1
+			cfg8 := fastCfg(23)
+			cfg8.Parallel = 8
+			rep1, led1, fp1 := soak(t, cfg1, smallSpec(8), 5, tc.chaosCfg, 7)
+			rep8, led8, fp8 := soak(t, cfg8, smallSpec(8), 5, tc.chaosCfg, 7)
+			if !bytes.Equal(led1, led8) {
+				a, _ := decision.ReadJSONL(bytes.NewReader(led1))
+				b, _ := decision.ReadJSONL(bytes.NewReader(led8))
+				for _, d := range decision.Diff(a, b) {
+					t.Log(d)
+				}
+				t.Fatal("ledger differs between -parallel=1 and -parallel=8")
+			}
+			if fp1 != fp8 {
+				t.Fatalf("fault fingerprint differs: %q vs %q", fp1, fp8)
+			}
+			if *rep1 != *rep8 {
+				t.Fatalf("reports differ:\n  par1: %+v\n  par8: %+v", rep1, rep8)
+			}
+			// And a same-config repeat run is identical too (Engine.Split
+			// stream determinism across controller epochs).
+			repR, ledR, fpR := soak(t, cfg8, smallSpec(8), 5, tc.chaosCfg, 7)
+			if !bytes.Equal(led8, ledR) || fp8 != fpR || *rep8 != *repR {
+				t.Fatal("repeat same-seed soak diverged")
+			}
+		})
+	}
+}
+
+func TestDegradedModeHoldsLastKnownGoodUnderBlackout(t *testing.T) {
+	cfg := fastCfg(5)
+	// Total sensor blackout: the first draw on each series starts an
+	// episode that outlasts the soak.
+	ccfg := chaos.Config{BlackoutPct: 1, BlackoutSec: cfg.EpochSec * 100}
+	rep, ledger, _ := soak(t, cfg, smallSpec(6), 4, &ccfg, 3)
+	if rep.Retuned != 0 || rep.Drifted != 0 {
+		t.Fatalf("blind controller must not act: %+v", rep)
+	}
+	if rep.DegradedEpochs != 3*4 {
+		t.Fatalf("degraded pool-epochs = %d, want 12", rep.DegradedEpochs)
+	}
+	if !rep.Converged {
+		t.Fatalf("held pools must stay converged: %+v", rep)
+	}
+	k := kinds(t, ledger)
+	if k[decision.KindDegradedEnter] != 3 {
+		t.Fatalf("degraded_enter = %d, want one per pool", k[decision.KindDegradedEnter])
+	}
+	if k[decision.KindDegradedExit] != 0 {
+		t.Fatal("nothing should exit degraded mode under total blackout")
+	}
+}
+
+func TestDegradedModeExitsWhenSensorsRecover(t *testing.T) {
+	cfg := fastCfg(9)
+	cfg.DriftRate = 0.3
+	// Episodic blackouts: whole-epoch outages that end, so pools must
+	// both enter and leave degraded mode across a longer soak.
+	ccfg := chaos.Config{BlackoutPct: 0.08, BlackoutSec: cfg.EpochSec * 1.2}
+	rep, ledger, _ := soak(t, cfg, smallSpec(6), 10, &ccfg, 21)
+	k := kinds(t, ledger)
+	if k[decision.KindDegradedEnter] == 0 {
+		t.Fatalf("no degraded_enter events (report %+v); pick a different seed", rep)
+	}
+	if k[decision.KindDegradedExit] == 0 {
+		t.Fatalf("no degraded_exit events (report %+v); pick a different seed", rep)
+	}
+	if !rep.Converged {
+		t.Fatalf("soak must converge: %+v", rep)
+	}
+}
+
+func TestBreakerQuarantineFreezeUnderHeavyCrashes(t *testing.T) {
+	cfg := fastCfg(13)
+	cfg.DriftRate = 0.9 // drift nearly every epoch: rollouts keep retrying
+	cfg.RepairEpochs = 2
+	// Crashes dominate: most rollouts fail their health check, feeding
+	// strikes, reverts, and the breaker.
+	ccfg := chaos.Config{CrashPct: 0.6}
+	rep, ledger, _ := soak(t, cfg, smallSpec(10), 14, &ccfg, 17)
+	if rep.RolloutFailures < 3 {
+		t.Fatalf("expected sustained rollout failures: %+v", rep)
+	}
+	if rep.BreakerOpens == 0 {
+		t.Fatalf("breaker never opened: %+v", rep)
+	}
+	if rep.Quarantined == 0 {
+		t.Fatalf("no repeat offender quarantined: %+v", rep)
+	}
+	k := kinds(t, ledger)
+	for _, kind := range []decision.Kind{
+		decision.KindBreakerOpen, decision.KindBreakerProbe, decision.KindQuarantine,
+	} {
+		if k[kind] == 0 {
+			t.Fatalf("no %s events in ledger (kinds: %v)", kind, k)
+		}
+	}
+	// Failed rollouts always roll back, so even a badly mauled fleet
+	// ends every pool internally consistent.
+	if rep.MixedPools != 0 {
+		t.Fatalf("pools left mixed: %+v", rep)
+	}
+}
+
+func TestSoakAcceptance(t *testing.T) {
+	// The PR acceptance soak: >=1000 servers, 20 epochs, sustained
+	// chaos with >=5 fault episodes, every pool converged, ledgers
+	// byte-identical at -parallel=1 vs -parallel=8.
+	if testing.Short() {
+		t.Skip("acceptance soak is long; run without -short")
+	}
+	specs := DefaultFleetSpec(1008)
+	ccfg := chaos.DefaultConfig()
+	ccfg.BlackoutPct = 0.01
+	ccfg.BlackoutSec = 86400
+
+	cfg1 := DefaultConfig()
+	cfg1.Seed = 42
+	cfg1.DriftRate = 0.04
+	cfg1.TuneMinSamples = 40
+	cfg1.TuneMaxSamples = 120
+	cfg1.Parallel = 1
+	cfg8 := cfg1
+	cfg8.Parallel = 8
+
+	rep1, led1, fp1 := soak(t, cfg1, specs, 20, &ccfg, 99)
+	rep8, led8, fp8 := soak(t, cfg8, specs, 20, &ccfg, 99)
+
+	if rep1.Servers < 1000 {
+		t.Fatalf("fleet too small: %d servers", rep1.Servers)
+	}
+	if rep1.FaultEvents < 5 {
+		t.Fatalf("only %d fault episodes injected", rep1.FaultEvents)
+	}
+	if !rep1.Converged || rep1.MixedPools != 0 {
+		t.Fatalf("soak did not converge: %+v", rep1)
+	}
+	if rep1.Drifted == 0 || rep1.Retuned == 0 {
+		t.Fatalf("soak did no tuning work: %+v", rep1)
+	}
+	if !bytes.Equal(led1, led8) {
+		a, _ := decision.ReadJSONL(bytes.NewReader(led1))
+		b, _ := decision.ReadJSONL(bytes.NewReader(led8))
+		diffs := decision.Diff(a, b)
+		for i, d := range diffs {
+			if i >= 5 {
+				break
+			}
+			t.Log(d)
+		}
+		t.Fatal("acceptance soak ledger differs between -parallel=1 and -parallel=8")
+	}
+	if fp1 != fp8 || *rep1 != *rep8 {
+		t.Fatalf("acceptance soak diverged: fp %q vs %q", fp1, fp8)
+	}
+}

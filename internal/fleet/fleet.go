@@ -45,25 +45,73 @@ var (
 		"Servers restored to their prior configuration by rollbacks.")
 	mHealthFailures = telemetry.Default.Counter("softsku_fleet_health_check_failures_total",
 		"Servers that failed a post-wave configuration health check.")
+	mQuarantines = telemetry.Default.Counter("softsku_fleet_quarantines_total",
+		"Servers pulled out of rotation as repeat offenders.")
+	mRepairs = telemetry.Default.Counter("softsku_fleet_repairs_total",
+		"Quarantined servers restored to rotation.")
+	mWatchdogAbandons = telemetry.Default.Counter("softsku_fleet_watchdog_abandons_total",
+		"Servers abandoned by the rollout watchdog after a stuck reboot exhausted its budget.")
+	mRevalidationAborts = telemetry.Default.Counter("softsku_fleet_revalidation_aborts_total",
+		"Rollout waves aborted because the target config failed per-server SKU re-validation.")
 )
 
 // Pool is the set of servers of one SKU dedicated to one microservice,
 // all running the same soft-SKU configuration (the fleet's deployment
 // unit: services run stand-alone on dedicated bare metal, §3).
+//
+// Every server carries a stable id assigned at provisioning: ids
+// survive quarantines and redeploys, so fault attribution ("which
+// machine crashed three rollouts in a row?") stays meaningful as pool
+// composition changes. The ids slice is kept ascending and parallel to
+// servers, which makes iteration order — and therefore chaos draws and
+// ledger bytes — canonical.
 type Pool struct {
 	Service *workload.Profile
 	SKU     *platform.SKU
 	servers []*platform.Server
+	ids     []int // stable per-server ids, parallel to servers, ascending
+	nextID  int
+	quar    map[int]*platform.Server // quarantined, out of rotation
 	cfg     knob.Config
 }
 
-// Size returns the number of servers in the pool.
+// Size returns the number of in-rotation servers in the pool.
 func (p *Pool) Size() int { return len(p.servers) }
 
 // Config returns the pool's current soft-SKU configuration.
 func (p *Pool) Config() knob.Config { return p.cfg }
 
-// Reboots sums reboot counts across the pool's servers.
+// ServerIDs returns the stable ids of the in-rotation servers, in
+// rollout order.
+func (p *Pool) ServerIDs() []int {
+	return append([]int(nil), p.ids...)
+}
+
+// QuarantinedIDs returns the ids of quarantined servers, sorted.
+func (p *Pool) QuarantinedIDs() []int {
+	out := make([]int, 0, len(p.quar))
+	for id := range p.quar {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OffConfig counts in-rotation servers whose live configuration
+// differs from the pool's — a converged pool reports 0, so the fleet
+// controller can assert "no pool left in a mixed state" after every
+// epoch.
+func (p *Pool) OffConfig() int {
+	n := 0
+	for _, s := range p.servers {
+		if s.Config() != p.cfg {
+			n++
+		}
+	}
+	return n
+}
+
+// Reboots sums reboot counts across the pool's in-rotation servers.
 func (p *Pool) Reboots() int {
 	total := 0
 	for _, s := range p.servers {
@@ -74,13 +122,15 @@ func (p *Pool) Reboots() int {
 
 // Fleet is a collection of service pools.
 type Fleet struct {
-	pools map[string]*Pool
-	chaos chaos.Injector   // nil: fault-free rollouts
-	rec   *decision.Ledger // nil: rollouts unrecorded
+	pools       map[string]*Pool
+	chaos       chaos.Injector   // nil: fault-free rollouts
+	rec         *decision.Ledger // nil: rollouts unrecorded
+	recParent   int              // causal parent for rollout roots (-1: ledger root)
+	watchdogSec float64          // 0: no stuck-reboot retries (legacy one-shot applies)
 }
 
 // New returns an empty fleet.
-func New() *Fleet { return &Fleet{pools: make(map[string]*Pool)} }
+func New() *Fleet { return &Fleet{pools: make(map[string]*Pool), recParent: -1} }
 
 // SetChaos attaches a fault injector consulted during rollouts: servers
 // can crash mid-reconfiguration (they come back on their old config and
@@ -95,6 +145,21 @@ func (f *Fleet) SetChaos(inj chaos.Injector) { f.chaos = inj }
 // configuration. nil (the default) disables recording.
 func (f *Fleet) SetRecorder(l *decision.Ledger) { f.rec = l }
 
+// SetRecorderParent makes subsequent Rollout ledger entries children
+// of seq instead of roots — the fleet controller nests each epoch's
+// rollouts under that epoch's event. -1 (the default) records roots.
+func (f *Fleet) SetRecorderParent(seq int) { f.recParent = seq }
+
+// SetWatchdog arms the rollout watchdog: a server whose required
+// reboot hangs (injected stuck reboot) is retried with exponential
+// backoff charged to the rollout's virtual clock until the cumulative
+// wait would exceed sec, then abandoned — the server stays on its old
+// configuration and the wave's health check fails, so the rollout
+// aborts cleanly instead of wedging. 0 (the default) restores the
+// pre-watchdog single-attempt behaviour, drawing nothing from the
+// fault streams.
+func (f *Fleet) SetWatchdog(sec float64) { f.watchdogSec = sec }
+
 // AddPool provisions n servers of the SKU for a service at the given
 // configuration.
 func (f *Fleet) AddPool(svc *workload.Profile, sku *platform.SKU, n int, cfg knob.Config) error {
@@ -105,13 +170,15 @@ func (f *Fleet) AddPool(svc *workload.Profile, sku *platform.SKU, n int, cfg kno
 		return fmt.Errorf("fleet: pool for %s already exists", svc.Name)
 	}
 	prof := workload.ForPlatform(svc, sku.Name)
-	pool := &Pool{Service: prof, SKU: sku, cfg: cfg}
+	pool := &Pool{Service: prof, SKU: sku, cfg: cfg, quar: make(map[int]*platform.Server)}
 	for i := 0; i < n; i++ {
 		srv, err := platform.NewServer(sku, cfg)
 		if err != nil {
 			return err
 		}
 		pool.servers = append(pool.servers, srv)
+		pool.ids = append(pool.ids, pool.nextID)
+		pool.nextID++
 	}
 	f.pools[svc.Name] = pool
 	return nil
@@ -149,6 +216,11 @@ type Rollout struct {
 	FailedWave int     // 1-based index of the failing wave (0: none)
 	RolledBack bool    // touched servers restored to the prior config
 	SlowSec    float64 // injected wave slowdowns absorbed
+
+	// Fault attribution by stable server id, so callers (the fleet
+	// controller's quarantine policy) can track repeat offenders.
+	Crashed   []int // servers that crashed mid-reconfiguration
+	Abandoned []int // servers abandoned by the watchdog after stuck reboots
 }
 
 // Rollout applies a soft-SKU configuration to a pool in waves: at most
@@ -193,7 +265,7 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 	r := Rollout{Servers: pool.Size(), MaxUnavail: maxUnavailable}
 	rootSeq := -1
 	if f.rec != nil {
-		rootSeq = f.rec.Record(-1, decision.RolloutStarted(service, cfg.String(), pool.Size(), maxUnavailable))
+		rootSeq = f.rec.Record(f.recParent, decision.RolloutStarted(service, cfg.String(), pool.Size(), maxUnavailable))
 	}
 	prev := pool.cfg
 	for start := 0; start < pool.Size(); start += waveSize {
@@ -202,16 +274,58 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 			end = pool.Size()
 		}
 		wave := r.Waves + 1
+		// Re-validate the target against each server's own SKU at wave
+		// start: a Redeploy can change pool composition between waves of
+		// concurrent operations (or between validation and rollout), and a
+		// config valid for the pool's nominal SKU may be invalid for a
+		// server that arrived from elsewhere. Pushing it anyway would brick
+		// part of a mixed fleet; aborting keeps the rollout atomic.
+		for i, srv := range pool.servers[start:end] {
+			if err := srv.SKU().Validate(cfg); err != nil {
+				mRevalidationAborts.Inc()
+				r.Aborted = true
+				r.FailedWave = wave
+				restored := 0
+				if start > 0 {
+					restored = f.rollback(pool, prev, start, &r)
+				}
+				if f.rec != nil {
+					failSeq := f.rec.Record(rootSeq, decision.WaveFailed(wave, end-start,
+						fmt.Sprintf("re-validation failed on server %d: %v", pool.ids[start+i], err)))
+					if restored > 0 {
+						f.rec.Record(failSeq, decision.Rollback(restored))
+					}
+				}
+				recordRollout(r)
+				return r, fmt.Errorf("fleet: rollout of %s aborted at wave %d: config invalid for server %d's SKU: %w",
+					service, wave, pool.ids[start+i], err)
+			}
+		}
 		if f.chaos != nil {
 			r.SlowSec += f.chaos.WaveDelay(wave)
 		}
 		rebootedThisWave := 0
 		var cause error
 		for i, srv := range pool.servers[start:end] {
-			if f.chaos != nil && f.chaos.CrashServer(fmt.Sprintf("%s/%d", service, start+i)) {
+			target := fmt.Sprintf("%s/%d", service, pool.ids[start+i])
+			if f.chaos != nil && f.chaos.CrashServer(target) {
 				// The server died mid-reconfiguration and came back on its
 				// old configuration; the health check below catches it.
+				r.Crashed = append(r.Crashed, pool.ids[start+i])
 				continue
+			}
+			if needsReboot && f.watchdogSec > 0 && f.chaos != nil {
+				if !f.rideOutStuckReboot(target, &r.SlowSec) {
+					// Watchdog budget exhausted: abandon the server on its
+					// old configuration rather than wedging the epoch. The
+					// health check below turns this into a clean abort.
+					r.Abandoned = append(r.Abandoned, pool.ids[start+i])
+					mWatchdogAbandons.Inc()
+					if f.rec != nil {
+						f.rec.Record(rootSeq, decision.WatchdogAbandon(service, pool.ids[start+i], f.watchdogSec))
+					}
+					continue
+				}
 			}
 			rebooted, err := srv.Apply(cfg)
 			if err != nil {
@@ -259,6 +373,83 @@ func (f *Fleet) Rollout(service string, cfg knob.Config, maxUnavailable int) (Ro
 	}
 	recordRollout(r)
 	return r, nil
+}
+
+// rideOutStuckReboot asks the fault injector whether this server's
+// reboot hangs and, if so, retries with exponential backoff (5s
+// doubling, charged to the rollout's virtual clock) until either an
+// attempt goes through or the cumulative wait would exceed the
+// watchdog budget. It returns false when the server must be abandoned.
+// Every attempt draws from the reboot stream, so the schedule is a
+// pure function of the seed and the target labels.
+func (f *Fleet) rideOutStuckReboot(target string, slowSec *float64) bool {
+	const baseBackoff = 5.0
+	waited, backoff := 0.0, baseBackoff
+	for f.chaos.StuckReboot(target) {
+		if waited+backoff > f.watchdogSec {
+			*slowSec += waited
+			return false
+		}
+		waited += backoff
+		backoff *= 2
+	}
+	*slowSec += waited
+	return true
+}
+
+// Quarantine pulls a server out of rotation by stable id — the
+// controller's repeat-offender response. The server keeps its id and
+// configuration; it no longer participates in rollouts, health checks,
+// or capacity until Repair puts it back. The last in-rotation server
+// cannot be quarantined: an empty pool could never converge.
+func (f *Fleet) Quarantine(service string, id int) error {
+	pool, err := f.Pool(service)
+	if err != nil {
+		return err
+	}
+	if pool.Size() <= 1 {
+		return fmt.Errorf("fleet: refusing to quarantine the last server of %s", service)
+	}
+	for i, sid := range pool.ids {
+		if sid != id {
+			continue
+		}
+		pool.quar[id] = pool.servers[i]
+		pool.servers = append(pool.servers[:i], pool.servers[i+1:]...)
+		pool.ids = append(pool.ids[:i], pool.ids[i+1:]...)
+		mQuarantines.Inc()
+		return nil
+	}
+	return fmt.Errorf("fleet: no in-rotation server %d in pool %s", id, service)
+}
+
+// Repair returns a quarantined server to rotation, break-glass
+// reconfiguring it to the pool's current soft SKU first (repair crews
+// do not consult the fault injector). The server is re-inserted at its
+// id's ascending position, so rollout order — and with it the chaos
+// draw sequence — stays canonical regardless of quarantine history.
+func (f *Fleet) Repair(service string, id int) error {
+	pool, err := f.Pool(service)
+	if err != nil {
+		return err
+	}
+	srv, ok := pool.quar[id]
+	if !ok {
+		return fmt.Errorf("fleet: no quarantined server %d in pool %s", id, service)
+	}
+	if _, err := srv.Apply(pool.cfg); err != nil {
+		return fmt.Errorf("fleet: repair of %s/%d failed: %w", service, id, err)
+	}
+	delete(pool.quar, id)
+	at := sort.SearchInts(pool.ids, id)
+	pool.ids = append(pool.ids, 0)
+	copy(pool.ids[at+1:], pool.ids[at:])
+	pool.ids[at] = id
+	pool.servers = append(pool.servers, nil)
+	copy(pool.servers[at+1:], pool.servers[at:])
+	pool.servers[at] = srv
+	mRepairs.Inc()
+	return nil
 }
 
 // rollback restores the prior configuration on the first n servers of
@@ -313,9 +504,20 @@ func (f *Fleet) Redeploy(from, to string, n int) (Rollout, error) {
 	if n < 1 || n >= src.Size() {
 		return Rollout{}, fmt.Errorf("fleet: cannot move %d of %d servers from %s", n, src.Size(), from)
 	}
-	r := Rollout{Servers: n, MaxUnavail: n, Waves: 1}
 	moved := src.servers[src.Size()-n:]
+	// Validate the destination's config against every moved server's own
+	// SKU before mutating either pool: SKU structs are mutable, so two
+	// pools with the same SKU name can still disagree on limits, and a
+	// half-moved batch would leave both pools in a mixed state.
+	for _, srv := range moved {
+		if err := srv.SKU().Validate(dst.cfg); err != nil {
+			return Rollout{}, fmt.Errorf("fleet: redeploy %s -> %s: destination config invalid for moved server: %w",
+				from, to, err)
+		}
+	}
+	r := Rollout{Servers: n, MaxUnavail: n, Waves: 1}
 	src.servers = src.servers[:src.Size()-n]
+	src.ids = src.ids[:len(src.ids)-n]
 	for _, srv := range moved {
 		rebooted, err := srv.Apply(dst.cfg)
 		if err != nil {
@@ -327,6 +529,12 @@ func (f *Fleet) Redeploy(from, to string, n int) (Rollout, error) {
 	}
 	r.WaveRebooted = []int{r.Rebooted}
 	dst.servers = append(dst.servers, moved...)
+	// Moved servers get fresh ids in the destination's namespace; per-pool
+	// ids must stay unique and ascending for canonical rollout order.
+	for range moved {
+		dst.ids = append(dst.ids, dst.nextID)
+		dst.nextID++
+	}
 	mRedeploys.Inc()
 	mRedeployServers.Add(float64(n))
 	mRolloutReboots.Add(float64(r.Rebooted))

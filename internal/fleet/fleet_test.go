@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -339,5 +340,239 @@ func TestCapacitySavingsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// stuckAlways wedges every reboot it is asked about.
+type stuckAlways struct{ chaos.Injector }
+
+func (stuckAlways) StuckReboot(string) bool { return true }
+
+// stuckCount wedges each target's first n reboot attempts and records
+// how often it was consulted.
+type stuckCount struct {
+	chaos.Injector
+	n     int
+	tries map[string]int
+}
+
+func (s stuckCount) StuckReboot(target string) bool {
+	s.tries[target]++
+	return s.tries[target] <= s.n
+}
+
+func TestWatchdogAbandonsStuckReboots(t *testing.T) {
+	f, cfg := webPool(t, 3)
+	f.SetChaos(stuckAlways{chaos.Disabled})
+	f.SetWatchdog(30)
+	soft := cfg.With(knob.SHP, knob.IntSetting("300", 300))
+	r, err := f.Rollout("Web", soft, 3)
+	if err == nil {
+		t.Fatal("fully wedged rollout must abort")
+	}
+	if !r.Aborted || !r.RolledBack {
+		t.Fatalf("rollout: %+v", r)
+	}
+	if !reflect.DeepEqual(r.Abandoned, []int{0, 1, 2}) {
+		t.Fatalf("abandoned = %v", r.Abandoned)
+	}
+	// Each server waited 5+10 = 15 virtual seconds before the next
+	// doubling would have blown the 30s budget.
+	if r.SlowSec != 45 {
+		t.Fatalf("slow = %g, want 45", r.SlowSec)
+	}
+	p, _ := f.Pool("Web")
+	if p.OffConfig() != 0 {
+		t.Fatal("abandoned rollout left the pool mixed")
+	}
+}
+
+func TestWatchdogRidesOutTransientStuckReboot(t *testing.T) {
+	f, cfg := webPool(t, 3)
+	f.SetChaos(stuckCount{chaos.Disabled, 1, map[string]int{}})
+	f.SetWatchdog(30)
+	soft := cfg.With(knob.SHP, knob.IntSetting("300", 300))
+	r, err := f.Rollout("Web", soft, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rebooted != 3 || len(r.Abandoned) != 0 {
+		t.Fatalf("rollout: %+v", r)
+	}
+	if r.SlowSec != 15 { // one 5s backoff per server
+		t.Fatalf("slow = %g, want 15", r.SlowSec)
+	}
+}
+
+func TestWatchdogDisabledDrawsNothing(t *testing.T) {
+	// With no watchdog armed, a reboot rollout must not consult the
+	// stuck-reboot stream at all — the legacy draw sequence is part of
+	// the determinism contract.
+	f, cfg := webPool(t, 3)
+	counter := stuckCount{chaos.Disabled, 0, map[string]int{}}
+	f.SetChaos(counter)
+	soft := cfg.With(knob.SHP, knob.IntSetting("300", 300))
+	if _, err := f.Rollout("Web", soft, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(counter.tries) != 0 {
+		t.Fatalf("watchdog-off rollout drew from the reboot stream: %v", counter.tries)
+	}
+}
+
+func TestRolloutCrashAttribution(t *testing.T) {
+	f, cfg := webPool(t, 10)
+	f.SetChaos(crashTargets{chaos.Disabled, map[string]bool{"Web/3": true, "Web/7": true}})
+	soft := cfg.With(knob.THP, knob.THPSetting(knob.THPAlways))
+	r, _ := f.Rollout("Web", soft, 10)
+	if !reflect.DeepEqual(r.Crashed, []int{3, 7}) {
+		t.Fatalf("crashed = %v, want [3 7]", r.Crashed)
+	}
+}
+
+func TestQuarantineRepairLifecycle(t *testing.T) {
+	f, cfg := webPool(t, 5)
+	if err := f.Quarantine("Web", 2); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := f.Pool("Web")
+	if p.Size() != 4 || !reflect.DeepEqual(p.ServerIDs(), []int{0, 1, 3, 4}) {
+		t.Fatalf("rotation after quarantine: %v", p.ServerIDs())
+	}
+	if q := p.QuarantinedIDs(); !reflect.DeepEqual(q, []int{2}) {
+		t.Fatalf("quarantined = %v", q)
+	}
+	if err := f.Quarantine("Web", 2); err == nil {
+		t.Fatal("double quarantine must error")
+	}
+	// A rollout while one server sits in quarantine only touches the
+	// rotation; the quarantined machine keeps its old config.
+	soft := cfg.With(knob.THP, knob.THPSetting(knob.THPNever))
+	if _, err := f.Rollout("Web", soft, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.OffConfig() != 0 {
+		t.Fatal("in-rotation servers must converge")
+	}
+	// Repair reconfigures to the pool's *current* config and re-inserts
+	// at the id's ascending position.
+	if err := f.Repair("Web", 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 5 || len(p.QuarantinedIDs()) != 0 {
+		t.Fatalf("pool after repair: size=%d quar=%v", p.Size(), p.QuarantinedIDs())
+	}
+	if !reflect.DeepEqual(p.ServerIDs(), []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("ids after repair: %v", p.ServerIDs())
+	}
+	if p.OffConfig() != 0 {
+		t.Fatal("repaired server must come back on the pool config")
+	}
+	if err := f.Repair("Web", 2); err == nil {
+		t.Fatal("double repair must error")
+	}
+}
+
+func TestQuarantineLastServerRefused(t *testing.T) {
+	f, _ := webPool(t, 2)
+	if err := f.Quarantine("Web", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Quarantine("Web", 1); err == nil {
+		t.Fatal("quarantining the last server must be refused")
+	}
+	if err := f.Quarantine("Web", 99); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestRolloutRevalidatesMovedServerSKU(t *testing.T) {
+	// A Redeploy between same-name pools whose SKU structs disagree on
+	// limits can leave a pool mixed-capability; wave-start re-validation
+	// must catch a config the stragglers cannot realize.
+	f := New()
+	web, _ := workload.ByName("Web")
+	feed, _ := workload.ByName("Feed1")
+	sku := platform.Skylake18()
+	narrow := platform.Skylake18()
+	narrow.HugePagePoolMiB = 512 // same SKU name, tighter huge-page pool
+	if err := f.AddPool(web, sku, 4, sku.StockConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddPool(feed, narrow, 3, narrow.StockConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Redeploy("Feed1", "Web", 2); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := f.Pool("Web")
+	if p.Size() != 6 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	// 400 SHPs = 800 MiB: fine on the pool's nominal SKU, over the moved
+	// servers' 512 MiB pool.
+	soft := sku.StockConfig().With(knob.SHP, knob.IntSetting("400", 400))
+	r, err := f.Rollout("Web", soft, 2)
+	if err == nil {
+		t.Fatal("rollout onto a mixed-capability pool must abort")
+	}
+	if !r.Aborted || r.FailedWave != 3 {
+		t.Fatalf("rollout: %+v", r)
+	}
+	if p.OffConfig() != 0 {
+		t.Fatalf("%d servers left off-config after abort", p.OffConfig())
+	}
+	if p.Config() != sku.StockConfig() {
+		t.Fatal("pool config must be unchanged after abort")
+	}
+}
+
+func TestRedeployValidatesDestConfig(t *testing.T) {
+	// The destination's current config must be realizable on every moved
+	// server before either pool is mutated.
+	f := New()
+	web, _ := workload.ByName("Web")
+	feed, _ := workload.ByName("Feed1")
+	sku := platform.Skylake18()
+	narrow := platform.Skylake18()
+	narrow.HugePagePoolMiB = 512
+	cfg := sku.StockConfig().With(knob.SHP, knob.IntSetting("400", 400))
+	if err := f.AddPool(web, sku, 4, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddPool(feed, narrow, 3, narrow.StockConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Redeploy("Feed1", "Web", 2); err == nil {
+		t.Fatal("redeploy into an unrealizable dest config must error")
+	}
+	src, _ := f.Pool("Feed1")
+	dst, _ := f.Pool("Web")
+	if src.Size() != 3 || dst.Size() != 4 {
+		t.Fatalf("pools mutated by failed redeploy: src=%d dst=%d", src.Size(), dst.Size())
+	}
+}
+
+func TestRedeployAssignsFreshIDs(t *testing.T) {
+	f := New()
+	web, _ := workload.ByName("Web")
+	feed, _ := workload.ByName("Feed1")
+	sku := platform.Skylake18()
+	if err := f.AddPool(web, sku, 6, sku.StockConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddPool(feed, sku, 4, sku.StockConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Redeploy("Web", "Feed1", 2); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := f.Pool("Web")
+	dst, _ := f.Pool("Feed1")
+	if !reflect.DeepEqual(src.ServerIDs(), []int{0, 1, 2, 3}) {
+		t.Fatalf("src ids = %v", src.ServerIDs())
+	}
+	if !reflect.DeepEqual(dst.ServerIDs(), []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("dst ids = %v", dst.ServerIDs())
 	}
 }

@@ -124,6 +124,30 @@ else
 	echo "observability smoke: skipped (neither curl nor wget available)"
 fi
 
+echo "== fleet soak smoke =="
+# Two same-seed controller soaks under sustained chaos at different
+# -parallel counts must both converge and write byte-identical
+# decision ledgers: the self-healing control loop's determinism
+# contract, end to end through drift detection, re-tuning, rollouts,
+# breakers, quarantine, and degraded mode. Scaled down from
+# `make soak` (240 servers, 10 epochs) to keep the check fast.
+soakdir=$(mktemp -d)
+go build -o "$soakdir/fleetd" ./cmd/fleetd
+"$soakdir/fleetd" -chaos -chaos-seed 99 -seed 42 -servers 240 -epochs 10 \
+	-parallel 2 -q -ledger-out "$soakdir/a.jsonl" >"$soakdir/a.txt"
+"$soakdir/fleetd" -chaos -chaos-seed 99 -seed 42 -servers 240 -epochs 10 \
+	-parallel 8 -q -ledger-out "$soakdir/b.jsonl" >"$soakdir/b.txt"
+if ! cmp -s "$soakdir/a.jsonl" "$soakdir/b.jsonl"; then
+	echo "fleet soak smoke: same-seed soak ledgers diverged across -parallel" >&2
+	exit 1
+fi
+if ! grep -q '"kind":"epoch_done"' "$soakdir/a.jsonl"; then
+	echo "fleet soak smoke: ledger has no epoch_done events" >&2
+	exit 1
+fi
+sed -n 's/^state:  */fleet soak: /p' "$soakdir/a.txt"
+rm -rf "$soakdir"
+
 echo "== skutrace replay smoke =="
 # Counterfactual replay straight off a recorded ledger: re-judge a
 # mips-objective run under p99 without re-running the simulator.
