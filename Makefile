@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-simcache bench-decision bench-fleet fmt chaos lint lint-fixtures soak
+.PHONY: build test check bench bench-parallel bench-simcache bench-decision bench-fleet bench-lint fmt chaos lint lint-fixtures lint-graph soak
 
 build:
 	$(GO) build ./...
@@ -13,18 +13,33 @@ test:
 check:
 	sh scripts/check.sh
 
-# Project-specific static analysis (DESIGN.md §9): determinism,
-# metric-name, knob-error, span-pairing, and seed-plumbing invariants.
-# Suppress an intentional finding with
-# "//lint:ignore <analyzer> <reason>" on or above the line.
+# Project-specific static analysis (DESIGN.md §9, §14): determinism,
+# metric-name, knob-error, span-pairing, and seed-plumbing invariants,
+# plus the module-wide detflow call-graph taint analysis. Suppress an
+# intentional finding with "//lint:ignore <analyzer> <reason>" on or
+# above the line; for detflow that accepts one call edge.
 lint:
 	$(GO) run ./cmd/softskulint ./...
+
+# Module call graph as DOT, annotated with nondeterminism sources
+# (red), intrinsic carriers (orange), tainted nodes (filled), and
+# suppressed edges (dashed). Render with: make lint-graph | dot -Tsvg
+lint-graph:
+	$(GO) run ./cmd/softskulint -graph ./...
 
 # Fast iteration loop for analyzer work: just the golden-file tests
 # over internal/analysis/testdata plus the CLI integration tests.
 # Regenerate goldens with: go test ./internal/analysis -run TestGolden -update
 lint-fixtures:
-	$(GO) test -count=1 -run 'TestGolden|TestSuiteSelfClean|TestFixture|TestClean|TestOnly|TestList' ./internal/analysis ./cmd/softskulint
+	$(GO) test -count=1 -run 'TestGolden|TestSuiteSelfClean|TestFixture|TestClean|TestOnly|TestList|TestDetflow|TestCallee|TestLoadModule|TestJSON|TestGraph' ./internal/analysis ./cmd/softskulint
+
+# Cost of the interprocedural gate itself (DESIGN.md §14): one full
+# module load + call-graph build + detflow taint run, and the
+# call-graph build alone. Medians are recorded in BENCH_lint.json so a
+# regression in the analysis hot path (type-check fan-out, CHA
+# memoization, fixed-point propagation) is visible in review.
+bench-lint:
+	$(GO) test -run XXX -bench 'BenchmarkLint(Module|Callgraph)$$' -benchmem -benchtime 1x -count 3 ./internal/analysis
 
 # Regenerates every paper table/figure and writes BENCH_telemetry.json
 # with ns/op and sim-seconds/wall-second for the tracked benchmarks.

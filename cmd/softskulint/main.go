@@ -1,24 +1,35 @@
 // Command softskulint is the repo's project-specific static-analysis
-// gate (DESIGN.md §9): a stdlib-only vet-style multichecker that
+// gate (DESIGN.md §9, §14): a stdlib-only vet-style multichecker that
 // loads every package in the module and enforces the invariants the
 // A/B measurement pipeline's trustworthiness rests on — seeded
 // determinism, bounded metric cardinality, never-dropped knob-
-// mutation errors, closed trace spans, and caller-controlled
-// randomness.
+// mutation errors, closed trace spans, caller-controlled randomness,
+// and (via the module-wide detflow call-graph taint analysis) the
+// absence of any transitive path from a sim-facing export to a
+// nondeterminism source.
 //
 // Usage:
 //
-//	softskulint [-only a,b] [-list] [packages]
+//	softskulint [-only a,b] [-list] [-json] [-graph] [packages]
 //
 // Packages default to ./... . Diagnostics print as
 // "file:line: [analyzer] message" and any finding exits 1; load or
-// type-check failures exit 2. Suppress an intentional finding with
-// a reasoned directive on (or just above) the offending line:
+// type-check failures exit 2. -json emits the same result as one
+// machine-readable object (findings carry the offending call path for
+// detflow). -graph dumps the module call graph as DOT, with taint and
+// suppression annotations, and exits 0. Suppress an intentional
+// finding with a reasoned directive on (or just above) the offending
+// line:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// For detflow the directive is per call edge: placed at a call site
+// it accepts every nondeterministic path introduced by that edge.
+// Directives that suppress nothing are reported as stale.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +48,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as one machine-readable JSON object")
+	graph := fs.Bool("graph", false, "dump the module call graph as DOT (taint + suppression annotated) and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,26 +88,83 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "softskulint:", err)
 		return 2
 	}
+	mod, err := loader.LoadModule(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "softskulint:", err)
+		return 2
+	}
 	units, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "softskulint:", err)
 		return 2
 	}
 
-	res := analysis.Run(units, analyzers)
-	for _, d := range res.Findings {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(modRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	if *graph {
+		analysis.DetflowDOT(mod, units, stdout)
+		return 0
+	}
+
+	res := analysis.RunAll(mod, units, analyzers)
+	rel := func(name string) string {
+		if r, err := filepath.Rel(modRoot, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
-		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+		return name
+	}
+
+	var parts []string
+	if res.Suppressed > 0 {
+		parts = append(parts, fmt.Sprintf("%d suppressed", res.Suppressed))
+	}
+	if res.Stale > 0 {
+		parts = append(parts, fmt.Sprintf("%d stale", res.Stale))
 	}
 	suffix := ""
-	if res.Suppressed > 0 {
-		suffix = fmt.Sprintf(" (%d suppressed)", res.Suppressed)
+	if len(parts) > 0 {
+		suffix = " (" + strings.Join(parts, ", ") + ")"
 	}
-	fmt.Fprintf(stdout, "softskulint: %d package%s, %d finding%s%s\n",
+	summary := fmt.Sprintf("softskulint: %d package%s, %d finding%s%s",
 		res.Packages, plural(res.Packages), len(res.Findings), plural(len(res.Findings)), suffix)
+
+	if *asJSON {
+		type jsonFinding struct {
+			File     string   `json:"file"`
+			Line     int      `json:"line"`
+			Analyzer string   `json:"analyzer"`
+			Message  string   `json:"message"`
+			Path     []string `json:"path,omitempty"`
+		}
+		report := struct {
+			Packages   int           `json:"packages"`
+			Findings   []jsonFinding `json:"findings"`
+			Suppressed int           `json:"suppressed"`
+			Stale      int           `json:"stale"`
+			Summary    string        `json:"summary"`
+		}{
+			Packages:   res.Packages,
+			Findings:   []jsonFinding{},
+			Suppressed: res.Suppressed,
+			Stale:      res.Stale,
+			Summary:    summary,
+		}
+		for _, d := range res.Findings {
+			report.Findings = append(report.Findings, jsonFinding{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line,
+				Analyzer: d.Analyzer, Message: d.Message, Path: d.Path,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "softskulint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Findings {
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+		fmt.Fprintln(stdout, summary)
+	}
 	if len(res.Findings) > 0 {
 		return 1
 	}

@@ -20,8 +20,11 @@ import (
 	"sort"
 )
 
-// Analyzer is one named invariant check. Run inspects a fully
-// type-checked package and returns its findings.
+// Analyzer is one named invariant check. Per-package analyzers set
+// Run (inspects one fully type-checked unit); module analyzers set
+// RunModule instead and see every production package of the module in
+// one consistent type universe — the facility interprocedural checks
+// like detflow need.
 type Analyzer struct {
 	// Name is the short identifier used in diagnostics and in
 	// //lint:ignore directives.
@@ -30,6 +33,9 @@ type Analyzer struct {
 	Doc string
 	// Run reports findings for one package via Pass.Reportf.
 	Run func(p *Pass)
+	// RunModule reports findings over the whole module; it runs once
+	// per invocation, only when a Module was loaded.
+	RunModule func(mp *ModulePass)
 }
 
 // Diagnostic is one finding, rendered as "file:line: [analyzer] msg".
@@ -37,6 +43,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Path is the offending call chain for interprocedural findings
+	// (detflow), outermost caller first; empty for local findings.
+	Path []string
 }
 
 func (d Diagnostic) String() string {
@@ -74,6 +83,43 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Analyzer: p.name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ModulePass is the whole-module state handed to a module analyzer:
+// every production package in one type universe, plus access to the
+// run's suppression table so interprocedural analyzers can honor
+// //lint:ignore directives at interior call sites, not just at the
+// final report position.
+type ModulePass struct {
+	Mod  *Module
+	name string
+	ign  *ignoreTable
+	out  []Diagnostic
+}
+
+// Reportf records a module-scope finding at pos with its offending
+// call path (outermost caller first).
+func (mp *ModulePass) Reportf(pos token.Position, path []string, format string, args ...interface{}) {
+	mp.out = append(mp.out, Diagnostic{
+		Pos:      pos,
+		Analyzer: mp.name,
+		Message:  fmt.Sprintf(format, args...),
+		Path:     path,
+	})
+}
+
+// SuppressedAt reports whether a //lint:ignore directive for this
+// analyzer governs file:line. It does not credit the directive — call
+// UseSuppression once the suppression demonstrably absorbed a real
+// finding, so stale directives still surface in the audit.
+func (mp *ModulePass) SuppressedAt(file string, line int) bool {
+	return mp.ign.covers(mp.name, file, line)
+}
+
+// UseSuppression credits the directive governing file:line with one
+// absorbed finding.
+func (mp *ModulePass) UseSuppression(file string, line int) {
+	mp.ign.markUsed(mp.name, file, line)
 }
 
 // Callee resolves the called function or method of call, or nil for
@@ -131,6 +177,7 @@ func All() []*Analyzer {
 		SeedArg,
 		Goroutine,
 		DecisionEvent,
+		Detflow,
 	}
 }
 
@@ -167,34 +214,77 @@ func KnownNames() string {
 // Result is the outcome of running a suite over a set of packages.
 type Result struct {
 	Findings   []Diagnostic // surviving diagnostics, sorted
-	Suppressed int          // diagnostics silenced by //lint:ignore
+	Suppressed int          // findings absorbed by //lint:ignore (incl. pruned tainted edges)
+	Stale      int          // //lint:ignore directives that absorbed nothing
 	Packages   int          // packages analyzed
 }
 
-// Run executes analyzers over units, applies //lint:ignore
-// suppressions, and returns the sorted surviving findings. Malformed
-// directives are themselves findings (they cannot be suppressed).
+// positionOf turns a lineRef back into a renderable position.
+func positionOf(at lineRef) token.Position {
+	return token.Position{Filename: at.file, Line: at.line}
+}
+
+// Run executes per-unit analyzers over units, applies //lint:ignore
+// suppressions and the stale-directive audit, and returns the sorted
+// surviving findings. Module analyzers are skipped (no Module here);
+// use RunAll when one was loaded.
 func Run(units []*Unit, analyzers []*Analyzer) Result {
+	return RunAll(nil, units, analyzers)
+}
+
+// RunAll executes the per-unit analyzers over units and, when mod is
+// non-nil, the module analyzers over mod, sharing one suppression
+// table so a directive is audited against everything that ran.
+// Malformed and stale directives are themselves findings and cannot
+// be suppressed.
+func RunAll(mod *Module, units []*Unit, analyzers []*Analyzer) Result {
 	res := Result{}
+	ign := newIgnoreTable()
+	for _, u := range units {
+		ign.addUnit(u)
+	}
 	dirs := make(map[string]bool)
 	for _, u := range units {
 		dirs[u.Dir] = true
-		idx, directiveDiags := buildIgnoreIndex(u)
 		var diags []Diagnostic
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Unit: u, name: a.Name}
 			a.Run(pass)
 			diags = append(diags, pass.out...)
 		}
 		for _, d := range diags {
-			if idx.suppresses(d) {
-				res.Suppressed++
+			if ign.suppresses(d) {
 				continue
 			}
 			res.Findings = append(res.Findings, d)
 		}
-		res.Findings = append(res.Findings, directiveDiags...)
 	}
+	if mod != nil {
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			mp := &ModulePass{Mod: mod, name: a.Name, ign: ign}
+			a.RunModule(mp)
+			res.Findings = append(res.Findings, mp.out...)
+		}
+	}
+	// A directive only counts as auditable if its analyzer actually
+	// ran: module analyzers need a loaded Module to participate.
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.Run != nil || (mod != nil && a.RunModule != nil) {
+			ran[a.Name] = true
+		}
+	}
+	staleDiags := ign.stale(ran)
+	res.Stale = len(staleDiags)
+	res.Findings = append(res.Findings, staleDiags...)
+	res.Findings = append(res.Findings, ign.bad...)
+	res.Suppressed = ign.totalHits()
 	res.Packages = len(dirs)
 	sort.Slice(res.Findings, func(i, j int) bool {
 		a, b := res.Findings[i], res.Findings[j]

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"testing"
+
+	"softsku/internal/analysis/callgraph"
+)
+
+// BenchmarkLintModule prices the full gate as check.sh pays it: a
+// cold loader, the whole-module type-check (shared import universe
+// plus per-directory units), and every analyzer including the detflow
+// call-graph taint run. The dominant cost is go/importer's source
+// type-checking of the stdlib, which the shared loader amortizes
+// across packages but not across iterations — that cold-start is the
+// number CI actually experiences.
+func BenchmarkLintModule(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod, err := l.LoadModule("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		units, err := l.Load("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := RunAll(mod, units, All())
+		if len(res.Findings) != 0 {
+			b.Fatalf("module not self-clean: %v", res.Findings)
+		}
+	}
+}
+
+// BenchmarkLintCallgraph isolates the interprocedural machinery from
+// the type-check: CHA-resolved call-graph construction plus the
+// detflow fixed-point taint propagation over the already-loaded
+// module. This is the part PR-sized code growth scales, so it gets
+// its own row in BENCH_lint.json.
+func BenchmarkLintCallgraph(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := l.LoadModule("./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs := make([]*callgraph.Package, 0, len(mod.Pkgs))
+	for _, p := range mod.Pkgs {
+		pkgs = append(pkgs, &callgraph.Package{
+			Path: p.Path, Name: p.Name, Files: p.Files, Pkg: p.Pkg, Info: p.Info,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := callgraph.Build(mod.Fset, pkgs)
+		tainted := propagate(g, func(*callgraph.Edge) bool { return false }, liveIntrinsicsOf(g))
+		if len(g.Nodes) == 0 || len(tainted) == 0 {
+			b.Fatal("degenerate graph")
+		}
+	}
+}
+
+// liveIntrinsicsOf treats every intrinsic as live — the worst case
+// for propagation, and what an undirected module looks like.
+func liveIntrinsicsOf(g *callgraph.Graph) map[*callgraph.Node][]callgraph.Source {
+	live := make(map[*callgraph.Node][]callgraph.Source)
+	for _, n := range g.SortedNodes() {
+		if len(n.Intrinsics) > 0 {
+			live[n] = n.Intrinsics
+		}
+	}
+	return live
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"softsku/internal/analysis/callgraph"
+)
+
+// Detflow is the interprocedural half of the determinism contract.
+// The per-package nondeterminism analyzer catches a sim-facing
+// function that calls time.Now directly; detflow catches the one that
+// reaches it three helpers deep in stats, ods, or telemetry — hidden
+// client-side variability of exactly the kind that corrupts repeated
+// measurements and, with them, every A/B confidence interval built on
+// top (SoftSKU §4). It builds the module call graph (static calls,
+// concrete method calls, interface dispatch via CHA), computes
+// transitive reachability from every exported function or method of
+// the sim-facing packages to a catalog of nondeterminism sources
+// (wall clock, global math/rand, ambient env, host shape, escaping
+// map-iteration order, multi-clause selects, returned atomic
+// counters), and reports the full offending call path so the finding
+// is actionable at the edge that introduced it.
+//
+// Suppression is per call edge: `//lint:ignore detflow <reason>` on
+// (or above) a call site removes that edge from the propagation, so
+// one reasoned directive at the introducing call accepts every path
+// through it. A directive whose edge carries no taint is reported by
+// the stale-suppression audit like any other dead directive.
+var Detflow = &Analyzer{
+	Name:      "detflow",
+	Doc:       "sim-facing exports must not transitively reach nondeterminism sources (module-wide call-graph taint)",
+	RunModule: runDetflow,
+}
+
+// runDetflow executes the build → prune → propagate → report
+// pipeline. Every traversal walks nodes and edges in deterministic
+// (sorted-key, source) order: the linter is held to the same
+// one-input-one-output contract it enforces.
+func runDetflow(mp *ModulePass) {
+	pkgs := make([]*callgraph.Package, 0, len(mp.Mod.Pkgs))
+	for _, p := range mp.Mod.Pkgs {
+		pkgs = append(pkgs, &callgraph.Package{
+			Path: p.Path, Name: p.Name, Files: p.Files, Pkg: p.Pkg, Info: p.Info,
+		})
+	}
+	g := callgraph.Build(mp.Mod.Fset, pkgs)
+
+	suppressedEdge := func(e *callgraph.Edge) bool {
+		return mp.SuppressedAt(e.Pos.Filename, e.Pos.Line)
+	}
+	// Intrinsic sources governed by a directive are accepted outright:
+	// the directive demonstrably silenced a real source, so it is
+	// credited immediately (unlike edges, whose credit waits until the
+	// callee side proves tainted).
+	liveIntrinsics := make(map[*callgraph.Node][]callgraph.Source)
+	for _, n := range g.SortedNodes() {
+		for _, src := range n.Intrinsics {
+			if mp.SuppressedAt(src.Pos.Filename, src.Pos.Line) {
+				mp.UseSuppression(src.Pos.Filename, src.Pos.Line)
+				continue
+			}
+			liveIntrinsics[n] = append(liveIntrinsics[n], src)
+		}
+	}
+
+	tainted := propagate(g, suppressedEdge, liveIntrinsics)
+
+	// Credit edge suppressions that actually block taint; the rest
+	// stay uncredited and fall to the stale audit.
+	for _, n := range g.SortedNodes() {
+		for _, e := range n.Out {
+			if suppressedEdge(e) && tainted[e.To] {
+				mp.UseSuppression(e.Pos.Filename, e.Pos.Line)
+			}
+		}
+	}
+
+	for _, root := range g.SortedNodes() {
+		if !isDetflowRoot(root) || !tainted[root] {
+			continue
+		}
+		reportPaths(mp, root, suppressedEdge, liveIntrinsics, tainted)
+	}
+}
+
+// isDetflowRoot reports whether n is an entry point of the
+// determinism contract: an exported function/method (or the package
+// initializer) of a sim-facing package.
+func isDetflowRoot(n *callgraph.Node) bool {
+	return n.Source == nil && n.Exported && SimFacing(n.PkgName)
+}
+
+// propagate computes the tainted node set: reachable-to-source over
+// live (unsuppressed) edges, plus nodes carrying live intrinsics,
+// plus catalogued source leaves. Fixed-point iteration over sorted
+// nodes keeps the result order-independent of map layout.
+func propagate(g *callgraph.Graph, suppressedEdge func(*callgraph.Edge) bool, liveIntrinsics map[*callgraph.Node][]callgraph.Source) map[*callgraph.Node]bool {
+	tainted := make(map[*callgraph.Node]bool)
+	nodes := g.SortedNodes()
+	for _, n := range nodes {
+		if n.Source != nil || len(liveIntrinsics[n]) > 0 {
+			tainted[n] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if tainted[n] {
+				continue
+			}
+			for _, e := range n.Out {
+				if suppressedEdge(e) {
+					continue
+				}
+				if tainted[e.To] {
+					tainted[n] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return tainted
+}
+
+// pathStep is one hop of a rendered offending path.
+type pathStep struct {
+	edge *callgraph.Edge
+}
+
+// reportPaths emits one diagnostic per distinct terminal source the
+// root reaches, each carrying the shortest offending call path
+// (BFS over live edges restricted to tainted nodes; ties broken by
+// edge order, which follows source order).
+func reportPaths(mp *ModulePass, root *callgraph.Node, suppressedEdge func(*callgraph.Edge) bool, liveIntrinsics map[*callgraph.Node][]callgraph.Source, tainted map[*callgraph.Node]bool) {
+	type queued struct {
+		node *callgraph.Node
+		path []pathStep
+	}
+	visited := map[*callgraph.Node]bool{root: true}
+	queue := []queued{{node: root}}
+	type finding struct {
+		terminalKey string
+		path        []string
+		src         callgraph.Source
+		steps       []pathStep
+	}
+	var findings []finding
+	seenTerminal := make(map[string]bool)
+
+	record := func(q queued, src callgraph.Source, terminalKey string, terminalLabel string) {
+		if seenTerminal[terminalKey] {
+			return
+		}
+		seenTerminal[terminalKey] = true
+		labels := []string{root.Label}
+		for _, st := range q.path {
+			labels = append(labels, st.edge.To.Label)
+		}
+		if terminalLabel != "" && (len(labels) == 1 || labels[len(labels)-1] != terminalLabel) {
+			labels = append(labels, terminalLabel)
+		}
+		findings = append(findings, finding{terminalKey: terminalKey, path: labels, src: src, steps: q.path})
+	}
+
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		// Intrinsic sources terminate a path at the node itself.
+		for _, src := range liveIntrinsics[q.node] {
+			record(q, src, q.node.Key+"/"+src.Label, src.Label)
+		}
+		if q.node.Source != nil {
+			record(q, *q.node.Source, q.node.Key, "")
+			continue
+		}
+		for _, e := range q.node.Out {
+			if suppressedEdge(e) || visited[e.To] || (!tainted[e.To] && e.To.Source == nil) {
+				continue
+			}
+			visited[e.To] = true
+			next := make([]pathStep, len(q.path), len(q.path)+1)
+			copy(next, q.path)
+			queue = append(queue, queued{node: e.To, path: append(next, pathStep{edge: e})})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].terminalKey < findings[j].terminalKey })
+	for _, f := range findings {
+		pos := root.Pos
+		if len(f.steps) > 0 {
+			pos = f.steps[0].edge.Pos
+		} else if f.src.Pos.Filename != "" {
+			pos = f.src.Pos
+		}
+		mp.Reportf(pos, f.path,
+			"sim-facing export %s transitively reaches %s (%s): %s — make the path deterministic (virtual time, caller-seeded rng, sorted iteration) or accept the introducing call edge with //lint:ignore detflow <reason>",
+			root.Label, f.src.Label, f.src.Detail, strings.Join(f.path, " → "))
+	}
+}
+
+// DetflowDOT writes the module call graph as DOT with taint and
+// suppression annotations — `softskulint -graph`'s debugging view.
+// units supply the //lint:ignore directives governing edge pruning.
+func DetflowDOT(mod *Module, units []*Unit, w interface{ Write([]byte) (int, error) }) {
+	ign := newIgnoreTable()
+	for _, u := range units {
+		ign.addUnit(u)
+	}
+	pkgs := make([]*callgraph.Package, 0, len(mod.Pkgs))
+	for _, p := range mod.Pkgs {
+		pkgs = append(pkgs, &callgraph.Package{
+			Path: p.Path, Name: p.Name, Files: p.Files, Pkg: p.Pkg, Info: p.Info,
+		})
+	}
+	g := callgraph.Build(mod.Fset, pkgs)
+	suppressedEdge := func(e *callgraph.Edge) bool {
+		return ign.covers(Detflow.Name, e.Pos.Filename, e.Pos.Line)
+	}
+	liveIntrinsics := make(map[*callgraph.Node][]callgraph.Source)
+	for _, n := range g.SortedNodes() {
+		for _, src := range n.Intrinsics {
+			if !ign.covers(Detflow.Name, src.Pos.Filename, src.Pos.Line) {
+				liveIntrinsics[n] = append(liveIntrinsics[n], src)
+			}
+		}
+	}
+	tainted := propagate(g, suppressedEdge, liveIntrinsics)
+	taintKeys := make(map[string]bool, len(tainted))
+	for n, t := range tainted {
+		if t {
+			taintKeys[n.Key] = true
+		}
+	}
+	g.DOT(w, taintKeys, suppressedEdge)
+}

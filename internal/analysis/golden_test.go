@@ -65,6 +65,7 @@ func TestGolden(t *testing.T) {
 		{Nondeterminism, "nondeterminism/controller"},
 		{DecisionEvent, "decisionevent/events"},
 		{Nondeterminism, "directives/bad"},
+		{KnobErr, "directives/stale"},
 	}
 	l := fixtureLoader(t)
 	for _, c := range cases {

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"sort"
 	"strings"
 )
 
@@ -13,6 +14,15 @@ import (
 // on its own line). The reason is mandatory — an unexplained
 // suppression is itself a finding, as is a name no analyzer answers
 // to; neither can be suppressed, so directives cannot rot silently.
+//
+// For the module-scope detflow analyzer the same directive works per
+// call edge: placed on (or above) a call site it prunes that edge
+// from the taint propagation, so every path through the edge is
+// accepted as deliberate.
+//
+// Directive rot is audited too: after a run, any directive naming
+// only analyzers that actually ran yet suppressing zero diagnostics
+// (and pruning zero tainted edges) is reported as stale.
 
 const ignorePrefix = "//lint:ignore"
 
@@ -21,19 +31,40 @@ type lineRef struct {
 	line int
 }
 
-// ignoreIndex records which (analyzer, file, line) triples are
-// suppressed.
-type ignoreIndex struct {
-	lines map[string]map[lineRef]bool
+// directive is one parsed //lint:ignore occurrence for one analyzer
+// name (a comma list yields one directive per name).
+type directive struct {
+	analyzer string
+	pos      lineRef // the directive's own line
+	hits     int     // diagnostics suppressed / tainted edges pruned
 }
 
-func buildIgnoreIndex(u *Unit) (*ignoreIndex, []Diagnostic) {
-	idx := &ignoreIndex{lines: make(map[string]map[lineRef]bool)}
+// ignoreTable indexes every well-formed directive of a run, across
+// all units, and tracks per-directive usage for the stale audit.
+type ignoreTable struct {
+	// lines maps (analyzer, file, line) → the governing directive;
+	// each directive covers its own line and the line below.
+	lines map[string]map[lineRef]*directive
+	all   []*directive
+	seen  map[lineRef]bool // directive lines already parsed (units can share files)
+	bad   []Diagnostic
+}
+
+func newIgnoreTable() *ignoreTable {
+	return &ignoreTable{
+		lines: make(map[string]map[lineRef]*directive),
+		seen:  make(map[lineRef]bool),
+	}
+}
+
+// addUnit parses u's directives into the table. Units may overlap on
+// files (a package's production files are also part of the module
+// view); each directive line is parsed once.
+func (ix *ignoreTable) addUnit(u *Unit) {
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	var bad []Diagnostic
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -42,9 +73,14 @@ func buildIgnoreIndex(u *Unit) (*ignoreIndex, []Diagnostic) {
 					continue
 				}
 				pos := u.Fset.Position(c.Pos())
+				at := lineRef{pos.Filename, pos.Line}
+				if ix.seen[at] {
+					continue
+				}
+				ix.seen[at] = true
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
-					bad = append(bad, Diagnostic{
+					ix.bad = append(ix.bad, Diagnostic{
 						Pos:      pos,
 						Analyzer: "softskulint",
 						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\" (reason is mandatory)",
@@ -53,31 +89,93 @@ func buildIgnoreIndex(u *Unit) (*ignoreIndex, []Diagnostic) {
 				}
 				for _, name := range strings.Split(fields[0], ",") {
 					if !known[name] {
-						bad = append(bad, Diagnostic{
+						ix.bad = append(ix.bad, Diagnostic{
 							Pos:      pos,
 							Analyzer: "softskulint",
 							Message:  "//lint:ignore names unknown analyzer \"" + name + "\" (known: " + KnownNames() + ")",
 						})
 						continue
 					}
-					idx.add(name, pos.Filename, pos.Line)
-					idx.add(name, pos.Filename, pos.Line+1)
+					d := &directive{analyzer: name, pos: at}
+					ix.all = append(ix.all, d)
+					ix.add(d, pos.Filename, pos.Line)
+					ix.add(d, pos.Filename, pos.Line+1)
 				}
 			}
 		}
 	}
-	return idx, bad
 }
 
-func (ix *ignoreIndex) add(analyzer, filename string, line int) {
-	m := ix.lines[analyzer]
+func (ix *ignoreTable) add(d *directive, filename string, line int) {
+	m := ix.lines[d.analyzer]
 	if m == nil {
-		m = make(map[lineRef]bool)
-		ix.lines[analyzer] = m
+		m = make(map[lineRef]*directive)
+		ix.lines[d.analyzer] = m
 	}
-	m[lineRef{filename, line}] = true
+	m[lineRef{filename, line}] = d
 }
 
-func (ix *ignoreIndex) suppresses(d Diagnostic) bool {
-	return ix.lines[d.Analyzer][lineRef{d.Pos.Filename, d.Pos.Line}]
+// suppresses consumes a diagnostic if a directive governs its line,
+// recording the hit.
+func (ix *ignoreTable) suppresses(d Diagnostic) bool {
+	dir := ix.lines[d.Analyzer][lineRef{d.Pos.Filename, d.Pos.Line}]
+	if dir == nil {
+		return false
+	}
+	dir.hits++
+	return true
+}
+
+// covers reports (without recording a hit) whether a directive for
+// analyzer governs file:line. Module analyzers use this to prune
+// edges before propagation, then credit the directive via markUsed
+// only if the pruned edge actually carried taint.
+func (ix *ignoreTable) covers(analyzer, file string, line int) bool {
+	return ix.lines[analyzer][lineRef{file, line}] != nil
+}
+
+// markUsed credits the directive governing file:line with one hit.
+func (ix *ignoreTable) markUsed(analyzer, file string, line int) {
+	if d := ix.lines[analyzer][lineRef{file, line}]; d != nil {
+		d.hits++
+	}
+}
+
+// totalHits sums suppressed-diagnostic and pruned-edge credits.
+func (ix *ignoreTable) totalHits() int {
+	n := 0
+	for _, d := range ix.all {
+		n += d.hits
+	}
+	return n
+}
+
+// stale returns one diagnostic per directive that names an analyzer
+// in ran yet suppressed nothing — directive rot. Directives naming
+// analyzers outside the run set are exempt (they never had the
+// chance to fire), and stale findings, like malformed ones, cannot
+// themselves be suppressed.
+func (ix *ignoreTable) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ix.all {
+		if d.hits > 0 || !ran[d.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      positionOf(d.pos),
+			Analyzer: "softskulint",
+			Message:  "//lint:ignore " + d.analyzer + " suppressed no diagnostics in this run; delete the stale directive",
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return out
 }

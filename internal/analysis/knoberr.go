@@ -13,7 +13,9 @@ import (
 // arms actually run their assigned configs). Any call to a function
 // or method named Apply, Set, Rollback or Revert whose final result
 // is an error must not drop that error: not as a bare expression
-// statement, not into the blank identifier, not behind go/defer.
+// statement, not into the blank identifier (whether by assignment —
+// `_ =`, `a, _ :=` — or by var declaration — `var _ =`,
+// `var a, _ =`, at function or package level), not behind go/defer.
 var KnobErr = &Analyzer{
 	Name: "knoberr",
 	Doc:  "errors from Apply/Set/Rollback/Revert mutation calls must not be discarded",
@@ -43,9 +45,35 @@ func runKnobErr(p *Pass) {
 				}
 			case *ast.AssignStmt:
 				p.checkAssignDiscard(st)
+			case *ast.ValueSpec:
+				p.checkSpecDiscard(st)
 			}
 			return true
 		})
+	}
+}
+
+// checkSpecDiscard flags var declarations that route a mutation error
+// to the blank identifier: `var _ = k.Set(v)` or
+// `var rebooted, _ = srv.Apply(cfg)`, at function or package level.
+// These were the knoberr blind spot: declaration forms never pass
+// through checkAssignDiscard's *ast.AssignStmt case.
+func (p *Pass) checkSpecDiscard(vs *ast.ValueSpec) {
+	if len(vs.Values) == 1 {
+		name, ok := p.mutationErrCall(vs.Values[0])
+		if !ok || len(vs.Names) == 0 {
+			return
+		}
+		if vs.Names[len(vs.Names)-1].Name == "_" {
+			p.Reportf(vs.Pos(), "error from %s is declared into _; a silently failed mutation corrupts the A/B verdict — handle or log it", name)
+		}
+		return
+	}
+	// Parallel declaration: each value is a single-valued expression.
+	for i, v := range vs.Values {
+		if name, ok := p.mutationErrCall(v); ok && i < len(vs.Names) && vs.Names[i].Name == "_" {
+			p.Reportf(vs.Pos(), "error from %s is declared into _; a silently failed mutation corrupts the A/B verdict — handle or log it", name)
+		}
 	}
 }
 

@@ -39,6 +39,31 @@ type Loader struct {
 	Fset    *token.FileSet
 	std     types.Importer
 	cache   map[string]*types.Package // production-variant import cache
+	prod    map[string]*ProdPkg       // full export data behind cache entries
+}
+
+// ProdPkg is one production package (no _test.go files) in the
+// loader's shared import universe: every ProdPkg of a module was
+// type-checked through the same importer cache, so types.Object
+// identities line up across packages — the property the module call
+// graph's cross-package resolution (interface satisfaction, callee
+// identity) depends on. Per-directory Units re-type-check their files
+// independently and must NOT be mixed into this universe.
+type ProdPkg struct {
+	Path  string // import path within the module
+	Dir   string
+	Name  string // declared package name
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Module is the whole-module view: every production package matched
+// by a LoadModule pattern, in one consistent type universe, sorted by
+// import path.
+type Module struct {
+	Fset *token.FileSet
+	Pkgs []*ProdPkg
 }
 
 // NewLoader builds a loader rooted at the directory containing go.mod.
@@ -65,6 +90,7 @@ func NewLoader(modRoot string) (*Loader, error) {
 		Fset:    fset,
 		std:     importer.ForCompiler(fset, "source", nil),
 		cache:   make(map[string]*types.Package),
+		prod:    make(map[string]*ProdPkg),
 	}, nil
 }
 
@@ -103,11 +129,16 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		if len(files) == 0 {
 			return nil, fmt.Errorf("analysis: no Go files in %s for import %q", dir, path)
 		}
-		pkg, err := l.check(path, files, nil)
+		info := newInfo()
+		pkg, err := l.check(path, files, info)
 		if err != nil {
 			return nil, err
 		}
 		l.cache[path] = pkg
+		l.prod[path] = &ProdPkg{
+			Path: path, Dir: dir, Name: pkg.Name(),
+			Files: files, Pkg: pkg, Info: info,
+		}
 		return pkg, nil
 	}
 	return l.std.Import(path)
@@ -259,6 +290,60 @@ func PackageDirs(root, pattern string) ([]string, error) {
 	}
 	sort.Strings(dirs)
 	return dirs, nil
+}
+
+// hasProductionGo reports whether dir contains at least one buildable
+// non-test Go file. Directories whose only Go files are _test.go
+// (external test fixtures, test-only helper packages) have no
+// production variant and must stay out of the module call graph.
+func hasProductionGo(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// LoadModule expands patterns and type-checks every matched
+// production package through the shared import cache, so all returned
+// packages live in one type universe (object identities comparable
+// across packages). _test.go files and test-only directories are
+// excluded entirely: the module call graph describes what ships.
+func (l *Loader) LoadModule(patterns ...string) (*Module, error) {
+	seen := make(map[string]bool)
+	mod := &Module{Fset: l.Fset}
+	for _, pat := range patterns {
+		dirs, err := PackageDirs(l.ModRoot, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range dirs {
+			dir, err := filepath.Abs(dir)
+			if err != nil {
+				return nil, err
+			}
+			path := l.importPath(dir)
+			if seen[path] || !hasProductionGo(dir) {
+				continue
+			}
+			seen[path] = true
+			if _, err := l.Import(path); err != nil {
+				return nil, err
+			}
+			mod.Pkgs = append(mod.Pkgs, l.prod[path])
+		}
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
+	return mod, nil
 }
 
 // Load expands patterns and type-checks every matched directory.

@@ -1,0 +1,17 @@
+// Fixture: Pass.Callee resolution corners — aliased imports,
+// parenthesized callees, and indirect calls through function values
+// (which must resolve to nil, not a wrong function).
+package callee
+
+import al "strings"
+
+func local(s string) string { return s }
+
+func use() string {
+	a := al.ToUpper("x")   // aliased selector
+	b := (al.ToLower)("y") // parenthesized aliased selector
+	c := (local)("z")      // parenthesized plain ident
+	f := al.TrimSpace      // function value: calls through f are indirect
+	d := f(" w ")
+	return a + b + c + d
+}

@@ -1,0 +1,10 @@
+// Fixture: a directory whose only Go file is a _test.go. It loads as
+// a per-directory analysis unit but must never enter the module call
+// graph — test scaffolding is not part of what ships.
+package testonly
+
+import "time"
+
+// TestishHelper would taint any caller, but nothing production can
+// import a test-only package, so the module view must exclude it.
+func TestishHelper() time.Time { return time.Now() }

@@ -39,3 +39,25 @@ func demo(s *Server, k *Knob, g *Gauge) {
 }
 
 var _ = demo
+
+// Declaration-form discards: the historical knoberr blind spot.
+// Assignment forms (`_ =`, `rebooted, _ :=`) are pinned above in
+// demo; these pin the `var` equivalents at both scopes.
+var pkgServer = &Server{}
+
+var _ = pkgServer.Rollback()
+
+var booted, _ = pkgServer.Apply("declared")
+
+func demoDecls(s *Server, k *Knob) {
+	var _ = k.Set(7)
+	var rebooted, _ = s.Apply("declform")
+	_ = rebooted
+	var ok, err = s.Apply("kept")
+	_, _ = ok, err
+	//lint:ignore knoberr fixture exercising suppression on a declaration
+	var _ = k.Set(11)
+}
+
+var _ = demoDecls
+var _ = booted

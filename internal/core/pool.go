@@ -20,6 +20,7 @@ import (
 // what makes parallel sweeps bit-identical to serial ones.
 func ParallelFor(workers, n int, fn func(int)) {
 	if workers <= 0 {
+		//lint:ignore detflow worker count is result-invariant: index-ordered merge makes parallel sweeps bit-identical to serial (pinned by the equivalence tests)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {

@@ -116,6 +116,7 @@ func (t *Tool) Validate(softSKU knob.Config, pushes, samplesPerPush int) (*Valid
 		ps.Set("prod_qps", prodS.Mean())
 		ps.Set("delta_pct", delta)
 		ps.End()
+		//lint:ignore detflow the flush exports counter snapshots to the ODS mirror, observability only — no metric value flows into the validation verdict
 		if err := mirror.Flush(t.vclock); err != nil {
 			return nil, err
 		}

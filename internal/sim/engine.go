@@ -189,6 +189,7 @@ func (e *Engine) Run(until float64) {
 	mSimVirtualSec.Add(e.now - simStart)
 	if w := wallElapsed(); w > 0 {
 		mSimWallSec.Set(w)
+		//lint:ignore detflow counter read feeds the sim-seconds-per-wall-second gauge, observability only — nothing of it enters the simulation result
 		mSimThroughput.Set(mSimVirtualSec.Value() / w)
 	}
 }

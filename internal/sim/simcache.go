@@ -78,6 +78,8 @@ func ResetCharacterizationCache() {
 // measurement windows that actually ran in this process — the quantity
 // the cache exists to reduce; benchmarks and tests difference it
 // around a run.
+//
+//lint:ignore detflow the window count equals the number of distinct characterization keys, which a seeded run fixes; exposed for benchmarks to difference
 func WindowsExecuted() float64 { return mSimWindows.Value() }
 
 // getOrMeasure returns the cached rates for key, running measure

@@ -18,11 +18,19 @@ echo "== go vet =="
 go vet ./...
 
 echo "== softskulint =="
-# Project-specific invariants (DESIGN.md §9): seeded determinism,
+# Project-specific invariants (DESIGN.md §9, §14): seeded determinism,
 # constant metric names, never-dropped knob errors, closed trace
-# spans, caller-controlled randomness. Prints a one-line summary so
-# the log shows the gate ran; any finding fails the check.
-go run ./cmd/softskulint ./...
+# spans, caller-controlled randomness, and the module-wide detflow
+# call-graph taint gate (no sim-facing export may transitively reach a
+# nondeterminism source). Runs in -json so the findings stay machine-
+# readable in CI logs; any finding fails the check, and the extracted
+# summary line shows the gate ran (including suppressed/stale counts).
+if ! lint_json=$(go run ./cmd/softskulint -json ./...); then
+	echo "softskulint findings:" >&2
+	echo "$lint_json" >&2
+	exit 1
+fi
+echo "$lint_json" | sed -n 's/^  "summary": "\(.*\)",*$/\1/p'
 
 echo "== go build =="
 go build ./...
