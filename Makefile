@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-simcache bench-decision bench-fleet bench-lint fmt chaos lint lint-fixtures lint-graph soak
+.PHONY: build test check bench bench-parallel bench-simcache bench-search bench-decision bench-fleet bench-lint fmt chaos lint lint-fixtures lint-graph soak
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,18 @@ bench-parallel:
 # TestSimCacheBitIdentical proves both rows compute identical Results.
 bench-simcache:
 	$(GO) test -run XXX -bench 'Benchmark(Sweep|Climb)Cache(Off|On)$$' -benchmem -benchtime 1x -count 3 ./internal/core
+
+# Search-efficiency comparison across the pluggable optimizers
+# (DESIGN.md §15): the same four-knob tuning run under the independent
+# sweep, hill climb, successive halving, and CEM. windows/op counts
+# fresh characterization windows (distinct configs — the simcache
+# absorbs revisits), best_pct/op is the winner's measured gain over
+# production, pct_per_vhour normalizes by virtual A/B time. Medians
+# are recorded in BENCH_search.json; the acceptance bar is halving or
+# CEM matching the hill climb's objective on fewer fresh windows than
+# the independent sweep.
+bench-search:
+	$(GO) test -run XXX -bench 'BenchmarkSearch(Independent|Hill|Halving|CEM)$$' -benchmem -benchtime 1x -count 3 ./internal/core
 
 # Decision flight-recorder overhead: the same four-knob tuning run
 # with the ledger detached vs attached (DESIGN.md §12). Recording is

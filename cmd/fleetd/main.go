@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"softsku/internal/chaos"
+	"softsku/internal/core"
 	"softsku/internal/fleet/controller"
 	"softsku/internal/telemetry"
 )
@@ -34,6 +35,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "trial worker count inside re-tunes; output is seed-deterministic at any value (0: GOMAXPROCS)")
 		driftRate = flag.Float64("drift-rate", 0.04, "per-pool per-epoch probability of a real workload shift")
 		tuneMax   = flag.Int("tune-samples", 120, "per-arm sample cap for drift-chasing A/B trials")
+		tuneSrch  = flag.String("tune-search", "independent", "re-tune optimizer: independent | hill | halving | cem")
 		decOut    = flag.String("ledger-out", "", "write the soak's decision ledger as JSONL (replay with skutrace)")
 		jsonOut   = flag.Bool("json", false, "emit the soak report as JSON instead of text")
 		quiet     = flag.Bool("q", false, "suppress per-epoch progress logging")
@@ -50,6 +52,13 @@ func main() {
 	cfg.DriftRate = *driftRate
 	cfg.TuneMinSamples = 40
 	cfg.TuneMaxSamples = *tuneMax
+	if *tuneSrch != "independent" {
+		mode, err := core.ParseSweepMode(*tuneSrch, true)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.TuneSweep = mode
+	}
 	if cc.GuardrailPct > 0 {
 		cfg.TuneGuardrailPct = cc.GuardrailPct
 	}

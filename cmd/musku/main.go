@@ -8,6 +8,7 @@
 //
 //	musku -input tune.conf
 //	musku -service Web -platform Skylake18 [-sweep independent] [-metric mips]
+//	musku -service Web -search halving    # adaptive optimizer: hill | halving | cem
 //	musku -service Web -validate 3
 //	musku -service Web -chaos -chaos-seed 7 -guardrail-pct 2
 //
@@ -15,7 +16,7 @@
 //
 //	microservice = Web
 //	platform     = Skylake18        # defaults to the service's fleet placement
-//	sweep        = independent      # independent | exhaustive | hillclimb
+//	sweep        = independent      # independent | exhaustive | hillclimb | halving | cem
 //	metric       = mips             # mips | qps
 //	knobs        = cdp, thp, shp    # defaults to every applicable knob
 //	seed         = 1
@@ -45,7 +46,8 @@ func main() {
 		inputPath  = flag.String("input", "", "µSKU input file (overrides the other flags)")
 		service    = flag.String("service", "", "target microservice (Web, Feed1, ..., Cache2)")
 		platName   = flag.String("platform", "", "hardware platform (default: the service's fleet placement)")
-		sweep      = flag.String("sweep", "independent", "sweep mode: independent | exhaustive | hillclimb")
+		sweep      = flag.String("sweep", "independent", "sweep mode: independent | exhaustive | hillclimb | halving | cem")
+		search     = flag.String("search", "", "adaptive optimizer: hill | halving | cem (overrides -sweep)")
 		metric     = flag.String("metric", "mips", "performance metric: mips | qps")
 		knobList   = flag.String("knobs", "", "comma-separated knob subset (default: all applicable)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
@@ -71,7 +73,7 @@ func main() {
 		fatal(fmt.Errorf("-sim-cache must be on or off, got %q", *simCache))
 	}
 
-	in, err := buildInput(*inputPath, *service, *platName, *sweep, *metric, *knobList, *seed, *maxSamples, *parallel)
+	in, err := buildInput(*inputPath, *service, *platName, *sweep, *search, *metric, *knobList, *seed, *maxSamples, *parallel)
 	if err != nil {
 		fatal(err)
 	}
@@ -138,6 +140,11 @@ func main() {
 	fmt.Printf("soft SKU:      %s\n", res.SoftSKU)
 	fmt.Printf("vs production: %s\n", res.VsProduction)
 	fmt.Printf("vs stock:      %s\n", res.VsStock)
+	if res.ExhaustiveBest != 0 {
+		// The optimizer's own estimate: best single measurement for
+		// exhaustive/halving/cem, accepted moves compounded for hillclimb.
+		fmt.Printf("search gain:   %+.2f%% (optimizer's estimate vs production)\n", res.ExhaustiveBest)
+	}
 	fmt.Printf("reboots:       %d   virtual tuning time: %.1f h\n\n", res.Reboots, res.VirtualHours)
 	if len(res.Map) > 0 {
 		fmt.Println("design-space map:")
@@ -170,7 +177,7 @@ func serveWait(obs *telemetry.CLI) {
 	obs.Wait()
 }
 
-func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64, maxSamples, parallel int) (softsku.TuneInput, error) {
+func buildInput(path, service, plat, sweep, search, metric, knobList string, seed uint64, maxSamples, parallel int) (softsku.TuneInput, error) {
 	if path != "" {
 		text, err := os.ReadFile(path)
 		if err != nil {
@@ -184,6 +191,11 @@ func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64
 	// Reuse the file parser so flag and file semantics stay identical.
 	text := fmt.Sprintf("microservice = %s\nsweep = %s\nmetric = %s\nseed = %d\n",
 		service, sweep, metric, seed)
+	if search != "" {
+		// Later lines win, so -search overrides -sweep through the same
+		// parser path ("search" accepts only the adaptive optimizers).
+		text += "search = " + search + "\n"
+	}
 	if plat != "" {
 		text += "platform = " + plat + "\n"
 	}
@@ -201,20 +213,23 @@ func buildInput(path, service, plat, sweep, metric, knobList string, seed uint64
 
 // jsonResult is the stable machine-readable shape of a tuning run.
 type jsonResult struct {
-	Service         string     `json:"service"`
-	Platform        string     `json:"platform"`
-	Sweep           string     `json:"sweep"`
-	Metric          string     `json:"metric"`
-	Production      string     `json:"production"`
-	SoftSKU         string     `json:"soft_sku"`
-	VsProductionPct float64    `json:"vs_production_pct"`
-	VsStockPct      float64    `json:"vs_stock_pct"`
-	Significant     bool       `json:"significant"`
-	Reboots         int        `json:"reboots"`
-	VirtualHours    float64    `json:"virtual_hours"`
-	Skipped         int        `json:"skipped,omitempty"`
-	Reverts         int        `json:"reverts,omitempty"`
-	Knobs           []jsonKnob `json:"knobs"`
+	Service         string  `json:"service"`
+	Platform        string  `json:"platform"`
+	Sweep           string  `json:"sweep"`
+	Metric          string  `json:"metric"`
+	Production      string  `json:"production"`
+	SoftSKU         string  `json:"soft_sku"`
+	VsProductionPct float64 `json:"vs_production_pct"`
+	VsStockPct      float64 `json:"vs_stock_pct"`
+	// SearchGainPct is the optimizer's own gain estimate (see
+	// core.Result.ExhaustiveBest); absent for the independent sweep.
+	SearchGainPct float64    `json:"search_gain_pct,omitempty"`
+	Significant   bool       `json:"significant"`
+	Reboots       int        `json:"reboots"`
+	VirtualHours  float64    `json:"virtual_hours"`
+	Skipped       int        `json:"skipped,omitempty"`
+	Reverts       int        `json:"reverts,omitempty"`
+	Knobs         []jsonKnob `json:"knobs"`
 }
 
 type jsonKnob struct {
@@ -234,6 +249,7 @@ func emitJSON(res *softsku.TuneResult) {
 		SoftSKU:         res.SoftSKU.String(),
 		VsProductionPct: res.VsProduction.DeltaPct,
 		VsStockPct:      res.VsStock.DeltaPct,
+		SearchGainPct:   res.ExhaustiveBest,
 		Significant:     res.VsProduction.Significant,
 		Reboots:         res.Reboots,
 		VirtualHours:    res.VirtualHours,

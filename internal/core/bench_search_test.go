@@ -1,0 +1,63 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"softsku/internal/knob"
+	"softsku/internal/sim"
+	"softsku/internal/telemetry"
+)
+
+// benchSearch measures one full four-knob tuning run per optimizer,
+// cache on, cold per iteration — the search-efficiency comparison
+// BENCH_search.json records (ROADMAP item 3). The figures of merit:
+//
+//   - windows/op: fresh characterization windows executed. The simcache
+//     key is (config, run seed), so this counts *distinct* configs the
+//     optimizer visited — the real cost of the search, since re-raced
+//     survivors and repeat samples are cache hits.
+//   - hits/op: characterization windows served from the cache — how
+//     hard each optimizer leans on revisits.
+//   - best_pct/op: the winner's measured gain over production
+//     (VsProduction, the common objective across modes).
+//   - pct_per_vhour: best_pct per virtual tuning hour — gain found per
+//     simulated machine-hour of A/B time.
+func benchSearch(b *testing.B, mode SweepMode) {
+	in := fastInput("Web", "Skylake18", knob.THP, knob.SHP, knob.CoreFreq, knob.Prefetch)
+	in.Sweep = mode
+	in.Parallel = 1
+	hits := telemetry.Default.Counter("softsku_sim_cache_hits_total",
+		"Characterization windows served from the content-addressed cache.")
+	b.ReportAllocs()
+	var windows, hit, bestPct, perHour float64
+	for i := 0; i < b.N; i++ {
+		sim.ResetCharacterizationCache()
+		wBefore, hBefore := sim.WindowsExecuted(), hits.Value()
+		tool, err := New(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tool.SetLogger(io.Discard)
+		res, err := tool.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		windows += sim.WindowsExecuted() - wBefore
+		hit += hits.Value() - hBefore
+		bestPct += res.VsProduction.DeltaPct
+		if res.VirtualHours > 0 {
+			perHour += res.VsProduction.DeltaPct / res.VirtualHours
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(windows/n, "windows/op")
+	b.ReportMetric(hit/n, "hits/op")
+	b.ReportMetric(bestPct/n, "best_pct/op")
+	b.ReportMetric(perHour/n, "pct_per_vhour")
+}
+
+func BenchmarkSearchIndependent(b *testing.B) { benchSearch(b, SweepIndependent) }
+func BenchmarkSearchHill(b *testing.B)        { benchSearch(b, SweepHillClimb) }
+func BenchmarkSearchHalving(b *testing.B)     { benchSearch(b, SweepHalving) }
+func BenchmarkSearchCEM(b *testing.B)         { benchSearch(b, SweepCEM) }

@@ -67,7 +67,7 @@ func TestParseInputErrors(t *testing.T) {
 }
 
 func TestParseInputSweepModes(t *testing.T) {
-	for _, m := range []string{"independent", "exhaustive", "hillclimb"} {
+	for _, m := range []string{"independent", "exhaustive", "hillclimb", "halving", "cem"} {
 		in, err := ParseInput("microservice = Web\nsweep = " + m)
 		if err != nil {
 			t.Fatal(err)
@@ -75,5 +75,57 @@ func TestParseInputSweepModes(t *testing.T) {
 		if !strings.EqualFold(in.Sweep.String(), m) {
 			t.Fatalf("round trip %q -> %v", m, in.Sweep)
 		}
+	}
+}
+
+func TestParseSweepMode(t *testing.T) {
+	cases := []struct {
+		val        string
+		searchOnly bool
+		want       SweepMode
+		err        bool
+	}{
+		{"hill", true, SweepHillClimb, false},
+		{"hill-climb", true, SweepHillClimb, false},
+		{"hill_climb", false, SweepHillClimb, false},
+		{"HALVING", true, SweepHalving, false},
+		{"successive-halving", false, SweepHalving, false},
+		{"cem", true, SweepCEM, false},
+		{"population", true, SweepCEM, false},
+		{"independent", false, SweepIndependent, false},
+		{"exhaustive", false, SweepExhaustive, false},
+		// The search vocabulary admits only the adaptive optimizers.
+		{"independent", true, 0, true},
+		{"exhaustive", true, 0, true},
+		{"bogus", true, 0, true},
+		{"bogus", false, 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSweepMode(c.val, c.searchOnly)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseSweepMode(%q, %v): expected error", c.val, c.searchOnly)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseSweepMode(%q, %v) = %v, %v; want %v", c.val, c.searchOnly, got, err, c.want)
+		}
+	}
+}
+
+// TestParseInputSearchKey: the "search" key is the flag-facing alias —
+// it accepts the adaptive optimizers (with the "hill" short form) and
+// rejects the non-adaptive sweep modes.
+func TestParseInputSearchKey(t *testing.T) {
+	in, err := ParseInput("microservice = Web\nsearch = hill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Sweep != SweepHillClimb {
+		t.Fatalf("search = hill -> %v", in.Sweep)
+	}
+	if _, err := ParseInput("microservice = Web\nsearch = independent"); err == nil {
+		t.Fatal("search key must reject non-adaptive modes")
 	}
 }

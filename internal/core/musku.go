@@ -82,9 +82,15 @@ type Result struct {
 	VsProduction abtest.Outcome
 	VsStock      abtest.Outcome
 
-	Reboots        int     // server reboots the sweep required
-	VirtualHours   float64 // virtual measurement time consumed
-	ExhaustiveBest float64 // best mean seen (exhaustive/hillclimb modes)
+	Reboots      int     // server reboots the sweep required
+	VirtualHours float64 // virtual measurement time consumed
+	// ExhaustiveBest is the search's own estimate of the winner's gain
+	// over the baseline, in percent: the best single measurement for
+	// exhaustive/halving/cem, the accepted moves compounded
+	// multiplicatively for hillclimb (each round measures against the
+	// previous winner, so per-round deltas chain as factors — +2% on
+	// +2% is +4.04%, not +4%). Zero for the independent sweep.
+	ExhaustiveBest float64
 
 	// Degradation record when running under fault injection: candidate
 	// settings the sweep skipped after persistent apply faults, and
@@ -317,7 +323,11 @@ func (t *Tool) Run() (*Result, error) {
 	case SweepExhaustive:
 		composed, err = t.exhaustiveSweep(res)
 	case SweepHillClimb:
-		composed, err = t.hillClimb(res)
+		composed, err = t.runSearch(res, newHillSearcher(t))
+	case SweepHalving:
+		composed, err = t.runSearch(res, newHalvingSearcher(t))
+	case SweepCEM:
+		composed, err = t.runSearch(res, newCEMSearcher(t))
 	default:
 		return nil, fmt.Errorf("core: unknown sweep mode %v", t.in.Sweep)
 	}

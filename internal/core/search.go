@@ -3,117 +3,122 @@ package core
 import (
 	"fmt"
 
-	"softsku/internal/abtest"
 	"softsku/internal/decision"
 	"softsku/internal/knob"
 )
 
-// hillClimb greedily walks the design space (§7: "better search
+// hillSearcher greedily walks the design space (§7: "better search
 // heuristics (e.g., hill climbing) may be required"): from the
 // production baseline, repeatedly move one knob one step in the
 // direction of the best statistically significant improvement until no
-// neighbour wins.
-func (t *Tool) hillClimb(res *Result) (knob.Config, error) {
-	current := t.baseline
-	parent := t.span
-	const maxRounds = 24
-	for round := 0; round < maxRounds; round++ {
-		type move struct {
-			cfg   knob.Config
-			id    knob.ID
-			name  string
-			delta float64
-		}
-		var best *move
-		rs := parent.StartChild(fmt.Sprintf("sweep.round%d", round), "sweep")
-		// One round = one parallel fan-out over every realizable
-		// neighbour; the winning move is selected during the in-order
-		// merge, so rounds chain identically to a serial climb.
-		type step struct {
-			id   knob.ID
-			name string
-		}
-		var specs []trialSpec
-		var steps []step
-		for _, id := range t.space.Knobs() {
-			values := t.space.Values[id]
-			cur := indexOfSetting(values, current.Get(id))
-			for _, ni := range []int{cur - 1, cur + 1} {
-				if ni < 0 || ni >= len(values) {
-					continue
-				}
-				cfg := current.With(id, values[ni])
-				if err := t.sku.Validate(cfg); err != nil {
-					mConfigsPruned.Inc()
-					continue
-				}
-				mConfigsValidated.Inc()
-				if id.RequiresReboot() {
-					t.reboots++
-				}
-				specs = append(specs,
-					t.newSpec(rs, fmt.Sprintf("hill/%d/%s/%d", round, id, ni), current, cfg))
-				steps = append(steps, step{id: id, name: values[ni].Name})
-			}
-		}
-		roundSeq := -1
-		if t.rec != nil {
-			roundSeq = t.rec.Record(t.decRoot,
-				decision.SweepStarted(fmt.Sprintf("hill/%d", round), "", current.String()))
-		}
-		bestSpec := -1
-		seqs := make([]int, len(specs))
-		outs := make([]abtest.Outcome, len(specs))
-		recorded := make([]bool, len(specs))
-		results := t.runTrials(specs)
-		for i, spec := range specs {
-			out, err := t.mergeTrial(spec, results[i])
-			if err != nil {
-				if t.skipFault(err, steps[i].name) {
-					t.recordSkip(roundSeq, spec, steps[i].name, err)
-					continue
-				}
-				rs.End()
-				return current, err
-			}
-			seqs[i] = t.recordTrial(roundSeq, spec, results[i], steps[i].id.String(), steps[i].name)
-			outs[i], recorded[i] = out, true
-			if out.Better() && (best == nil || out.DeltaPct > best.delta) {
-				best = &move{cfg: spec.treatment, id: steps[i].id, name: steps[i].name, delta: out.DeltaPct}
-				bestSpec = i
-			}
-		}
-		if t.rec != nil {
-			for i := range specs {
-				if !recorded[i] {
-					continue
-				}
-				if i == bestSpec {
-					t.rec.Record(seqs[i], decision.ArmAccepted(steps[i].id.String(), steps[i].name, best.delta))
-				} else {
-					t.rec.Record(seqs[i], decision.ArmRejected(steps[i].id.String(), steps[i].name,
-						outs[i].DeltaPct, outs[i].PValue, outs[i].Significant))
-				}
-			}
-		}
-		if best == nil {
-			rs.Set("converged", true)
-			rs.End()
-			if t.rec != nil {
-				t.rec.Record(roundSeq, decision.Converged(
-					fmt.Sprintf("round %d: no neighbour improved on %s", round, current)))
-			}
-			t.logf("hill climb converged after %d rounds", round)
-			break
-		}
-		rs.Set("move", fmt.Sprintf("%s -> %s", best.id, best.name))
-		rs.Set("delta_pct", best.delta)
-		rs.End()
-		t.logf("hill climb round %d: %s -> %s (%+.2f%%)", round, best.id, best.name, best.delta)
-		current = best.cfg
-		res.ExhaustiveBest += best.delta
+// neighbour wins. It is the reference Searcher — the inline climber it
+// replaced produced byte-for-byte this label scheme, event order, and
+// log stream, and the equivalence tests hold it there.
+type hillSearcher struct {
+	t         *Tool
+	current   knob.Config
+	maxRounds int
+	converged bool
+	// compound accumulates accepted moves multiplicatively: a +2% move
+	// on top of a +2% move is +4.04%, not +4% — per-round deltas are
+	// measured against the previous round's winner, so they chain as
+	// factors, never as a sum.
+	compound float64
+	arms     []hillArm // last proposed round's moves, indexed like Arms
+}
+
+type hillArm struct {
+	cfg  knob.Config
+	id   knob.ID
+	name string
+}
+
+// hillMaxRounds bounds the climb: each round moves one knob one step,
+// so the bound only binds on pathological spaces (oscillation cannot
+// happen — every accepted move strictly improved on its predecessor).
+const hillMaxRounds = 24
+
+func newHillSearcher(t *Tool) *hillSearcher {
+	return &hillSearcher{t: t, current: t.baseline, maxRounds: hillMaxRounds, compound: 1}
+}
+
+func (h *hillSearcher) Name() string { return "hill climb" }
+
+func (h *hillSearcher) Done() bool { return h.converged }
+
+// Best returns the configuration the climb stands on and the
+// compounded gain of every accepted move, in percent.
+func (h *hillSearcher) Best() (knob.Config, float64) {
+	return h.current, (h.compound - 1) * 100
+}
+
+// Propose emits one round: every one-step neighbour of the current
+// configuration, in design-space order. Unrealizable neighbours are
+// included — the driver prunes them through sku.Validate so the
+// pruned/validated telemetry stays accurate.
+func (h *hillSearcher) Propose(round int) *SearchRound {
+	if h.converged || round >= h.maxRounds {
+		return nil
 	}
-	return current, nil
+	rd := &SearchRound{
+		Span:    fmt.Sprintf("sweep.round%d", round),
+		Label:   fmt.Sprintf("hill/%d", round),
+		Control: h.current,
+	}
+	h.arms = h.arms[:0]
+	for _, id := range h.t.space.Knobs() {
+		values := h.t.space.Values[id]
+		cur := indexOfSetting(values, h.current.Get(id))
+		for _, ni := range []int{cur - 1, cur + 1} {
+			if ni < 0 || ni >= len(values) {
+				continue
+			}
+			rd.Arms = append(rd.Arms, SearchArm{
+				Label:   fmt.Sprintf("hill/%d/%s/%d", round, id, ni),
+				Config:  h.current.With(id, values[ni]),
+				Knob:    id.String(),
+				Setting: values[ni].Name,
+			})
+			h.arms = append(h.arms, hillArm{cfg: h.current.With(id, values[ni]), id: id, name: values[ni].Name})
+		}
+	}
+	return rd
+}
+
+// Observe picks the best significantly-improving neighbour, or
+// converges when none wins. The winning move is selected in arm order
+// — ties keep the earlier arm — so rounds chain identically to a
+// serial climb.
+func (h *hillSearcher) Observe(round int, outs []ArmOutcome) RoundVerdict {
+	best := -1
+	for i, o := range outs {
+		if !o.Measured() {
+			continue
+		}
+		if o.Outcome.Better() && (best < 0 || o.Outcome.DeltaPct > outs[best].Outcome.DeltaPct) {
+			best = i
+		}
+	}
+	var v RoundVerdict
+	if best < 0 {
+		h.converged = true
+		v.Attrs = []SpanAttr{{Key: "converged", Value: true}}
+		v.Events = []decision.Event{decision.Converged(
+			fmt.Sprintf("round %d: no neighbour improved on %s", round, h.current))}
+		v.Logs = []string{fmt.Sprintf("hill climb converged after %d rounds", round)}
+		return v
+	}
+	arm, delta := h.arms[best], outs[best].Outcome.DeltaPct
+	v.Accepted = make([]bool, len(outs))
+	v.Accepted[best] = true
+	v.Attrs = []SpanAttr{
+		{Key: "move", Value: fmt.Sprintf("%s -> %s", arm.id, arm.name)},
+		{Key: "delta_pct", Value: delta},
+	}
+	v.Logs = []string{fmt.Sprintf("hill climb round %d: %s -> %s (%+.2f%%)", round, arm.id, arm.name, delta)}
+	h.current = arm.cfg
+	h.compound *= 1 + delta/100
+	return v
 }
 
 // indexOfSetting finds a setting's position in the candidate list, or
@@ -171,7 +176,19 @@ func (t *Tool) BinarySearchSHP(lo, hi, step int) (int, int, error) {
 		return out.Treatment.Mean(), nil
 	}
 	for hi-lo > 2*step {
+		// Quantizing the third-points can collapse m1 onto lo whenever
+		// 2·step < hi-lo < 3·step with lo step-aligned; a winning lower
+		// probe then sets lo = m1 = lo, and with a deterministic response
+		// curve the same probes return the same verdict forever. Clamp
+		// both probes to step-multiples strictly inside (lo, hi):
+		// rounding m1 up to the first multiple above lo keeps m1 ≤
+		// lo+step, and the loop guard gives m2 ≤ m1+step < lo+2·step <
+		// hi — so every verdict strictly narrows the interval and the
+		// search terminates on any curve.
 		m1 := quant(lo + (hi-lo)/3)
+		if m1 <= lo {
+			m1 = quant(lo) + step // first step-multiple strictly above lo
+		}
 		m2 := quant(lo + 2*(hi-lo)/3)
 		if m2 <= m1 {
 			m2 = m1 + step

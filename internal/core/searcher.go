@@ -1,0 +1,224 @@
+package core
+
+import (
+	"softsku/internal/abtest"
+	"softsku/internal/decision"
+	"softsku/internal/knob"
+)
+
+// The pluggable search layer (ROADMAP item 3). A Searcher is a
+// cross-knob optimizer that decides *which* configurations to measure;
+// runSearch is the one driver that decides *how* — it owns the
+// three-phase trial runtime (trial.go), SKU validation, reboot
+// accounting, span lifecycle, and every ledger append, so all
+// searchers inherit the determinism contract for free:
+//
+//   - Propose runs on the serial phase, so any randomness a searcher
+//     draws must come from rng streams derived from (run seed, search
+//     label) — never from execution order or a global source.
+//   - Trial labels seed the trials' own streams, so a searcher's label
+//     scheme is part of its observable behaviour (DESIGN.md §10).
+//   - Observe sees outcomes in arm order, exactly as a serial run
+//     would have produced them, and returns its verdicts as data; the
+//     driver replays them into spans, logs, and the ledger in one
+//     fixed order.
+//
+// hillSearcher (search.go), halvingSearcher (searcher_halving.go), and
+// cemSearcher (searcher_cem.go) are the three implementations, wired
+// through SweepMode / `musku -search`.
+
+// SearchArm is one candidate configuration a searcher wants measured
+// against the round's control.
+type SearchArm struct {
+	// Label uniquely names the trial within the run and seeds its rng
+	// streams; changing a label scheme changes measured outcomes.
+	Label  string
+	Config knob.Config
+	// Knob/Setting name the arm in ledger events: the moved knob and
+	// setting for single-knob arms, or "" and a stable arm tag for
+	// multi-knob arms.
+	Knob    string
+	Setting string
+}
+
+// SearchRound is one Propose result: a batch of arms that may run
+// concurrently because no arm's spec depends on another's outcome.
+type SearchRound struct {
+	Span    string      // telemetry span name, e.g. "sweep.round3"
+	Label   string      // ledger group label, e.g. "hill/3"
+	Control knob.Config // configuration every arm is measured against
+	Arms    []SearchArm
+	// AB overrides the run's A/B budget for this round's trials —
+	// successive halving shortens early rungs with it. nil keeps the
+	// run's configuration.
+	AB *abtest.Config
+}
+
+// ArmOutcome is one arm's measurement as seen by Observe. Exactly one
+// of Pruned/Skipped is set when Outcome is absent: pruned arms failed
+// SKU validation and never ran; skipped arms faulted persistently
+// under chaos and were abandoned.
+type ArmOutcome struct {
+	Outcome abtest.Outcome
+	Pruned  bool
+	Skipped bool
+}
+
+// Measured reports whether the arm produced a usable outcome.
+func (o ArmOutcome) Measured() bool { return !o.Pruned && !o.Skipped }
+
+// SpanAttr is one key/value annotation for the round's span, applied
+// in order.
+type SpanAttr struct {
+	Key   string
+	Value interface{}
+}
+
+// RoundVerdict is everything a searcher decided about a round,
+// returned as data so the driver can replay it deterministically.
+type RoundVerdict struct {
+	// Accepted marks the arms kept by this round (hill's winning move,
+	// halving's surviving half, CEM's elite fraction); every other
+	// measured arm is recorded as rejected. nil rejects all.
+	Accepted []bool
+	Attrs    []SpanAttr       // round-span annotations, in order
+	Events   []decision.Event // extra ledger events under the round group
+	Logs     []string         // progress lines, emitted after the span ends
+}
+
+// Searcher is a pluggable design-space optimizer. The driver calls
+// Propose/Observe in lockstep until Propose returns nil (round budget
+// spent) or Done reports the searcher converged on its own terms.
+type Searcher interface {
+	// Name labels the searcher in logs and terminal ledger events.
+	Name() string
+	// Propose returns round r's arms, or nil when the searcher has no
+	// more rounds to spend (converged, or out of budget).
+	Propose(round int) *SearchRound
+	// Observe receives the round's outcomes, indexed like Arms, and
+	// returns the searcher's verdicts. Called once per proposed round,
+	// on the serial merge phase.
+	Observe(round int, outs []ArmOutcome) RoundVerdict
+	// Done reports convergence. A nil Propose with Done()==false means
+	// the round budget ran out first — the driver records a terminal
+	// budget_exhausted event so the ledger never just truncates.
+	Done() bool
+	// Best returns the best configuration found so far and its gain
+	// over the baseline in percent (compounded across moves for
+	// searchers that chain rounds).
+	Best() (knob.Config, float64)
+}
+
+// runSearch drives one Searcher to completion over the parallel trial
+// runtime. Per round: build specs serially in arm order (validate,
+// count reboots, split chaos streams), fan the trials out, merge in
+// arm order, hand the outcomes to Observe, and replay its verdict into
+// the span, ledger, and log — the exact event order the inline hill
+// climber produced before it was extracted behind this interface.
+func (t *Tool) runSearch(res *Result, s Searcher) (knob.Config, error) {
+	parent := t.span
+	rounds := 0
+	for round := 0; ; round++ {
+		rd := s.Propose(round)
+		if rd == nil {
+			break
+		}
+		rounds++
+		rs := parent.StartChild(rd.Span, "sweep")
+		specs := make([]trialSpec, 0, len(rd.Arms))
+		specIdx := make([]int, len(rd.Arms)) // arm -> spec index; -1 pruned
+		outs := make([]ArmOutcome, len(rd.Arms))
+		save := t.in.AB
+		if rd.AB != nil {
+			t.in.AB = *rd.AB
+		}
+		for i, arm := range rd.Arms {
+			specIdx[i] = -1
+			if err := t.sku.Validate(arm.Config); err != nil {
+				mConfigsPruned.Inc()
+				outs[i].Pruned = true
+				continue
+			}
+			mConfigsValidated.Inc()
+			for _, id := range knob.Diff(rd.Control, arm.Config) {
+				if id.RequiresReboot() {
+					t.reboots++
+					break
+				}
+			}
+			specs = append(specs, t.newSpec(rs, arm.Label, rd.Control, arm.Config))
+			specIdx[i] = len(specs) - 1
+		}
+		t.in.AB = save
+		roundSeq := -1
+		if t.rec != nil {
+			roundSeq = t.rec.Record(t.decRoot,
+				decision.SweepStarted(rd.Label, "", rd.Control.String()))
+		}
+		results := t.runTrials(specs)
+		seqs := make([]int, len(rd.Arms))
+		recorded := make([]bool, len(rd.Arms))
+		for i, arm := range rd.Arms {
+			si := specIdx[i]
+			if si < 0 {
+				continue
+			}
+			out, err := t.mergeTrial(specs[si], results[si])
+			if err != nil {
+				if t.skipFault(err, arm.Setting) {
+					t.recordSkip(roundSeq, specs[si], arm.Setting, err)
+					outs[i].Skipped = true
+					continue
+				}
+				rs.End()
+				best, _ := s.Best()
+				return best, err
+			}
+			seqs[i] = t.recordTrial(roundSeq, specs[si], results[si], arm.Knob, arm.Setting)
+			outs[i].Outcome = out
+			recorded[i] = true
+		}
+		v := s.Observe(round, outs)
+		if t.rec != nil {
+			for i, arm := range rd.Arms {
+				if !recorded[i] {
+					continue
+				}
+				if i < len(v.Accepted) && v.Accepted[i] {
+					t.rec.Record(seqs[i], decision.ArmAccepted(arm.Knob, arm.Setting, outs[i].Outcome.DeltaPct))
+				} else {
+					o := outs[i].Outcome
+					t.rec.Record(seqs[i], decision.ArmRejected(arm.Knob, arm.Setting,
+						o.DeltaPct, o.PValue, o.Significant))
+				}
+			}
+		}
+		for _, a := range v.Attrs {
+			rs.Set(a.Key, a.Value)
+		}
+		rs.End()
+		if t.rec != nil {
+			for _, e := range v.Events {
+				t.rec.Record(roundSeq, e)
+			}
+		}
+		for _, line := range v.Logs {
+			t.logf("%s", line)
+		}
+		if s.Done() {
+			break
+		}
+	}
+	best, gain := s.Best()
+	res.ExhaustiveBest = gain
+	if !s.Done() {
+		// The round budget ran out before the searcher's own stopping
+		// rule fired. Without a terminal event the ledger would just
+		// truncate — indistinguishable from a crash in `skutrace tree`.
+		if t.rec != nil {
+			t.rec.Record(t.decRoot, decision.BudgetExhausted(s.Name(), rounds, best.String()))
+		}
+		t.logf("%s: round budget exhausted after %d rounds (best so far %s)", s.Name(), rounds, best)
+	}
+	return best, nil
+}

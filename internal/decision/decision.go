@@ -33,22 +33,24 @@ type Kind string
 
 // Event kinds, in rough causal order of a tuning run and a rollout.
 const (
-	KindRunStarted     Kind = "run_started"
-	KindSweepStarted   Kind = "sweep_started"
-	KindTrialStarted   Kind = "trial_started"
-	KindTrialMeasured  Kind = "trial_measured"
-	KindArmAccepted    Kind = "arm_accepted"
-	KindArmRejected    Kind = "arm_rejected"
-	KindGuardrailTrip  Kind = "guardrail_trip"
-	KindRevert         Kind = "revert"
-	KindSkip           Kind = "skip"
-	KindConverged      Kind = "converged"
-	KindRunFinished    Kind = "run_finished"
-	KindRolloutStarted Kind = "rollout_started"
-	KindWavePassed     Kind = "wave_passed"
-	KindWaveFailed     Kind = "wave_failed"
-	KindRollback       Kind = "rollback"
-	KindRolloutDone    Kind = "rollout_done"
+	KindRunStarted      Kind = "run_started"
+	KindSweepStarted    Kind = "sweep_started"
+	KindTrialStarted    Kind = "trial_started"
+	KindTrialMeasured   Kind = "trial_measured"
+	KindArmAccepted     Kind = "arm_accepted"
+	KindArmRejected     Kind = "arm_rejected"
+	KindGuardrailTrip   Kind = "guardrail_trip"
+	KindRevert          Kind = "revert"
+	KindSkip            Kind = "skip"
+	KindConverged       Kind = "converged"
+	KindRungAdvanced    Kind = "rung_advanced"
+	KindBudgetExhausted Kind = "budget_exhausted"
+	KindRunFinished     Kind = "run_finished"
+	KindRolloutStarted  Kind = "rollout_started"
+	KindWavePassed      Kind = "wave_passed"
+	KindWaveFailed      Kind = "wave_failed"
+	KindRollback        Kind = "rollback"
+	KindRolloutDone     Kind = "rollout_done"
 
 	// Fleet-controller kinds: the continuous tuning loop's epoch
 	// lifecycle and its self-healing machinery (breakers, quarantine,
@@ -282,9 +284,36 @@ func Skip(label, setting, reason string) Event {
 	return Event{Kind: KindSkip, Label: label, Setting: setting, Detail: reason}
 }
 
-// Converged records a hill-climb round in which no neighbour won.
+// Converged records a search round in which the optimizer decided to
+// stop: a hill-climb round with no winning neighbour, the last
+// successive-halving rung, or a stalled CEM generation.
 func Converged(detail string) Event {
 	return Event{Kind: KindConverged, Detail: detail}
+}
+
+// RungAdvanced records one successive-halving rung: how many arms
+// raced, how many survived into the next rung, and the per-arm sample
+// cap the rung ran under. Parent it to the rung's sweep_started event.
+func RungAdvanced(rung, arms, survivors, maxSamples int) Event {
+	return Event{
+		Kind:    KindRungAdvanced,
+		Wave:    rung,
+		Samples: maxSamples,
+		Detail:  fmt.Sprintf("arms=%d survivors=%d", arms, survivors),
+	}
+}
+
+// BudgetExhausted records a search that ran out of round budget before
+// its own convergence test fired — the terminal marker that
+// distinguishes a truncated climb from a crashed run. Parent it to the
+// run_started event.
+func BudgetExhausted(search string, rounds int, best string) Event {
+	return Event{
+		Kind:   KindBudgetExhausted,
+		Label:  search,
+		Wave:   rounds,
+		Detail: fmt.Sprintf("best so far %s", best),
+	}
 }
 
 // RunFinished closes a tuning run: the composed soft SKU and its

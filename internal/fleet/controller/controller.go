@@ -143,6 +143,11 @@ type Config struct {
 	// wants cheap directional answers every epoch, and a wrong accept
 	// is bounded by the guardrail plus next epoch's re-tune.
 	TuneConfidence float64
+	// TuneSweep selects the re-tune optimizer. The zero value is
+	// core.SweepIndependent (the paper's mode and the historical
+	// behavior); the adaptive searchers (hillclimb, halving, cem) trade
+	// more trial rounds for cross-knob coverage.
+	TuneSweep core.SweepMode
 }
 
 // DefaultConfig returns the control-loop defaults.
@@ -606,7 +611,7 @@ func (c *Controller) retune(ps *poolState, driftSeq int) (bool, error) {
 	in := core.Input{
 		Microservice: ps.name,
 		Platform:     pool.SKU.Name,
-		Sweep:        core.SweepIndependent,
+		Sweep:        c.cfg.TuneSweep,
 		Metric:       metric,
 		Knobs:        c.cfg.Knobs,
 		// Constant per-pool seed: repeat re-tunes of an unchanged pool

@@ -156,6 +156,33 @@ fi
 sed -n 's/^state:  */fleet soak: /p' "$soakdir/a.txt"
 rm -rf "$soakdir"
 
+echo "== adaptive search smoke =="
+# A tiny successive-halving tune, run twice at different -parallel
+# counts: both runs must find the same soft SKU and write byte-
+# identical decision ledgers (the Searcher determinism contract, end
+# to end through the CLI), and the ledger must carry the halving-
+# specific rung_advanced events plus a clean run_finished.
+srchdir=$(mktemp -d)
+go build -o "$srchdir/musku" ./cmd/musku
+"$srchdir/musku" -service Web -knobs thp,shp -search halving -max-samples 1500 \
+	-parallel 1 -q -decisions-out "$srchdir/a.jsonl" >"$srchdir/a.txt"
+"$srchdir/musku" -service Web -knobs thp,shp -search halving -max-samples 1500 \
+	-parallel 8 -q -decisions-out "$srchdir/b.jsonl" >"$srchdir/b.txt"
+if ! cmp -s "$srchdir/a.jsonl" "$srchdir/b.jsonl"; then
+	echo "search smoke: same-seed halving ledgers diverged across -parallel" >&2
+	exit 1
+fi
+if ! grep -q '"kind":"rung_advanced"' "$srchdir/a.jsonl"; then
+	echo "search smoke: halving ledger has no rung_advanced events" >&2
+	exit 1
+fi
+if ! grep -q '"kind":"run_finished"' "$srchdir/a.jsonl"; then
+	echo "search smoke: halving ledger never finished" >&2
+	exit 1
+fi
+sed -n 's/^soft SKU:  */search smoke (halving): /p' "$srchdir/a.txt"
+rm -rf "$srchdir"
+
 echo "== skutrace replay smoke =="
 # Counterfactual replay straight off a recorded ledger: re-judge a
 # mips-objective run under p99 without re-running the simulator.
