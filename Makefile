@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-simcache bench-search bench-decision bench-fleet bench-lint fmt chaos lint lint-fixtures lint-graph soak
+.PHONY: build test check bench bench-parallel bench-simcache bench-search bench-twin bench-decision bench-fleet bench-lint fmt chaos lint lint-fixtures lint-graph soak
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,19 @@ bench-simcache:
 # the independent sweep.
 bench-search:
 	$(GO) test -run XXX -bench 'BenchmarkSearch(Independent|Hill|Halving|CEM)$$' -benchmem -benchtime 1x -count 3 ./internal/core
+
+# Tiered-fidelity ladder efficiency (DESIGN.md §16): the bench-search
+# hill-climb and halving runs re-measured with the analytical twin
+# armed (-twin / twin = on). windows/op must drop below the unpruned
+# optimizer's BENCH_search.json count while best_pct/op and the
+# composed soft SKU stay identical (TestTwinPrunedSearchMatchesUnpruned
+# proves identity); pruned/op counts arms vetoed on a prediction alone,
+# twin_err/op is the run's median cross-check error in percent. The
+# twin-package rows price one prediction (µs) against the ~1s window it
+# replaces. Medians are recorded in BENCH_twin.json.
+bench-twin:
+	$(GO) test -run XXX -bench 'BenchmarkSearchTwin(Hill|Halving)$$' -benchmem -benchtime 1x -count 3 ./internal/core
+	$(GO) test -run XXX -bench 'BenchmarkTwin(Predict|Score)$$' -benchmem ./internal/twin
 
 # Decision flight-recorder overhead: the same four-knob tuning run
 # with the ledger detached vs attached (DESIGN.md §12). Recording is

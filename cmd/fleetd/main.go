@@ -36,6 +36,7 @@ func main() {
 		driftRate = flag.Float64("drift-rate", 0.04, "per-pool per-epoch probability of a real workload shift")
 		tuneMax   = flag.Int("tune-samples", 120, "per-arm sample cap for drift-chasing A/B trials")
 		tuneSrch  = flag.String("tune-search", "independent", "re-tune optimizer: independent | hill | halving | cem")
+		tuneTwin  = flag.Bool("tune-twin", false, "arm the analytical-twin fidelity ladder inside re-tunes (prunes predicted-losing arms before any window runs)")
 		decOut    = flag.String("ledger-out", "", "write the soak's decision ledger as JSONL (replay with skutrace)")
 		jsonOut   = flag.Bool("json", false, "emit the soak report as JSON instead of text")
 		quiet     = flag.Bool("q", false, "suppress per-epoch progress logging")
@@ -62,6 +63,7 @@ func main() {
 	if cc.GuardrailPct > 0 {
 		cfg.TuneGuardrailPct = cc.GuardrailPct
 	}
+	cfg.TuneTwin = *tuneTwin
 
 	ctl, err := controller.New(cfg, controller.DefaultFleetSpec(*servers))
 	if err != nil {

@@ -9,6 +9,7 @@
 //	musku -input tune.conf
 //	musku -service Web -platform Skylake18 [-sweep independent] [-metric mips]
 //	musku -service Web -search halving    # adaptive optimizer: hill | halving | cem
+//	musku -service Web -search halving -twin  # twin-pruned search (fewer windows, same SKU)
 //	musku -service Web -validate 3
 //	musku -service Web -chaos -chaos-seed 7 -guardrail-pct 2
 //
@@ -22,6 +23,7 @@
 //	seed         = 1
 //	max_samples  = 30000
 //	parallel     = 4                # trial workers (0 = GOMAXPROCS)
+//	twin         = off              # analytical-twin fidelity ladder (DESIGN.md §16)
 //
 // Candidate trials run across a bounded worker pool (-parallel);
 // results are merged in design-space order, so output is bit-identical
@@ -53,6 +55,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		maxSamples = flag.Int("max-samples", 0, "per-arm sample cap for A/B trials (0: default 30000)")
 		parallel   = flag.Int("parallel", 0, "trial worker count; results are seed-deterministic at any value (0: GOMAXPROCS)")
+		twin       = flag.Bool("twin", false, "arm the analytical-twin fidelity ladder: prune predicted-losing arms before any window runs")
 		validate   = flag.Int("validate", 0, "after tuning, validate across N simulated code pushes")
 		decOut     = flag.String("decisions-out", "", "write the decision ledger as JSONL (replay with skutrace)")
 		simCache   = flag.String("sim-cache", "on", "characterization cache: on | off (off re-measures every window; results are identical)")
@@ -73,7 +76,7 @@ func main() {
 		fatal(fmt.Errorf("-sim-cache must be on or off, got %q", *simCache))
 	}
 
-	in, err := buildInput(*inputPath, *service, *platName, *sweep, *search, *metric, *knobList, *seed, *maxSamples, *parallel)
+	in, err := buildInput(*inputPath, *service, *platName, *sweep, *search, *metric, *knobList, *seed, *maxSamples, *parallel, *twin)
 	if err != nil {
 		fatal(err)
 	}
@@ -177,7 +180,7 @@ func serveWait(obs *telemetry.CLI) {
 	obs.Wait()
 }
 
-func buildInput(path, service, plat, sweep, search, metric, knobList string, seed uint64, maxSamples, parallel int) (softsku.TuneInput, error) {
+func buildInput(path, service, plat, sweep, search, metric, knobList string, seed uint64, maxSamples, parallel int, twin bool) (softsku.TuneInput, error) {
 	if path != "" {
 		text, err := os.ReadFile(path)
 		if err != nil {
@@ -207,6 +210,9 @@ func buildInput(path, service, plat, sweep, search, metric, knobList string, see
 	}
 	if parallel > 0 {
 		text += fmt.Sprintf("parallel = %d\n", parallel)
+	}
+	if twin {
+		text += "twin = on\n"
 	}
 	return softsku.ParseTuneInput(text)
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestBuildInputFromFlags(t *testing.T) {
-	in, err := buildInput("", "Web", "Skylake18", "hillclimb", "", "qps", "thp,shp", 9, 2500, 4)
+	in, err := buildInput("", "Web", "Skylake18", "hillclimb", "", "qps", "thp,shp", 9, 2500, 4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,6 +22,9 @@ func TestBuildInputFromFlags(t *testing.T) {
 	if in.Parallel != 4 {
 		t.Fatalf("parallel flag not applied: %d", in.Parallel)
 	}
+	if !in.Twin {
+		t.Fatal("twin flag not applied")
+	}
 	if len(in.Knobs) != 2 || in.Knobs[0] != knob.THP {
 		t.Fatalf("knobs: %v", in.Knobs)
 	}
@@ -32,7 +35,7 @@ func TestBuildInputFromFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("microservice = Ads1\nsweep = exhaustive\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	in, err := buildInput(path, "", "", "", "", "", "", 0, 0, 0)
+	in, err := buildInput(path, "", "", "", "", "", "", 0, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,16 +45,16 @@ func TestBuildInputFromFile(t *testing.T) {
 }
 
 func TestBuildInputErrors(t *testing.T) {
-	if _, err := buildInput("", "", "", "independent", "", "mips", "", 1, 0, 0); err == nil {
+	if _, err := buildInput("", "", "", "independent", "", "mips", "", 1, 0, 0, false); err == nil {
 		t.Fatal("missing service must error")
 	}
-	if _, err := buildInput("/nonexistent/file", "", "", "", "", "", "", 1, 0, 0); err == nil {
+	if _, err := buildInput("/nonexistent/file", "", "", "", "", "", "", 1, 0, 0, false); err == nil {
 		t.Fatal("missing file must error")
 	}
-	if _, err := buildInput("", "Web", "", "bogus", "", "mips", "", 1, 0, 0); err == nil {
+	if _, err := buildInput("", "Web", "", "bogus", "", "mips", "", 1, 0, 0, false); err == nil {
 		t.Fatal("bad sweep must error")
 	}
-	if _, err := buildInput("", "Web", "", "independent", "exhaustive", "mips", "", 1, 0, 0); err == nil {
+	if _, err := buildInput("", "Web", "", "independent", "exhaustive", "mips", "", 1, 0, 0, false); err == nil {
 		t.Fatal("-search must reject non-adaptive modes")
 	}
 }
@@ -60,7 +63,7 @@ func TestBuildInputSearchOverridesSweep(t *testing.T) {
 	for flag, want := range map[string]string{
 		"hill": "hillclimb", "halving": "halving", "cem": "cem",
 	} {
-		in, err := buildInput("", "Web", "", "independent", flag, "mips", "", 1, 0, 0)
+		in, err := buildInput("", "Web", "", "independent", flag, "mips", "", 1, 0, 0, false)
 		if err != nil {
 			t.Fatalf("-search %s: %v", flag, err)
 		}

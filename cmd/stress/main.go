@@ -10,6 +10,7 @@
 //	stress -points 25 -services   # finer curve plus service points
 //	stress -parallel 4            # one worker per platform curve; same output
 //	stress -chaos -chaos-seed 7   # corrupt latency samples like a faulty prober
+//	stress -twin                  # calibrated-twin cross-check, one probe window per service
 //
 // With -chaos, each latency sample passes through the deterministic
 // fault injector the tuner is hardened against: corrupted readings are
@@ -25,7 +26,11 @@ import (
 
 	"softsku"
 	"softsku/internal/chaos"
+	"softsku/internal/knob"
+	"softsku/internal/sim"
 	"softsku/internal/telemetry"
+	"softsku/internal/twin"
+	"softsku/internal/workload"
 )
 
 func main() {
@@ -33,6 +38,7 @@ func main() {
 		platName = flag.String("platform", "", "platform name (default: all three)")
 		points   = flag.Int("points", 13, "points per stress curve")
 		services = flag.Bool("services", false, "also print each microservice's operating point")
+		twinChk  = flag.Bool("twin", false, "cross-check the calibrated analytical twin against one off-anchor window per service")
 		seed     = flag.Uint64("seed", 1, "workload seed for -services")
 		parallel = flag.Int("parallel", 0, "curve workers; output order is fixed (0: GOMAXPROCS)")
 		simCache = flag.String("sim-cache", "on", "characterization cache: on | off (off re-measures every window; results are identical)")
@@ -122,8 +128,66 @@ func main() {
 				svc.Name, svc.Platform, c.Counters.MemBWGBs, c.Counters.MemLatencyNS)
 		}
 	}
+
+	if *twinChk {
+		twinCheck(root, *seed)
+	}
 	if obs.Serving() {
 		fmt.Fprintf(os.Stderr, "stress: serving observability on http://%s (ctrl-c to exit)\n", obs.ServingAddr())
 		obs.Wait()
+	}
+}
+
+// twinCheck calibrates the analytical twin for every service on its
+// production platform, then measures one configuration the calibration
+// never saw (production with THP flipped) and prints the calibrated
+// prediction beside the simulator's answer. The anchors fit exactly by
+// construction, so the probe column is the honest out-of-sample error —
+// the number the tuner's pruning margins must dominate (DESIGN.md §16).
+func twinCheck(root *telemetry.Span, seed uint64) {
+	fmt.Println("\n== analytical-twin cross-check (calibrated, off-anchor probe) ==")
+	fmt.Printf("%-8s %-12s %8s %12s %12s %8s\n",
+		"service", "platform", "alpha", "probe MIPS", "twin MIPS", "err")
+	for _, svc := range softsku.Services() {
+		sku, err := softsku.PlatformByName(svc.Platform)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		prof := workload.ForPlatform(svc, sku.Name)
+		sp := root.StartChild("twin."+prof.Name, "twin")
+		ev := twin.NewEvaluator(sku, prof, seed, prof.MaxCPUUtil, twin.MetricFor("mips"))
+		if err := ev.Calibrate(); err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		probe := softsku.ProductionConfig(sku, prof)
+		if probe.THP == knob.THPNever {
+			probe.THP = knob.THPAlways
+		} else {
+			probe.THP = knob.THPNever
+		}
+		srv, err := softsku.NewServer(sku, probe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		m, err := sim.NewMachine(srv, prof, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			os.Exit(1)
+		}
+		meas := m.Solve(prof.MaxCPUUtil).MIPS
+		alpha, beta := ev.Coefficients()
+		pred := alpha*twin.NewModel(sku, prof).Predict(probe, prof.MaxCPUUtil).Op.MIPS + beta
+		errPct := 0.0
+		if meas != 0 {
+			errPct = (pred - meas) / meas * 100
+		}
+		sp.Set("alpha", alpha)
+		sp.Set("err_pct", errPct)
+		sp.End()
+		fmt.Printf("%-8s %-12s %8.4f %12.0f %12.0f %+7.2f%%\n",
+			prof.Name, sku.Name, alpha, meas, pred, errPct)
 	}
 }

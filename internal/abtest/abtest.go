@@ -42,6 +42,9 @@ var (
 	mTrialSamples = telemetry.Default.Histogram("softsku_abtest_samples_per_trial",
 		"Samples collected per arm before each trial resolved.")
 
+	mSeqStops = telemetry.Default.Counter("softsku_abtest_seq_stops_total",
+		"Trials resolved early by the sequential stopping rule.")
+
 	// Robustness telemetry: how much adversity each trial absorbed.
 	mGuardrailTrips = telemetry.Default.Counter("softsku_guardrail_trips_total",
 		"Trials aborted early because the treatment regressed past the guardrail.")
@@ -70,6 +73,18 @@ type Config struct {
 	// statistically significant regression beyond this many percent.
 	// 0 disables the guardrail.
 	GuardrailPct float64
+	// Sequential arms the sequential stopping rule: at every CheckEvery
+	// boundary past MinSamples the trial stops as soon as a
+	// Bonferroni-corrected Welch confidence interval on the
+	// treatment−control difference excludes zero from a side the rest of
+	// the budget cannot change — a confirmed improvement, or a confirmed
+	// regression the armed guardrail provably will not trip on. The
+	// Bonferroni split over the checkpoint count keeps the family-wise
+	// error at the configured level, so the early verdict agrees with
+	// the full-length trial's (TestSequentialMatchesFullLength). Off by
+	// default: the zero value keeps Run bit-identical to the
+	// fixed-horizon tester.
+	Sequential bool
 	// OutlierK rejects a sample pair when either arm's value deviates
 	// from its recent median by more than OutlierK times the median
 	// absolute deviation. 0 disables rejection.
@@ -165,6 +180,7 @@ type Outcome struct {
 
 	// Robustness record of the trial.
 	GuardrailTripped bool // aborted early: treatment regressed past the guardrail
+	SeqStopped       bool // resolved early by the sequential stopping rule
 	DroppedOut       bool // abandoned: sampler dropouts exhausted the retry budget
 	OutliersRejected int  // sample pairs discarded by the MAD filter
 	Dropouts         int  // sampler dropouts absorbed by retries
@@ -209,6 +225,9 @@ func (o Outcome) String() string {
 	s := fmt.Sprintf("%+.2f%% (%s, n=%d)", o.DeltaPct, sig, o.Samples)
 	if o.GuardrailTripped {
 		s += " [guardrail]"
+	}
+	if o.SeqStopped {
+		s += " [seq]"
 	}
 	if o.DroppedOut {
 		s += " [dropped out]"
@@ -392,6 +411,34 @@ func Run(cfg Config, control, treatment Sampler, startSec float64) (Outcome, flo
 							decision.GuardrailTrip(delta, out.Samples, cfg.GuardrailPct))
 					}
 					break
+				}
+			}
+			// Sequential stopping rule: spend the error budget across the
+			// remaining checkpoints (Bonferroni over the checkpoint count)
+			// and stop the moment the corrected CI on the difference
+			// excludes zero from a side the rest of the budget cannot
+			// flip. A confirmed regression only stops early when the
+			// guardrail is off or provably out of reach (the CI's lower
+			// edge sits above the trip threshold) — otherwise sampling
+			// continues so the guardrail can do its job.
+			if cfg.Sequential && out.Samples >= cfg.MinSamples && w.DF > 0 {
+				checks := (cfg.MaxSamples-cfg.MinSamples)/cfg.CheckEvery + 1
+				if checks < 1 {
+					checks = 1
+				}
+				se := math.Sqrt(
+					out.Treatment.Variance()/float64(out.Treatment.N()) +
+						out.Control.Variance()/float64(out.Control.N()))
+				if se > 0 {
+					tq := stats.TQuantile(1-alpha/float64(checks)/2, w.DF)
+					diff := out.Treatment.Mean() - out.Control.Mean()
+					lo, hi := diff-tq*se, diff+tq*se
+					gr := -cfg.GuardrailPct / 100 * out.Control.Mean()
+					if lo > 0 || (hi < 0 && (cfg.GuardrailPct <= 0 || lo > gr)) {
+						out.SeqStopped = true
+						mSeqStops.Inc()
+						break
+					}
 				}
 			}
 			// Early stop only on overwhelming evidence (a stricter

@@ -358,3 +358,84 @@ func TestDeltaPctZeroControlCases(t *testing.T) {
 		t.Fatal("negative control must not produce NaN")
 	}
 }
+
+// seqScenario is one seed scenario for the sequential-stop regression
+// test: an effect size and the verdict properties that matter to the
+// search layer.
+type seqScenario struct {
+	name      string
+	treatMean float64
+	sigma     float64
+	guardrail float64
+	mustSave  bool // sequential must resolve on strictly fewer samples
+}
+
+// TestSequentialMatchesFullLength is the sequential-stop acceptance
+// test: on every seed scenario — clear improvement, clear regression,
+// sub-guardrail regression, null effect — the Sequential verdict
+// (Better/Worse/Significant/GuardrailTripped) must match the
+// fixed-horizon trial's on the identical sample stream, while never
+// spending more samples.
+func TestSequentialMatchesFullLength(t *testing.T) {
+	scenarios := []seqScenario{
+		{"improvement", 103, 0.015, 0, false},
+		{"small-improvement", 100.8, 0.015, 0, false},
+		{"regression", 97, 0.015, 0, false},
+		{"regression-guarded", 97, 0.015, 1, false},      // guardrail must still trip
+		{"mild-regression-guarded", 99, 0.015, 2, false}, // regression confirmed inside the guardrail
+		{"null", 100, 0.015, 0, false},
+		// Noisy arms: the fixed-horizon tester's overwhelming-evidence
+		// rule needs tight relative CIs that high variance delays long
+		// past the point where the Bonferroni CI has already excluded
+		// zero — the regime the sequential rule exists for.
+		{"noisy-improvement", 102, 0.1, 0, true},
+		{"noisy-regression", 98.5, 0.08, 0, true},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(sequential bool) Outcome {
+				cfg := DefaultConfig()
+				cfg.GuardrailPct = sc.guardrail
+				cfg.Sequential = sequential
+				src := rng.New(7)
+				out, _ := Run(cfg, noisy(src.Split("c"), 100, sc.sigma, flatLoad),
+					noisy(src.Split("t"), sc.treatMean, sc.sigma, flatLoad), 0)
+				return out
+			}
+			full := run(false)
+			seq := run(true)
+			if seq.Better() != full.Better() || seq.Worse() != full.Worse() {
+				t.Fatalf("verdict diverged: sequential %v vs full %v", seq, full)
+			}
+			if seq.GuardrailTripped != full.GuardrailTripped {
+				t.Fatalf("guardrail diverged: sequential %v vs full %v", seq, full)
+			}
+			if seq.Samples > full.Samples {
+				t.Fatalf("sequential spent more samples (%d) than fixed horizon (%d)", seq.Samples, full.Samples)
+			}
+			if sc.mustSave && seq.Samples >= full.Samples {
+				t.Fatalf("sequential saved nothing: %d vs %d samples", seq.Samples, full.Samples)
+			}
+			t.Logf("%s: %d -> %d samples (seq stop: %v)", sc.name, full.Samples, seq.Samples, seq.SeqStopped)
+		})
+	}
+}
+
+// TestSequentialOffBitIdentical pins the opt-in contract: with
+// Sequential false the tester's outcome is unchanged field-for-field.
+func TestSequentialOffBitIdentical(t *testing.T) {
+	run := func() Outcome {
+		src := rng.New(11)
+		out, _ := Run(DefaultConfig(), noisy(src.Split("c"), 100, 0.015, flatLoad),
+			noisy(src.Split("t"), 101, 0.015, flatLoad), 0)
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fixed-horizon run not reproducible: %v vs %v", a, b)
+	}
+	if a.SeqStopped {
+		t.Fatal("Sequential=false run flagged SeqStopped")
+	}
+}

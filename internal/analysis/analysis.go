@@ -154,6 +154,10 @@ var simFacing = map[string]bool{
 	// and epoch clocks must come from the virtual clock / seeded
 	// streams, never from the wall clock or ambient goroutines.
 	"controller": true,
+	// The analytical twin prices prune decisions: any ambient state in
+	// its model or calibration would make the search's window schedule
+	// (and hence the ledger) diverge between runs.
+	"twin": true,
 }
 
 // SimFacing reports whether the named package is bound by the seeded

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"softsku/internal/knob"
+	"softsku/internal/sim"
+	"softsku/internal/telemetry"
+)
+
+// benchSearchTwin is benchSearch with the tiered-fidelity ladder armed
+// (DESIGN.md §16): the same four-knob tuning run, but search rounds
+// consult the calibrated analytical twin and prune arms whose predicted
+// regression clears the rung's safety margin before any window runs.
+// The figures of merit extend bench_search_test.go's:
+//
+//   - windows/op: fresh characterization windows — the ladder's whole
+//     point is pushing this below the unpruned optimizer's count
+//     (BENCH_search.json) while composing the identical soft SKU
+//     (TestTwinPrunedSearchMatchesUnpruned proves identity).
+//   - pruned/op: arms discarded on a prediction alone, each recorded as
+//     a constructor-built twin_pruned ledger event.
+//   - twin_err/op: the run's median |predicted − measured| cross-check
+//     error in percent, accumulated against every window the run did
+//     measure.
+func benchSearchTwin(b *testing.B, mode SweepMode) {
+	in := fastInput("Web", "Skylake18", knob.THP, knob.SHP, knob.CoreFreq, knob.Prefetch)
+	in.Sweep = mode
+	in.Parallel = 1
+	in.Twin = true
+	hits := telemetry.Default.Counter("softsku_sim_cache_hits_total",
+		"Characterization windows served from the content-addressed cache.")
+	b.ReportAllocs()
+	var windows, hit, pruned, bestPct, medErr float64
+	for i := 0; i < b.N; i++ {
+		sim.ResetCharacterizationCache()
+		wBefore, hBefore := sim.WindowsExecuted(), hits.Value()
+		pBefore := mConfigsTwinPruned.Value()
+		tool, err := New(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tool.SetLogger(io.Discard)
+		res, err := tool.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		windows += sim.WindowsExecuted() - wBefore
+		hit += hits.Value() - hBefore
+		pruned += mConfigsTwinPruned.Value() - pBefore
+		bestPct += res.VsProduction.DeltaPct
+		if ev := tool.Evaluator(); ev != nil {
+			if m := ev.MedianAbsErrPct(); m >= 0 {
+				medErr += m
+			}
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(windows/n, "windows/op")
+	b.ReportMetric(hit/n, "hits/op")
+	b.ReportMetric(pruned/n, "pruned/op")
+	b.ReportMetric(bestPct/n, "best_pct/op")
+	b.ReportMetric(medErr/n, "twin_err/op")
+}
+
+func BenchmarkSearchTwinHill(b *testing.B)    { benchSearchTwin(b, SweepHillClimb) }
+func BenchmarkSearchTwinHalving(b *testing.B) { benchSearchTwin(b, SweepHalving) }

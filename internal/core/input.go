@@ -123,6 +123,11 @@ type Input struct {
 	// Parallel is the trial worker count; <= 0 means GOMAXPROCS.
 	// Results are bit-identical at any worker count for a given seed.
 	Parallel int
+	// Twin arms the tiered-fidelity ladder: search rounds consult the
+	// calibrated analytical twin and prune candidates whose predicted
+	// regression clears the safety margin, instead of measuring every
+	// validated arm (DESIGN.md §16).
+	Twin bool
 	// AB overrides the default A/B tester configuration.
 	AB abtest.Config
 }
@@ -142,7 +147,7 @@ func DefaultInput(service, platform string) Input {
 // ParseInput reads the µSKU input-file format: one "key = value" pair
 // per line, '#' comments. Recognized keys: microservice, platform,
 // sweep (or search), metric, knobs (comma-separated), seed,
-// max_samples, parallel.
+// max_samples, parallel, twin (on/off).
 func ParseInput(text string) (Input, error) {
 	in := Input{Sweep: SweepIndependent, Metric: MetricMIPS, Seed: 1, AB: abtest.DefaultConfig()}
 	sc := bufio.NewScanner(strings.NewReader(text))
@@ -215,6 +220,15 @@ func ParseInput(text string) (Input, error) {
 				return in, fmt.Errorf("core: input line %d: bad parallel %q", lineNo, val)
 			}
 			in.Parallel = n
+		case "twin":
+			switch strings.ToLower(val) {
+			case "on", "true", "1", "yes":
+				in.Twin = true
+			case "off", "false", "0", "no":
+				in.Twin = false
+			default:
+				return in, fmt.Errorf("core: input line %d: bad twin %q (want on/off)", lineNo, val)
+			}
 		default:
 			return in, fmt.Errorf("core: input line %d: unknown key %q", lineNo, key)
 		}

@@ -26,6 +26,8 @@ var (
 		"Candidate configurations that passed SKU validation and were measured.")
 	mConfigsPruned = telemetry.Default.Counter("softsku_core_configs_pruned_total",
 		"Candidate configurations pruned as unrealizable on the SKU.")
+	mConfigsTwinPruned = telemetry.Default.Counter("softsku_core_configs_twin_pruned_total",
+		"Candidate configurations discarded on a tiered-fidelity prediction, no window spent.")
 	mRuns = telemetry.Default.Counter("softsku_core_runs_total",
 		"Complete µSKU tuning runs.")
 
@@ -124,6 +126,8 @@ type Tool struct {
 	rec       *decision.Ledger // nil disables decision recording
 	decRoot   int              // run_started seq; -1 outside a recorded run
 	decParent int              // causal parent for run_started (-1: ledger root)
+
+	eval Evaluator // nil: measure every validated arm (no ladder)
 }
 
 // New builds a µSKU tool from an input file. It rejects MIPS-metric
@@ -315,6 +319,20 @@ func (t *Tool) Run() (*Result, error) {
 			t.prof.Name, t.sku.Name, t.in.Sweep.String(), t.in.Metric.String(),
 			t.in.Seed, conf, t.in.AB.GuardrailPct))
 	}
+	if t.in.Twin && t.eval == nil {
+		t.eval = t.newTwinEvaluator()
+	}
+	if t.eval != nil {
+		// Calibrate the ladder against the run's anchor windows
+		// (production and stock) — windows the run measures anyway as
+		// round-one control and the final validations, so arming the twin
+		// costs zero net windows. Serial, before any round: the fit is a
+		// pure function of (SKU, profile, seed, metric).
+		if err := t.eval.Calibrate(); err != nil {
+			return nil, err
+		}
+		t.logf("twin: calibrated for %s on %s (metric %s)", t.prof.Name, t.sku.Name, t.in.Metric)
+	}
 	var composed knob.Config
 	var err error
 	switch t.in.Sweep {
@@ -388,6 +406,15 @@ func (t *Tool) Run() (*Result, error) {
 	vspan.Set("vs_production_pct", res.VsProduction.DeltaPct)
 	vspan.Set("vs_stock_pct", res.VsStock.DeltaPct)
 	vspan.End()
+	if t.eval != nil {
+		t.eval.CrossCheck(t.baseline)
+		t.eval.CrossCheck(res.Stock)
+		t.eval.CrossCheck(composed)
+		if med := t.eval.MedianAbsErrPct(); med >= 0 {
+			root.Set("twin_median_abs_err_pct", med)
+			t.logf("  twin cross-check: median abs err %.2f%%", med)
+		}
+	}
 	root.Set("soft_sku", composed.String())
 	root.Set("reboots", t.reboots)
 	res.Reboots = t.reboots

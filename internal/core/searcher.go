@@ -55,17 +55,19 @@ type SearchRound struct {
 }
 
 // ArmOutcome is one arm's measurement as seen by Observe. Exactly one
-// of Pruned/Skipped is set when Outcome is absent: pruned arms failed
-// SKU validation and never ran; skipped arms faulted persistently
-// under chaos and were abandoned.
+// of Pruned/TwinPruned/Skipped is set when Outcome is absent: pruned
+// arms failed SKU validation and never ran; twin-pruned arms were
+// discarded on a tiered-fidelity prediction before any window ran;
+// skipped arms faulted persistently under chaos and were abandoned.
 type ArmOutcome struct {
-	Outcome abtest.Outcome
-	Pruned  bool
-	Skipped bool
+	Outcome    abtest.Outcome
+	Pruned     bool
+	TwinPruned bool
+	Skipped    bool
 }
 
 // Measured reports whether the arm produced a usable outcome.
-func (o ArmOutcome) Measured() bool { return !o.Pruned && !o.Skipped }
+func (o ArmOutcome) Measured() bool { return !o.Pruned && !o.TwinPruned && !o.Skipped }
 
 // SpanAttr is one key/value annotation for the round's span, applied
 // in order.
@@ -132,12 +134,42 @@ func (t *Tool) runSearch(res *Result, s Searcher) (knob.Config, error) {
 		if rd.AB != nil {
 			t.in.AB = *rd.AB
 		}
+		// Tiered-fidelity ladder (DESIGN.md §16): score the round's
+		// control once, then let predictions veto arms before a spec —
+		// and hence a window — exists for them. All on the serial phase,
+		// so the prune set is fixed by the round structure, never by
+		// worker scheduling.
+		var ctrlScore float64
+		var ctrlRung string
+		ctrlOK := false
+		if t.eval != nil {
+			ctrlScore, ctrlRung, ctrlOK = t.eval.Score(rd.Control)
+			ctrlOK = ctrlOK && ctrlScore > 0
+		}
+		var pruneEvents []decision.Event
 		for i, arm := range rd.Arms {
 			specIdx[i] = -1
 			if err := t.sku.Validate(arm.Config); err != nil {
 				mConfigsPruned.Inc()
 				outs[i].Pruned = true
 				continue
+			}
+			if ctrlOK {
+				if armScore, rung, ok := t.eval.Score(arm.Config); ok {
+					margin := t.eval.Margin(rung)
+					if m := t.eval.Margin(ctrlRung); m > margin {
+						margin = m
+					}
+					delta := (armScore - ctrlScore) / ctrlScore * 100
+					if delta < -margin {
+						mConfigsTwinPruned.Inc()
+						outs[i].TwinPruned = true
+						pruneEvents = append(pruneEvents, decision.TwinPruned(
+							arm.Knob, arm.Setting, arm.Label, delta, margin, rung,
+							ctrlScore, armScore, t.in.Metric.String()))
+						continue
+					}
+				}
 			}
 			mConfigsValidated.Inc()
 			for _, id := range knob.Diff(rd.Control, arm.Config) {
@@ -154,6 +186,9 @@ func (t *Tool) runSearch(res *Result, s Searcher) (knob.Config, error) {
 		if t.rec != nil {
 			roundSeq = t.rec.Record(t.decRoot,
 				decision.SweepStarted(rd.Label, "", rd.Control.String()))
+			for _, e := range pruneEvents {
+				t.rec.Record(roundSeq, e)
+			}
 		}
 		results := t.runTrials(specs)
 		seqs := make([]int, len(rd.Arms))
@@ -177,6 +212,17 @@ func (t *Tool) runSearch(res *Result, s Searcher) (knob.Config, error) {
 			seqs[i] = t.recordTrial(roundSeq, specs[si], results[si], arm.Knob, arm.Setting)
 			outs[i].Outcome = out
 			recorded[i] = true
+		}
+		if t.eval != nil {
+			// Every window the round measured doubles as a cross-check
+			// sample: the twin predicted these configurations microseconds
+			// ago, the simulator just told the truth.
+			t.eval.CrossCheck(rd.Control)
+			for i, arm := range rd.Arms {
+				if recorded[i] {
+					t.eval.CrossCheck(arm.Config)
+				}
+			}
 		}
 		v := s.Observe(round, outs)
 		if t.rec != nil {

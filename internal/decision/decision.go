@@ -67,6 +67,7 @@ const (
 	KindRepair          Kind = "repair"
 	KindConfigFreeze    Kind = "config_freeze"
 	KindWatchdogAbandon Kind = "watchdog_abandon"
+	KindTwinPruned      Kind = "twin_pruned"
 )
 
 // Stat is the sufficient statistics of one arm's sample stream for
@@ -282,6 +283,30 @@ func Revert(label, control string) Event {
 // injected faults — the tuner degraded rather than aborting.
 func Skip(label, setting, reason string) Event {
 	return Event{Kind: KindSkip, Label: label, Setting: setting, Detail: reason}
+}
+
+// TwinPruned records a candidate arm discarded on a low-fidelity
+// prediction before any window ran (the tiered-fidelity ladder,
+// DESIGN.md §16). DeltaPct is the predicted delta vs the round's
+// control, GuardrailPct the safety margin it had to clear, and the
+// evidence panel carries the predicted absolute scores so a replay can
+// re-derive the prune verdict. Parent it to the round's sweep_started
+// event.
+func TwinPruned(knob, setting, label string, predictedDeltaPct, marginPct float64, rung string, ctrlScore, armScore float64, metric string) Event {
+	return Event{
+		Kind:         KindTwinPruned,
+		Knob:         knob,
+		Setting:      setting,
+		Label:        label,
+		DeltaPct:     finite(predictedDeltaPct),
+		GuardrailPct: finite(marginPct),
+		Detail:       "rung=" + rung,
+		Evidence: []Evidence{{
+			Metric:    metric + "_twin_predicted",
+			Control:   Stat{N: 1, Mean: finite(ctrlScore)},
+			Treatment: Stat{N: 1, Mean: finite(armScore)},
+		}},
+	}
 }
 
 // Converged records a search round in which the optimizer decided to

@@ -148,6 +148,12 @@ type Config struct {
 	// behavior); the adaptive searchers (hillclimb, halving, cem) trade
 	// more trial rounds for cross-knob coverage.
 	TuneSweep core.SweepMode
+	// TuneTwin arms the analytical-twin fidelity ladder inside every
+	// re-tune (DESIGN.md §16): predicted-losing arms are pruned before
+	// they cost a characterization window, which matters at the
+	// controller's cadence of up to MaxRetunesPerEpoch tunes per pool
+	// per epoch.
+	TuneTwin bool
 }
 
 // DefaultConfig returns the control-loop defaults.
@@ -618,6 +624,7 @@ func (c *Controller) retune(ps *poolState, driftSeq int) (bool, error) {
 		// replay the same trial schedule, so the simcache absorbs them.
 		Seed:     rng.Derive(c.cfg.Seed, "tune/"+ps.name),
 		Parallel: c.cfg.Parallel,
+		Twin:     c.cfg.TuneTwin,
 		AB:       ab,
 	}
 	tool, err := core.NewForService(in, pool.Service, pool.SKU)

@@ -73,9 +73,10 @@ type event struct {
 type Engine struct {
 	now   float64
 	seq   uint64
-	arena []event // event storage; slots recycled through free
-	queue []int32 // arena indices, heap-ordered by (at, seq)
-	free  []int32 // recycled arena slots
+	arena []event  // event storage; slots recycled through free
+	queue []int32  // arena indices, heap-ordered by (at, seq)
+	free  []int32  // recycled arena slots
+	batch []func() // reusable same-timestamp drain buffer for Run
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -163,23 +164,39 @@ func (e *Engine) Run(until float64) {
 	simStart := e.now
 	events := 0
 	for len(e.queue) > 0 {
-		top := e.queue[0]
-		ev := &e.arena[top]
-		if ev.at > until {
+		if e.arena[e.queue[0]].at > until {
 			break
 		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil // release the closure before recycling the slot
-		last := len(e.queue) - 1
-		e.queue[0] = e.queue[last]
-		e.queue = e.queue[:last]
-		if last > 0 {
-			e.siftDown(0)
+		// Advance to the next timestamp and drain every event scheduled
+		// at exactly that instant into the reusable batch before running
+		// any of them. Pop order is heap order (at, seq), and anything
+		// scheduled *during* the batch carries a strictly larger seq than
+		// every event already queued, so it lands in a later drain of the
+		// same instant — global execution order stays exactly (at, seq)
+		// ascending, identical to the one-pop-per-iteration loop.
+		e.now = e.arena[e.queue[0]].at
+		e.batch = e.batch[:0]
+		for len(e.queue) > 0 {
+			top := e.queue[0]
+			ev := &e.arena[top]
+			if ev.at != e.now {
+				break
+			}
+			e.batch = append(e.batch, ev.fn)
+			ev.fn = nil // release the closure before recycling the slot
+			last := len(e.queue) - 1
+			e.queue[0] = e.queue[last]
+			e.queue = e.queue[:last]
+			if last > 0 {
+				e.siftDown(0)
+			}
+			e.free = append(e.free, top)
 		}
-		e.free = append(e.free, top)
-		fn()
-		events++
+		for i, fn := range e.batch {
+			e.batch[i] = nil // drop the reference as we go
+			fn()
+		}
+		events += len(e.batch)
 	}
 	if e.now < until {
 		e.now = until

@@ -13,6 +13,7 @@ import (
 
 	"softsku/internal/cache"
 	"softsku/internal/cpu"
+	"softsku/internal/knob"
 	"softsku/internal/mem"
 	"softsku/internal/platform"
 	"softsku/internal/prefetch"
@@ -387,17 +388,28 @@ type Operating struct {
 // the latency curve's knee caps throughput — the mechanism behind
 // Figs 16(b) and 17.
 func (m *Machine) Solve(util float64) Operating {
+	return solveRates(m.srv.SKU(), m.prof, m.srv.Config(), m.memMod, m.Characterize(), util)
+}
+
+// SolveRates computes the operating point implied by explicit window
+// rates for a SKU/profile/config triple at the given utilization. It is
+// the exact algebra Machine.Solve runs on its own characterization —
+// extracted so the analytical twin (internal/twin) can price *predicted*
+// rates through the identical cycle-accounting and queueing fixed
+// point: any twin-vs-simulator divergence then comes from the predicted
+// counts alone, never from a drifting copy of this model.
+func SolveRates(sku *platform.SKU, prof *workload.Profile, cfg knob.Config, r *WindowRates, util float64) Operating {
+	return solveRates(sku, prof, cfg, mem.NewModel(sku), r, util)
+}
+
+func solveRates(sku *platform.SKU, prof *workload.Profile, cfg knob.Config, memMod *mem.Model, r *WindowRates, util float64) Operating {
 	if util <= 0 {
 		util = 1e-3
 	}
 	if util > 1 {
 		util = 1
 	}
-	r := m.Characterize()
-	cfg := m.srv.Config()
-	sku := m.srv.SKU()
-
-	effMHz := sku.EffectiveCoreMHz(cfg, m.prof.AVXFrac())
+	effMHz := sku.EffectiveCoreMHz(cfg, prof.AVXFrac())
 	uncore := sku.UncoreScale(cfg)
 	ghz := float64(effMHz) / 1000
 
@@ -415,15 +427,15 @@ func (m *Machine) Solve(util float64) Operating {
 	// oscillates.
 	achieved := func(ips float64) float64 {
 		bw := ips * linesPerInstr * 64 / 1e9
-		latNS = m.memMod.LatencyNS(bw, m.prof.Burstiness, uncore)
+		latNS = memMod.LatencyNS(bw, prof.Burstiness, uncore)
 		p := cpu.Params{
 			Width:         sku.DispatchWidth,
 			L2LatCycles:   sku.L2LatencyNS * ghz,
 			LLCLatCycles:  sku.LLCLatencyNS * (0.45 + 0.55*uncore) * ghz,
 			MemLatCycles:  latNS * ghz,
 			MispredictPen: 15,
-			DepStallCPI:   m.prof.DepStallCPI,
-			BEOverlap:     m.prof.BEOverlap,
+			DepStallCPI:   prof.DepStallCPI,
+			BEOverlap:     prof.BEOverlap,
 			SMT:           sku.SMT > 1,
 		}
 		res = cpu.Analyze(counts, p)
@@ -441,8 +453,8 @@ func (m *Machine) Solve(util float64) Operating {
 	}
 	totalIPS := achieved((lo + hi) / 2)
 	bw := totalIPS * linesPerInstr * 64 / 1e9
-	latNS = m.memMod.LatencyNS(bw, m.prof.Burstiness, uncore)
-	watts := sku.PowerWatts(cfg, effMHz, util, m.memMod.AchievedGBs(bw))
+	latNS = memMod.LatencyNS(bw, prof.Burstiness, uncore)
+	watts := sku.PowerWatts(cfg, effMHz, util, memMod.AchievedGBs(bw))
 	return Operating{
 		Util:         util,
 		IPC:          res.IPC,
@@ -450,9 +462,9 @@ func (m *Machine) Solve(util float64) Operating {
 		CoreIPS:      res.CoreIPS(effMHz),
 		TotalIPS:     totalIPS,
 		MIPS:         totalIPS / 1e6,
-		QPS:          totalIPS / m.prof.PathLength,
+		QPS:          totalIPS / prof.PathLength,
 		EffCoreMHz:   float64(effMHz),
-		MemBWGBs:     m.memMod.AchievedGBs(bw),
+		MemBWGBs:     memMod.AchievedGBs(bw),
 		MemLatencyNS: latNS,
 		Watts:        watts,
 		MIPSPerWatt:  totalIPS / 1e6 / watts,
@@ -460,6 +472,55 @@ func (m *Machine) Solve(util float64) Operating {
 		Rates:        r,
 	}
 }
+
+// WindowInstructions returns the instruction count one characterization
+// window measures on a machine with the given active core count — the
+// denominator the analytical twin's predicted counts must share with
+// measure() for per-instruction rates to line up.
+func WindowInstructions(cores int) uint64 {
+	n := simThreads
+	if cores < n {
+		n = cores
+	}
+	return uint64(measureInstr) * uint64(n)
+}
+
+// WindowThreads returns the number of representative worker threads a
+// characterization window runs for the given active core count.
+func WindowThreads(cores int) int {
+	n := simThreads
+	if cores < n {
+		n = cores
+	}
+	return n
+}
+
+// PredictCtxSwitches replays runWindow's chunk-boundary arithmetic over
+// one measurement window without executing it: the number of context
+// switches a window at this core frequency and per-core switch rate
+// will inject. Exact, including the interval clamping and chunk
+// quantization.
+func PredictCtxSwitches(cores int, coreFreqMHz int, ratePerSec float64) uint64 {
+	interval := ctxSwitchInterval(coreFreqMHz, ratePerSec)
+	nthreads := WindowThreads(cores)
+	var switches uint64
+	const chunk = 2000
+	for done := 0; done < measureInstr; done += chunk {
+		n := chunk
+		if measureInstr-done < n {
+			n = measureInstr - done
+		}
+		if done/interval != (done+n)/interval {
+			switches += uint64(nthreads)
+		}
+	}
+	return switches
+}
+
+// SHPPressureMissPerMiB exposes the reserved-but-unused SHP memory
+// pressure constant so the analytical twin charges over-reservation
+// identically to measure().
+const SHPPressureMissPerMiB = shpPressureMissPerMiB
 
 // SolvePeak returns the operating point at the service's QoS-derived
 // utilization ceiling (Fig 3's peak load).

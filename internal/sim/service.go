@@ -32,6 +32,8 @@ type ServiceSim struct {
 	measureStart float64
 	busyTime     float64 // hardware-thread busy seconds in the window
 	res          ServiceResult
+
+	freeReqs []*request // recycled request objects (closures prebuilt)
 }
 
 // reqRing is a FIFO of requests over a reusable circular buffer. The
@@ -68,7 +70,12 @@ func (q *reqRing) pop() *request {
 	return r
 }
 
-// request tracks one in-flight query.
+// request tracks one in-flight query. Request objects are recycled
+// through ServiceSim.freeReqs, and the two continuation closures every
+// segment needs (segment-end transition, downstream wakeup) are built
+// once per object — they capture the stable *request pointer, so reuse
+// keeps them valid. Steady state therefore schedules segments with zero
+// allocations (see TestServiceSimQueueAllocs).
 type request struct {
 	arrive   float64
 	workerAt float64 // time a worker picked it up
@@ -80,6 +87,9 @@ type request struct {
 	schedTime float64
 	runTime   float64
 	ioTime    float64
+
+	segDone func() // end-of-segment transition (built once per object)
+	wakeFn  func() // downstream-response delivery (built once per object)
 }
 
 // ServiceResult aggregates the measured system-level behaviour.
@@ -152,8 +162,7 @@ func (s *ServiceSim) Run(offeredQPS, duration float64) ServiceResult {
 		if now < horizon {
 			s.eng.After(s.src.Exp(1/offeredQPS), arrive)
 		}
-		r := &request{arrive: now, segLeft: s.prof.DownstreamCalls + 1}
-		r.segInstr = s.prof.PathLength / float64(r.segLeft)
+		r := s.newRequest(now)
 		if s.idleWrk > 0 {
 			s.idleWrk--
 			s.startOnWorker(r)
@@ -206,6 +215,26 @@ func (s *ServiceSim) accountBusy(segTime, start float64) {
 	}
 }
 
+// newRequest takes a recycled request object (or allocates one, building
+// its continuation closures exactly once) and resets it for a fresh
+// arrival.
+func (s *ServiceSim) newRequest(now float64) *request {
+	var r *request
+	if n := len(s.freeReqs); n > 0 {
+		r = s.freeReqs[n-1]
+		s.freeReqs = s.freeReqs[:n-1]
+		*r = request{segDone: r.segDone, wakeFn: r.wakeFn}
+	} else {
+		r = &request{}
+		r.segDone = func() { s.segmentDone(r) }
+		r.wakeFn = func() { s.makeReady(r) }
+	}
+	r.arrive = now
+	r.segLeft = s.prof.DownstreamCalls + 1
+	r.segInstr = s.prof.PathLength / float64(r.segLeft)
+	return r
+}
+
 // startOnWorker begins a request's lifecycle once a worker thread is
 // assigned.
 func (s *ServiceSim) startOnWorker(r *request) {
@@ -238,29 +267,34 @@ func (s *ServiceSim) runSegment(r *request) {
 	s.accountBusy(segTime, now)
 	r.runTime += segTime
 	s.res.CtxSwitches++ // dispatch onto the hardware thread
-	s.eng.After(segTime, func() {
-		r.segLeft--
-		// Release the hardware thread; run the next ready worker.
-		if s.runQueue.len() > 0 {
-			s.runSegment(s.runQueue.pop())
-		} else {
-			s.freeSlots++
-		}
-		if r.segLeft <= 0 {
-			s.complete(r)
-			return
-		}
-		// Block on a downstream call (voluntary context switch).
-		// Responses are delivered on network-interrupt coalescing
-		// boundaries, so wakeups arrive in bursts — the source of the
-		// scheduler-latency component in Fig 2(b).
-		io := s.src.Exp(s.prof.DownstreamLatency)
-		const coalesce = 1e-3
-		wake := s.eng.Now() + io
-		wake = math.Ceil(wake/coalesce) * coalesce
-		r.ioTime += wake - s.eng.Now()
-		s.eng.At(wake, func() { s.makeReady(r) })
-	})
+	s.eng.After(segTime, r.segDone)
+}
+
+// segmentDone is the end-of-segment continuation: release the hardware
+// thread, then either complete the request or block it on a downstream
+// call.
+func (s *ServiceSim) segmentDone(r *request) {
+	r.segLeft--
+	// Release the hardware thread; run the next ready worker.
+	if s.runQueue.len() > 0 {
+		s.runSegment(s.runQueue.pop())
+	} else {
+		s.freeSlots++
+	}
+	if r.segLeft <= 0 {
+		s.complete(r)
+		return
+	}
+	// Block on a downstream call (voluntary context switch).
+	// Responses are delivered on network-interrupt coalescing
+	// boundaries, so wakeups arrive in bursts — the source of the
+	// scheduler-latency component in Fig 2(b).
+	io := s.src.Exp(s.prof.DownstreamLatency)
+	const coalesce = 1e-3
+	wake := s.eng.Now() + io
+	wake = math.Ceil(wake/coalesce) * coalesce
+	r.ioTime += wake - s.eng.Now()
+	s.eng.At(wake, r.wakeFn)
 }
 
 // complete finishes the request, frees its worker, and records
@@ -272,13 +306,15 @@ func (s *ServiceSim) complete(r *request) {
 	} else {
 		s.idleWrk++
 	}
-	if r.arrive < s.measureStart {
-		return
+	if r.arrive >= s.measureStart {
+		s.res.Completed++
+		s.res.Latency.Observe(now - r.arrive)
+		s.res.QueueFrac += r.queueTime
+		s.res.SchedFrac += r.schedTime
+		s.res.RunFrac += r.runTime
+		s.res.IOFrac += r.ioTime
 	}
-	s.res.Completed++
-	s.res.Latency.Observe(now - r.arrive)
-	s.res.QueueFrac += r.queueTime
-	s.res.SchedFrac += r.schedTime
-	s.res.RunFrac += r.runTime
-	s.res.IOFrac += r.ioTime
+	// All of r's scheduled events have fired; recycle the object (and
+	// its prebuilt closures) for a future arrival.
+	s.freeReqs = append(s.freeReqs, r)
 }

@@ -95,7 +95,13 @@ func (c *charCache) getOrMeasure(key string, measure func() *WindowRates) *Windo
 	hit := true
 	e.once.Do(func() {
 		hit = false
-		e.rates = measure()
+		r := measure()
+		// Publish under the cache mutex so CachedRates can probe
+		// completed entries without racing an in-flight measurement;
+		// latecomers blocked on the once still synchronize through Do.
+		c.mu.Lock()
+		e.rates = r
+		c.mu.Unlock()
 	})
 	if hit {
 		mSimCacheHits.Inc()
@@ -103,6 +109,26 @@ func (c *charCache) getOrMeasure(key string, measure func() *WindowRates) *Windo
 		mSimCacheMisses.Inc()
 	}
 	return e.rates
+}
+
+// CachedRates returns the characterization the process-wide cache
+// already holds for this exact window key, without executing a window —
+// the simcache-hit rung of the tiered-fidelity ladder (DESIGN.md §16).
+// It reports false when the cache is disabled, the key is absent, or
+// its window is still being measured; it never creates an entry and
+// never blocks on one, so a probe costs a map lookup regardless of
+// what the parallel trial pool is doing.
+func CachedRates(sku *platform.SKU, prof *workload.Profile, cfg knob.Config, catWays int, seed uint64) (*WindowRates, bool) {
+	charcache.mu.Lock()
+	defer charcache.mu.Unlock()
+	if !charcache.enabled {
+		return nil, false
+	}
+	e, ok := charcache.entries[charKey(sku, prof, cfg, catWays, seed)]
+	if !ok || e.rates == nil {
+		return nil, false
+	}
+	return e.rates, true
 }
 
 // ctxSwitchInterval converts the profile's per-core context-switch rate

@@ -1,0 +1,47 @@
+package twin
+
+import (
+	"testing"
+
+	"softsku/internal/sim"
+)
+
+// BenchmarkTwinPredict prices one full analytical prediction — span
+// construction, cache/TLB allocation, and the simulator's own queueing
+// solve on the predicted rates — rotating across the studied design
+// space so per-config memoization (address-space layouts) reflects
+// steady-state search use. This is the ladder's cheap rung: the number
+// to compare against is the ~10^9 ns a fresh characterization window
+// costs (BENCH_search.json ns_per_op / windows_per_op).
+func BenchmarkTwinPredict(b *testing.B) {
+	sku, prof := pairFor(b, "Web")
+	m := NewModel(sku, prof)
+	cfgs := variants(sku, prof)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(cfgs[i%len(cfgs)], prof.MaxCPUUtil)
+	}
+}
+
+// BenchmarkTwinScore prices one ladder answer through the calibrated
+// evaluator — the call the search layer makes per candidate arm. The
+// simcache stays cold here, so every answer comes from the twin rung
+// (worst case; cached-rung answers skip the model entirely).
+func BenchmarkTwinScore(b *testing.B) {
+	sim.ResetCharacterizationCache()
+	sku, prof := pairFor(b, "Web")
+	ev := NewEvaluator(sku, prof, 1, prof.MaxCPUUtil, MetricFor("mips"))
+	if err := ev.Calibrate(); err != nil {
+		b.Fatal(err)
+	}
+	sim.ResetCharacterizationCache() // drop the calibration anchors: force the twin rung
+	cfgs := variants(sku, prof)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := ev.Score(cfgs[i%len(cfgs)]); !ok {
+			b.Fatal("ladder could not answer")
+		}
+	}
+}

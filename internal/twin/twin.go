@@ -1,0 +1,542 @@
+// Package twin is the analytical digital twin of the discrete-event
+// characterization pipeline (ROADMAP item 4, DESIGN.md §16): a
+// closed-form model that predicts sim.Characterize's per-window rates —
+// cache/TLB miss mix, memory traffic, context switches — directly from
+// the knob configuration, the SKU's cache/TLB geometry, and the
+// workload profile's span mix, in microseconds and with no event loop.
+// Predicted rates are priced through the *identical* cycle-accounting
+// and queueing fixed point the simulator uses (sim.SolveRates), so any
+// twin-vs-simulator divergence comes from the predicted counts alone.
+//
+// The model is deliberately first-order: every access class the stream
+// generator produces (tiered shared heap, strided streams, per-core
+// private state, stack, tiered code fetch) becomes a uniform span of
+// (rate, bytes), and each cache level keeps the densest spans — the
+// closed-form stand-in for steady-state LRU. Residual error is absorbed
+// by a per-(SKU, Profile) least-squares calibration against two real
+// windows (evaluator.go) and continuously cross-checked against every
+// real window the tuner measures.
+package twin
+
+import (
+	"math"
+	"sort"
+
+	"softsku/internal/knob"
+	"softsku/internal/platform"
+	"softsku/internal/sim"
+	"softsku/internal/tlb"
+	"softsku/internal/workload"
+)
+
+// Model predicts characterization windows for one (SKU, Profile) pair.
+// It is cheap to construct and Rates is pure arithmetic over ~20 spans;
+// the only non-trivial state is the memoized huge-page layout per
+// (THP, SHP) combination. Not safe for concurrent use — the search
+// layer only calls it from serial phases (DESIGN.md §16).
+type Model struct {
+	sku    *platform.SKU
+	prof   *workload.Profile
+	layout workload.Layout
+
+	spaces map[spaceKey]*spaceInfo
+}
+
+type spaceKey struct {
+	thp knob.THPMode
+	shp int
+}
+
+// spaceInfo caches what the twin needs from tlb.NewAddressSpace for one
+// huge-page configuration: per-region huge coverage and the wasted SHP
+// reservation.
+type spaceInfo struct {
+	hf        []float64 // huge fraction per layout region
+	wastedMiB float64
+}
+
+// NewModel builds the analytical twin for a SKU/profile pair. The
+// profile should already be platform-adjusted (workload.ForPlatform),
+// exactly as handed to sim.NewMachine.
+func NewModel(sku *platform.SKU, prof *workload.Profile) *Model {
+	return &Model{
+		sku:    sku,
+		prof:   prof,
+		layout: prof.BuildLayout(),
+		spaces: make(map[spaceKey]*spaceInfo),
+	}
+}
+
+// space returns the memoized huge-page layout for a configuration. The
+// AddressSpace itself replays the kernel's SHP/THP materialization
+// (hugepage.go), so the twin's huge fractions are exact, not modelled.
+func (m *Model) space(cfg knob.Config) *spaceInfo {
+	key := spaceKey{thp: cfg.THP, shp: cfg.SHPCount}
+	if s, ok := m.spaces[key]; ok {
+		return s
+	}
+	s := &spaceInfo{hf: make([]float64, len(m.layout.Regions))}
+	as, err := tlb.NewAddressSpace(m.layout.Regions, cfg.THP, cfg.SHPCount)
+	if err == nil {
+		for i := range m.layout.Regions {
+			s.hf[i] = as.HugeFraction(i)
+		}
+		s.wastedMiB = float64(as.WastedSHPMiB())
+	}
+	m.spaces[key] = s
+	return s
+}
+
+// span is one access class: rate accesses per instruction spread
+// uniformly over bytes of unique address space (as one thread sees
+// it). llcRate/llcBytes are the fleet-wide aggregates that compete for
+// the shared LLC: shared spans appear once, per-thread private spans
+// and per-pool code spans with their replica count folded in.
+type span struct {
+	rate     float64
+	bytes    float64
+	llcRate  float64
+	llcBytes float64
+	code     bool
+	store    float64 // store fraction of the span's accesses
+	seq      bool    // strided stream: prefetchable, page-local
+
+	hf      float64 // huge-page fraction of the span's backing
+	entries float64 // STLB entries its page set needs
+	seqWalk float64 // seq spans: recency-bound walk probability
+}
+
+// segment is one disjoint byte range of a tiered footprint with the
+// access rate the nested-tier mixture deposits into it.
+type segment struct{ a, b, rate float64 }
+
+// segments cuts a nested-tier access distribution ("Frac of accesses
+// uniform over the first Bytes") into disjoint ranges. extraCut adds a
+// boundary (the SHP slab edge) so each segment has homogeneous backing.
+func segments(tiers []workload.Tier, total uint64, rate float64, extraCut uint64) []segment {
+	bounds := []float64{float64(total)}
+	for _, t := range tiers {
+		if t.Frac > 0 && t.Bytes > 0 && t.Bytes < total {
+			bounds = append(bounds, float64(t.Bytes))
+		}
+	}
+	if extraCut > 0 && extraCut < total {
+		bounds = append(bounds, float64(extraCut))
+	}
+	sort.Float64s(bounds)
+	// The remainder tier spreads whatever the named tiers leave over the
+	// whole footprint.
+	rest := 1.0
+	for _, t := range tiers {
+		if t.Frac > 0 && t.Bytes > 0 {
+			rest -= t.Frac
+		}
+	}
+	if rest < 0 {
+		rest = 0
+	}
+	all := append(append([]workload.Tier(nil), tiers...), workload.Tier{Frac: rest, Bytes: total})
+	var segs []segment
+	a := 0.0
+	for _, b := range bounds {
+		if b <= a {
+			continue
+		}
+		r := 0.0
+		for _, t := range all {
+			if t.Frac > 0 && t.Bytes > 0 && float64(t.Bytes) >= b {
+				r += t.Frac * (b - a) / float64(t.Bytes)
+			}
+		}
+		segs = append(segs, segment{a: a, b: b, rate: r * rate})
+		a = b
+	}
+	return segs
+}
+
+// dataBacking resolves a byte range of the combined data footprint into
+// its huge fraction and STLB entry demand, honoring the slab/heap
+// overlay (stream.go MapDataOffset): offsets below SHPHeap live in the
+// page-scattered SHP slab, the rest in the (contiguous) heap.
+func (m *Model) dataBacking(sp *spaceInfo, a, b float64) (hf, entries float64) {
+	p := m.prof
+	slabEnd := float64(p.SHPHeap)
+	slabBytes := math.Max(0, math.Min(b, slabEnd)-a)
+	heapBytes := (b - a) - slabBytes
+	var hfSlab, hfHeap float64
+	if m.layout.SHPHeap >= 0 {
+		hfSlab = sp.hf[m.layout.SHPHeap]
+	}
+	hfHeap = sp.hf[m.layout.Heap]
+	if b-a > 0 {
+		hf = (slabBytes*hfSlab + heapBytes*hfHeap) / (b - a)
+	}
+	// 4 KiB entries: one per small page. 2 MiB entries: the heap's huge
+	// prefix is contiguous (bytes/2M chunks); the slab scatters pages
+	// uniformly, so a small range touches ~one distinct chunk per page
+	// until the slab's huge chunks saturate.
+	entries = (slabBytes*(1-hfSlab) + heapBytes*(1-hfHeap)) / tlb.PageSize4K
+	entries += heapBytes * hfHeap / tlb.PageSize2M
+	if hfSlab > 0 {
+		slabChunks := math.Ceil(float64(p.SHPHeap) / tlb.PageSize2M)
+		entries += math.Min(slabBytes*hfSlab/tlb.PageSize4K, slabChunks*hfSlab)
+	}
+	return hf, entries
+}
+
+// codeBacking resolves a byte range of one text pool: JIT code caches
+// scatter lines across the region at page granularity (MapCodeLine), so
+// small hot tiers land on random pages whose huge coverage equals the
+// region's overall fraction; file-backed text is contiguous and never
+// huge.
+func (m *Model) codeBacking(sp *spaceInfo, a, b float64) (hf, entries float64) {
+	hf = sp.hf[m.layout.Text[0]]
+	bytes := b - a
+	entries = bytes * (1 - hf) / tlb.PageSize4K
+	if hf > 0 {
+		regionChunks := math.Ceil(float64(m.prof.CodeFootprint) / tlb.PageSize2M)
+		scatter := math.Min(bytes*hf/tlb.PageSize4K, regionChunks*hf)
+		if m.layout.CodePerm == nil {
+			scatter = bytes * hf / tlb.PageSize2M
+		}
+		entries += scatter
+	}
+	return hf, entries
+}
+
+// seqCoverage maps the prefetcher mask onto the fraction of new-line
+// strided-stream accesses the hardware covers ahead of demand, and
+// whether covered lines land in L1 (DCU/DCU-IP) or L2 (stream
+// prefetcher). The IP-stride prefetcher locks onto the generator's
+// stable per-stream IPs; the L2 streamer tracks its page-local
+// forward walk; plain DCU next-line covers about half of a sub-line
+// strided walk. Adjacent-line adds a small bonus on top.
+func seqCoverage(pf knob.PrefetchMask) (cov float64, fillL1 bool) {
+	switch {
+	case pf.Has(knob.PrefetchDCUIP):
+		cov, fillL1 = 0.85, true
+	case pf.Has(knob.PrefetchL2HW):
+		cov, fillL1 = 0.80, false
+	case pf.Has(knob.PrefetchDCU):
+		cov, fillL1 = 0.50, true
+	}
+	if cov > 0 && pf.Has(knob.PrefetchL2Adj) {
+		cov = math.Min(cov+0.05, 0.95)
+	}
+	return cov, fillL1
+}
+
+// alloc distributes capacity bytes over spans hottest-first by access
+// density — the closed-form stand-in for steady-state LRU, which keeps
+// whatever delivers the most hits per byte. rates and bytes are
+// parallel; the returned slice holds each span's resident fraction.
+// The sort is stable on exact float comparisons, so the allocation is
+// bit-deterministic.
+func alloc(rates, bytes []float64, capacity float64) []float64 {
+	idx := make([]int, len(rates))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		i, j := idx[x], idx[y]
+		di, dj := 0.0, 0.0
+		if bytes[i] > 0 {
+			di = rates[i] / bytes[i]
+		}
+		if bytes[j] > 0 {
+			dj = rates[j] / bytes[j]
+		}
+		return di > dj
+	})
+	res := make([]float64, len(rates))
+	for _, i := range idx {
+		if capacity <= 0 {
+			break
+		}
+		if bytes[i] <= 0 {
+			continue
+		}
+		take := math.Min(bytes[i], capacity)
+		res[i] = take / bytes[i]
+		capacity -= take
+	}
+	return res
+}
+
+// Rates predicts the characterization window sim.Characterize would
+// measure under cfg: per-instruction cache/TLB/memory event counts with
+// the same denominators (window instruction count, thread count,
+// context-switch schedule) as measure().
+func (m *Model) Rates(cfg knob.Config) *sim.WindowRates {
+	prof, sku := m.prof, m.sku
+	sp := m.space(cfg)
+	nthreads := sim.WindowThreads(cfg.Cores)
+	instr := sim.WindowInstructions(cfg.Cores)
+	f := float64(instr)
+	coreScale := float64(cfg.Cores) / float64(nthreads)
+	mix := prof.Mix.Normalize()
+
+	// ---- Access-class rates (events per instruction; identical for
+	// every thread, so per-instruction rates are also window-wide). ----
+	fetchRate := 1.0 / 8 // one I-cache line access per fetch group
+	dataRate := mix.Load + mix.Store
+	storeBase := 0.0
+	if dataRate > 0 {
+		storeBase = mix.Store / dataRate
+	}
+	rStack := dataRate * prof.StackFrac
+	rSeq := dataRate * (1 - prof.StackFrac) * prof.DataSeqFrac
+	rPriv := dataRate * (1 - prof.StackFrac) * (1 - prof.DataSeqFrac) * prof.PrivateFrac
+	rTier := dataRate * (1 - prof.StackFrac) * (1 - prof.DataSeqFrac) * (1 - prof.PrivateFrac)
+
+	var spans []span
+
+	// Tiered shared heap, cut into disjoint segments (and at the SHP
+	// slab edge so each segment has one backing).
+	dTiers := []workload.Tier{prof.DataHot, prof.DataMid, prof.DataWarm}
+	for _, sg := range segments(dTiers, prof.DataFootprint, rTier, prof.SHPHeap) {
+		hf, entries := m.dataBacking(sp, sg.a, sg.b)
+		spans = append(spans, span{
+			rate: sg.rate, bytes: sg.b - sg.a,
+			llcRate: sg.rate, llcBytes: sg.b - sg.a,
+			store: storeBase, hf: hf, entries: entries,
+		})
+	}
+
+	// Stack: a handful of hot lines, one page; shared region.
+	spans = append(spans, span{
+		rate: rStack, bytes: 64 * 64,
+		llcRate: rStack, llcBytes: 64 * 64,
+		store: storeBase, entries: 1,
+	})
+
+	// Strided streams. Sub-line strides revisit the current line
+	// (intra-line reuse, an L1 hit by construction); line-crossing steps
+	// walk the SeqSpan — prefetchable, page-local, far too large to
+	// cache. TLB behaviour is recency-bound: one possible walk per page
+	// crossing, never capacity-bound.
+	if rSeq > 0 && prof.SeqSpan > 0 {
+		stride := float64(prof.SeqStride)
+		newLine := math.Min(1, stride/64)
+		reuse := rSeq * (1 - newLine)
+		if reuse > 0 {
+			spans = append(spans, span{
+				rate: reuse, bytes: 4 * 64,
+				llcRate: reuse, llcBytes: 4 * 64,
+				store: storeBase, entries: 1,
+			})
+		}
+		seqBytes := float64(prof.SeqSpan)
+		hf, entries := m.dataBacking(sp, 0, seqBytes)
+		walk := (1-hf)*math.Min(1, stride/tlb.PageSize4K) + hf*(stride/tlb.PageSize2M)
+		spans = append(spans, span{
+			rate: rSeq * newLine, bytes: seqBytes,
+			llcRate: rSeq * newLine, llcBytes: seqBytes,
+			store: storeBase, seq: true,
+			hf: hf, entries: entries, seqWalk: walk,
+		})
+	}
+
+	// Per-core private request state: disjoint per thread, scaled so
+	// each sim thread stands in for coreScale real cores. Freshly
+	// allocated state is written before it is read (store-heavy).
+	if rPriv > 0 && prof.PrivateBytes > 0 {
+		pbase, pspan := workload.PrivateSpan(prof, 0, coreScale)
+		hf, entries := m.dataBacking(sp, float64(pbase), float64(pbase+pspan))
+		spans = append(spans, span{
+			rate: rPriv, bytes: float64(pspan),
+			llcRate: rPriv, llcBytes: float64(pspan) * float64(nthreads),
+			store: 0.65 + 0.35*storeBase, hf: hf, entries: entries,
+		})
+	}
+
+	// Tiered code fetch. Threads spread across the profile's code pools;
+	// each pool's text is a distinct region, so the LLC sees poolsUsed
+	// replicas of every segment.
+	poolsUsed := prof.CodePools
+	if nthreads < poolsUsed {
+		poolsUsed = nthreads
+	}
+	cTiers := []workload.Tier{prof.CodeHot, prof.CodeMid, prof.CodeWarm}
+	for _, sg := range segments(cTiers, prof.CodeFootprint, fetchRate, 0) {
+		hf, entries := m.codeBacking(sp, sg.a, sg.b)
+		spans = append(spans, span{
+			rate: sg.rate, bytes: sg.b - sg.a,
+			llcRate: sg.rate, llcBytes: (sg.b - sg.a) * float64(poolsUsed),
+			code: true, hf: hf, entries: entries,
+		})
+	}
+
+	// ---- Prefetch: peel covered strided-stream traffic off the demand
+	// path before the cache ladder sees it. ----
+	cov, fillL1 := seqCoverage(cfg.Prefetch)
+	var covRate, covStore float64
+	for i := range spans {
+		if spans[i].seq && cov > 0 {
+			covRate = spans[i].rate * cov
+			covStore = spans[i].store
+			spans[i].rate *= 1 - cov
+			spans[i].llcRate *= 1 - cov
+		}
+	}
+
+	// ---- Cache ladder: greedy density allocation at each capacity. ----
+	n := len(spans)
+	rates := make([]float64, n)
+	sizes := make([]float64, n)
+	codeRates := make([]float64, n)
+	dataRates := make([]float64, n)
+	llcRates := make([]float64, n)
+	llcSizes := make([]float64, n)
+	for i, s := range spans {
+		rates[i], sizes[i] = s.rate, s.bytes
+		llcRates[i], llcSizes[i] = s.llcRate, s.llcBytes
+		if s.code {
+			codeRates[i] = s.rate
+		} else {
+			dataRates[i] = s.rate
+		}
+	}
+	resL1I := alloc(codeRates, sizes, float64(sku.L1I))
+	resL1D := alloc(dataRates, sizes, float64(sku.L1D))
+	resL2 := alloc(rates, sizes, float64(sku.L1I+sku.L1D+sku.L2))
+
+	totalLLC := float64(sku.LLC * sku.Sockets)
+	var resLLC []float64
+	if cfg.CDP.Enabled() && sku.LLCWays > 0 {
+		codeCap := totalLLC * float64(cfg.CDP.CodeWays) / float64(sku.LLCWays)
+		dataCap := totalLLC * float64(cfg.CDP.DataWays) / float64(sku.LLCWays)
+		llcCode := make([]float64, n)
+		llcData := make([]float64, n)
+		for i, s := range spans {
+			if s.code {
+				llcCode[i] = s.llcRate
+			} else {
+				llcData[i] = s.llcRate
+			}
+		}
+		rc := alloc(llcCode, llcSizes, codeCap)
+		rd := alloc(llcData, llcSizes, dataCap)
+		resLLC = make([]float64, n)
+		for i := range resLLC {
+			resLLC[i] = rc[i] + rd[i]
+		}
+	} else {
+		resLLC = alloc(llcRates, llcSizes, totalLLC)
+	}
+
+	// ---- STLB: one greedy allocation of the unified second-level TLB
+	// over every span's page set (walks are charged only on STLB misses,
+	// tlb.go). Seq spans churn entries but are recency-bound themselves.
+	tlbRates := make([]float64, n)
+	tlbEntries := make([]float64, n)
+	for i, s := range spans {
+		tlbRates[i] = s.rate
+		if s.seq {
+			// Covered prefetch traffic still translates on the demand side.
+			tlbRates[i] += covRate
+		}
+		tlbEntries[i] = s.entries
+	}
+	resSTLB := alloc(tlbRates, tlbEntries, float64(sku.STLB))
+
+	r := &sim.WindowRates{Instructions: instr}
+	c := &r.Counts
+	c.Instructions = instr
+	c.Branches = uint64(f * mix.Branch)
+	c.Mispredicts = uint64(float64(c.Branches) * prof.BranchMispredict)
+
+	var codeL2, codeLLC, codeMem float64
+	var dataL2, dataLLC, dataMem float64
+	var storeL2, storeLLC, storeMem float64
+	var itlbWalks, dtlbWalks float64
+	var prefetchMem float64
+
+	for i, s := range spans {
+		h1 := resL1D[i]
+		if s.code {
+			h1 = resL1I[i]
+		}
+		h2 := math.Max(resL2[i], h1)
+		h3 := math.Max(resLLC[i], h2)
+		acc := s.rate * f
+		atL2, atLLC, atMem := acc*(h2-h1), acc*(h3-h2), acc*(1-h3)
+		if s.code {
+			codeL2 += atL2
+			codeLLC += atLLC
+			codeMem += atMem
+		} else {
+			dataL2 += atL2 * (1 - s.store)
+			dataLLC += atLLC * (1 - s.store)
+			dataMem += atMem * (1 - s.store)
+			storeL2 += atL2 * s.store
+			storeLLC += atLLC * s.store
+			storeMem += atMem * s.store
+		}
+		// TLB walks: capacity-bound for random spans, recency-bound for
+		// strided streams (one possible walk per page crossing).
+		var walkProb float64
+		if s.seq {
+			walkProb = s.seqWalk
+		} else {
+			walkProb = 1 - resSTLB[i]
+		}
+		walks := s.rate * f * walkProb
+		if s.code {
+			itlbWalks += walks
+		} else {
+			dtlbWalks += walks
+		}
+		if s.seq && covRate > 0 {
+			// Covered lines the LLC doesn't hold are fetched from DRAM by
+			// the prefetcher; the demand access then hits L1 or L2.
+			prefetchMem += covRate * (1 - h3)
+			cAcc := covRate * f
+			if !fillL1 {
+				dataL2 += cAcc * (1 - covStore)
+				storeL2 += cAcc * covStore
+			}
+			// Covered accesses still translate: same walk probability.
+			dtlbWalks += cAcc * walkProb
+		}
+	}
+
+	c.CodeL2, c.CodeLLC, c.CodeMem = uint64(codeL2), uint64(codeLLC), uint64(codeMem)
+	c.DataL2, c.DataLLC, c.DataMem = uint64(dataL2), uint64(dataLLC), uint64(dataMem)
+	c.StoreL2, c.StoreLLC, c.StoreMem = uint64(storeL2), uint64(storeLLC), uint64(storeMem)
+	const walkCycles = 30
+	c.ITLBWalkCycles = uint64(itlbWalks * walkCycles)
+	c.DTLBWalkCycles = uint64(dtlbWalks * walkCycles)
+
+	// SHP over-reservation pressure: wasted MiB become cold data misses,
+	// exactly as measure() charges them.
+	extra := uint64(f * sp.wastedMiB * sim.SHPPressureMissPerMiB)
+	c.DataMem += extra
+
+	r.CtxSwitches = sim.PredictCtxSwitches(cfg.Cores, cfg.CoreFreqMHz, prof.CtxSwitchRate)
+	r.DemandMemPerInstr = (codeMem + dataMem + storeMem + float64(extra)) / f
+	r.PrefetchMemPerInstr = prefetchMem
+	return r
+}
+
+// Prediction is one twin evaluation: the full operating point from the
+// shared bandwidth↔latency fixed point, plus an M/G/1-style tail
+// proxy — service time stretched by the utilization headroom's
+// exponential tail (ln(100) ≈ 4.605 for the 99th percentile), the same
+// queueing approximation the EMON panel reports.
+type Prediction struct {
+	Op  sim.Operating
+	P99 float64 // seconds
+}
+
+// Predict prices the predicted window rates through sim.SolveRates at
+// the given utilization and derives the queueing tail proxy.
+func (m *Model) Predict(cfg knob.Config, util float64) Prediction {
+	op := sim.SolveRates(m.sku, m.prof, cfg, m.Rates(cfg), util)
+	svc := 0.0
+	if op.CoreIPS > 0 {
+		svc = m.prof.PathLength / op.CoreIPS
+	}
+	head := math.Max(1-op.Util, 0.02)
+	return Prediction{Op: op, P99: svc / head * math.Log(100)}
+}

@@ -1,0 +1,235 @@
+package twin
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"softsku/internal/knob"
+	"softsku/internal/platform"
+	"softsku/internal/sim"
+	"softsku/internal/workload"
+)
+
+const testSeed = 1234
+
+func pairFor(t testing.TB, svc string) (*platform.SKU, *workload.Profile) {
+	t.Helper()
+	base, err := workload.ByName(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := workload.ForPlatform(base, base.Platform)
+	sku, err := platform.ByName(base.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sku, prof
+}
+
+// realMetric measures the simulator's ground truth for a config.
+func realMetric(t testing.TB, sku *platform.SKU, prof *workload.Profile, cfg knob.Config, metric func(sim.Operating) float64) float64 {
+	t.Helper()
+	srv, err := platform.NewServer(sku, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.NewMachine(srv, prof, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metric(m.Solve(prof.MaxCPUUtil))
+}
+
+// variants builds the knob neighbourhood a search actually explores:
+// THP modes, SHP reservations, prefetch masks, core frequencies.
+func variants(sku *platform.SKU, prof *workload.Profile) []knob.Config {
+	base := sim.ProductionConfig(sku, prof)
+	var out []knob.Config
+	for _, thp := range []knob.THPMode{knob.THPMadvise, knob.THPAlways, knob.THPNever} {
+		c := base
+		c.THP = thp
+		out = append(out, c)
+	}
+	for _, shp := range []int{0, 300, 600} {
+		c := base
+		c.SHPCount = shp
+		out = append(out, c)
+	}
+	for _, pf := range knob.StudiedPrefetchConfigs() {
+		c := base
+		c.Prefetch = pf
+		out = append(out, c)
+	}
+	for _, mhz := range []int{sku.MinCoreMHz, sku.MaxCoreMHz} {
+		c := base
+		c.CoreFreqMHz = mhz
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestTwinAccuracy pins the tentpole acceptance bound: after the
+// two-anchor calibration, the twin's median prediction error across the
+// knob neighbourhood every service's search explores stays within 10%,
+// for each optimization metric.
+func TestTwinAccuracy(t *testing.T) {
+	for _, svc := range []string{"Web", "Feed1", "Feed2", "Ads1", "Ads2", "Cache1", "Cache2"} {
+		svc := svc
+		t.Run(svc, func(t *testing.T) {
+			sku, prof := pairFor(t, svc)
+			ev := NewEvaluator(sku, prof, testSeed, prof.MaxCPUUtil, MetricFor("mips"))
+			if err := ev.Calibrate(); err != nil {
+				t.Fatal(err)
+			}
+			alpha, beta := ev.Coefficients()
+			var errs []float64
+			worst := 0.0
+			for _, cfg := range variants(sku, prof) {
+				if sku.Validate(cfg) != nil {
+					continue
+				}
+				truth := realMetric(t, sku, prof, cfg, MetricFor("mips"))
+				pred := alpha*ev.raw(cfg) + beta
+				e := math.Abs(pred-truth) / truth * 100
+				errs = append(errs, e)
+				if e > worst {
+					worst = e
+				}
+			}
+			sort.Float64s(errs)
+			med := errs[len(errs)/2]
+			t.Logf("%s: alpha=%.4f beta=%.1f median=%.2f%% worst=%.2f%% n=%d",
+				svc, alpha, beta, med, worst, len(errs))
+			if med > 10 {
+				t.Errorf("%s median twin error %.2f%% > 10%%", svc, med)
+			}
+		})
+	}
+}
+
+// TestTwinRelativeOrdering checks what pruning actually relies on: when
+// the twin says a candidate is far worse than the control, the
+// simulator agrees about the direction. Margin here mirrors the twin
+// rung's pruning margin.
+func TestTwinRelativeOrdering(t *testing.T) {
+	sku, prof := pairFor(t, "Web")
+	ev := NewEvaluator(sku, prof, testSeed, prof.MaxCPUUtil, MetricFor("mips"))
+	if err := ev.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := sim.ProductionConfig(sku, prof)
+	ctrlPred, _, ok := ev.Score(ctrl)
+	if !ok {
+		t.Fatal("control score unavailable")
+	}
+	ctrlReal := realMetric(t, sku, prof, ctrl, MetricFor("mips"))
+	margin := ev.Margin(RungTwin)
+	for _, cfg := range variants(sku, prof) {
+		if sku.Validate(cfg) != nil {
+			continue
+		}
+		pred, rung, ok := ev.Score(cfg)
+		if !ok {
+			t.Fatalf("no score for %s", cfg)
+		}
+		predDelta := (pred - ctrlPred) / ctrlPred * 100
+		if predDelta >= -math.Max(margin, ev.Margin(rung)) {
+			continue // would not be pruned
+		}
+		realDelta := (realMetric(t, sku, prof, cfg, MetricFor("mips")) - ctrlReal) / ctrlReal * 100
+		if realDelta > 0.5 {
+			t.Errorf("twin would prune %s (pred %+.2f%%) but simulator says %+.2f%%",
+				cfg, predDelta, realDelta)
+		}
+	}
+}
+
+// TestCalibrationDeterminism is the satellite-3 guarantee: the fitted
+// coefficients are a pure function of (SKU, profile, seed, metric) —
+// bit-identical whether calibration runs alone or races eight
+// concurrent evaluators, and unaffected by chaos injection being armed
+// (calibration never touches the fault plane).
+func TestCalibrationDeterminism(t *testing.T) {
+	sku, prof := pairFor(t, "Web")
+	calibrate := func() (float64, float64) {
+		ev := NewEvaluator(sku, prof, testSeed, prof.MaxCPUUtil, MetricFor("mips"))
+		if err := ev.Calibrate(); err != nil {
+			t.Error(err)
+			return 0, 0
+		}
+		return ev.Coefficients()
+	}
+	a0, b0 := calibrate()
+
+	// Eight concurrent calibrations (as -parallel 8 would interleave
+	// window measurement through the shared simcache).
+	var wg sync.WaitGroup
+	as := make([]float64, 8)
+	bs := make([]float64, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			as[i], bs[i] = calibrate()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 8; i++ {
+		if as[i] != a0 || bs[i] != b0 {
+			t.Fatalf("parallel calibration %d diverged: (%v,%v) != (%v,%v)", i, as[i], bs[i], a0, b0)
+		}
+	}
+
+	// And again after dropping every cached window: a cold cache must
+	// reproduce the same windows, hence the same fit.
+	sim.ResetCharacterizationCache()
+	a1, b1 := calibrate()
+	if a1 != a0 || b1 != b0 {
+		t.Fatalf("cold-cache calibration diverged: (%v,%v) != (%v,%v)", a1, b1, a0, b0)
+	}
+}
+
+// TestLadderRungs exercises the fidelity ladder order: before any
+// window runs the twin answers from its model; once the exact window
+// is in the simcache the cached rung takes over and the score becomes
+// exact.
+func TestLadderRungs(t *testing.T) {
+	sku, prof := pairFor(t, "Feed2")
+	ev := NewEvaluator(sku, prof, testSeed, prof.MaxCPUUtil, MetricFor("mips"))
+	cfg := sim.ProductionConfig(sku, prof)
+	cfg.SHPCount = 500 // a config no other test measures at this seed
+
+	if _, _, ok := ev.Score(cfg); ok {
+		t.Fatal("uncalibrated evaluator with no cached window must not score")
+	}
+	if err := ev.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	_, rung, ok := ev.Score(cfg)
+	if !ok || rung != RungTwin {
+		t.Fatalf("expected twin rung before measurement, got %q ok=%v", rung, ok)
+	}
+
+	truth := realMetric(t, sku, prof, cfg, MetricFor("mips")) // enters the simcache
+	got, rung, ok := ev.Score(cfg)
+	if !ok || rung != RungCached {
+		t.Fatalf("expected cached rung after measurement, got %q ok=%v", rung, ok)
+	}
+	if math.Abs(got-truth)/truth > 1e-9 {
+		t.Fatalf("cached rung not exact: %v vs %v", got, truth)
+	}
+	if ev.Margin(RungCached) >= ev.Margin(RungTwin) {
+		t.Fatal("cached rung must need a smaller pruning margin than the twin rung")
+	}
+
+	ev.CrossCheck(cfg)
+	ev.CrossCheck(cfg) // second check of the same config is a no-op
+	if n := len(ev.Errors()); n != 1 {
+		t.Fatalf("cross-check count = %d, want 1", n)
+	}
+	if med := ev.MedianAbsErrPct(); med < 0 {
+		t.Fatalf("median error unavailable after cross-check: %v", med)
+	}
+}

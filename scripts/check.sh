@@ -183,6 +183,31 @@ fi
 sed -n 's/^soft SKU:  */search smoke (halving): /p' "$srchdir/a.txt"
 rm -rf "$srchdir"
 
+echo "== twin-pruned search smoke =="
+# A twin-armed hill climb run twice: prune decisions come from the
+# calibrated analytical twin (DESIGN.md §16), so both runs must compose
+# the same soft SKU and write byte-identical ledgers — including the
+# twin_pruned events that record every arm discarded on a prediction
+# alone. One process per run, exactly like production: the ladder's
+# answers depend on simcache state, which is fixed per process.
+twindir=$(mktemp -d)
+go build -o "$twindir/musku" ./cmd/musku
+"$twindir/musku" -service Web -knobs thp,shp,corefreq -search hill -twin \
+	-max-samples 1500 -q -decisions-out "$twindir/a.jsonl" >"$twindir/a.txt"
+"$twindir/musku" -service Web -knobs thp,shp,corefreq -search hill -twin \
+	-max-samples 1500 -q -decisions-out "$twindir/b.jsonl" >"$twindir/b.txt"
+if ! cmp -s "$twindir/a.jsonl" "$twindir/b.jsonl"; then
+	echo "twin smoke: same-seed twin-pruned ledgers diverged between runs" >&2
+	exit 1
+fi
+if ! grep -q '"kind":"twin_pruned"' "$twindir/a.jsonl"; then
+	echo "twin smoke: twin-armed hill climb pruned nothing" >&2
+	exit 1
+fi
+pruned=$(grep -c '"kind":"twin_pruned"' "$twindir/a.jsonl")
+sed -n "s/^soft SKU:  */twin smoke (hill, $pruned arms pruned): /p" "$twindir/a.txt"
+rm -rf "$twindir"
+
 echo "== skutrace replay smoke =="
 # Counterfactual replay straight off a recorded ledger: re-judge a
 # mips-objective run under p99 without re-running the simulator.
